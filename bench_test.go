@@ -1,0 +1,394 @@
+package qec
+
+// One benchmark per table and figure of the paper's evaluation (Section 5),
+// plus ablation benches for the design choices DESIGN.md calls out. Quality
+// metrics (Eq. 1 scores, user-study means) are attached to the benchmark
+// output via b.ReportMetric, so `go test -bench=.` regenerates both the
+// timing and the quality side of every figure.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiment"
+	"repro/internal/search"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiment.Runner
+	benchStudy  *experiment.Study
+)
+
+func sharedBench(b *testing.B) (*experiment.Runner, *experiment.Study) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner = experiment.NewRunner(experiment.DefaultConfig())
+		benchStudy = benchRunner.RunStudy()
+	})
+	return benchRunner, benchStudy
+}
+
+// --- Table 1 ----------------------------------------------------------------
+
+func BenchmarkTable1QuerySets(b *testing.B) {
+	r, _ := sharedBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wiki, shop := r.Table1()
+		if len(wiki) != 10 || len(shop) != 10 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+// --- Figures 1-4: simulated user study --------------------------------------
+
+func BenchmarkFigure1IndividualScores(b *testing.B) {
+	_, s := sharedBench(b)
+	b.ResetTimer()
+	var rows []experiment.MethodSummary
+	for i := 0; i < b.N; i++ {
+		rows = s.Figure1And2()
+	}
+	for _, ms := range rows {
+		b.ReportMetric(ms.Summary.MeanScore, "score_"+ms.Method)
+	}
+}
+
+func BenchmarkFigure2IndividualOptions(b *testing.B) {
+	_, s := sharedBench(b)
+	b.ResetTimer()
+	var rows []experiment.MethodSummary
+	for i := 0; i < b.N; i++ {
+		rows = s.Figure1And2()
+	}
+	for _, ms := range rows {
+		b.ReportMetric(ms.Summary.PctA, "pctA_"+ms.Method)
+	}
+}
+
+func BenchmarkFigure3CollectiveScores(b *testing.B) {
+	_, s := sharedBench(b)
+	b.ResetTimer()
+	var rows []experiment.MethodSummary
+	for i := 0; i < b.N; i++ {
+		rows = s.Figure3And4()
+	}
+	for _, ms := range rows {
+		b.ReportMetric(ms.Summary.MeanScore, "score_"+ms.Method)
+	}
+}
+
+func BenchmarkFigure4CollectiveOptions(b *testing.B) {
+	_, s := sharedBench(b)
+	b.ResetTimer()
+	var rows []experiment.MethodSummary
+	for i := 0; i < b.N; i++ {
+		rows = s.Figure3And4()
+	}
+	for _, ms := range rows {
+		b.ReportMetric(ms.Summary.PctC, "pctC_"+ms.Method)
+	}
+}
+
+// --- Figure 5: Eq. 1 scores (the expansion work itself is benchmarked) ------
+
+func benchFigure5(b *testing.B, ds string) {
+	r, s := sharedBench(b)
+	// Prepared query runs for the dataset (outside the timer).
+	var runs []*experiment.QueryRun
+	d := r.Shopping
+	if ds == "wikipedia" {
+		d = r.Wiki
+	}
+	for _, tq := range d.Queries {
+		runs = append(runs, r.Prepare(d, tq))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qr := range runs {
+			for _, p := range qr.Problems {
+				(&core.ISKR{}).Expand(p)
+				(&core.PEBC{Segments: 3, Iterations: 3, Seed: r.Config.Seed}).Expand(p)
+			}
+		}
+	}
+	b.StopTimer()
+	var iskr, pebc float64
+	for _, row := range s.Figure5(ds) {
+		iskr += row.Scores[experiment.MethodISKR]
+		pebc += row.Scores[experiment.MethodPEBC]
+	}
+	b.ReportMetric(iskr/10, "meanEq1_ISKR")
+	b.ReportMetric(pebc/10, "meanEq1_PEBC")
+}
+
+func BenchmarkFigure5aShoppingScores(b *testing.B)  { benchFigure5(b, "shopping") }
+func BenchmarkFigure5bWikipediaScores(b *testing.B) { benchFigure5(b, "wikipedia") }
+
+// --- Figure 6: per-method expansion time ------------------------------------
+
+func benchFigure6Method(b *testing.B, ds string, method string) {
+	r, _ := sharedBench(b)
+	d := r.Shopping
+	if ds == "wikipedia" {
+		d = r.Wiki
+	}
+	var runs []*experiment.QueryRun
+	for _, tq := range d.Queries {
+		runs = append(runs, r.Prepare(d, tq))
+	}
+	var ex core.Expander
+	switch method {
+	case "ISKR":
+		ex = &core.ISKR{}
+	case "PEBC":
+		ex = &core.PEBC{Segments: 3, Iterations: 3, Seed: r.Config.Seed}
+	case "F-measure":
+		ex = &core.FMeasureVariant{}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qr := range runs {
+			core.Solve(ex, qr.Problems)
+		}
+	}
+}
+
+func BenchmarkFigure6aShoppingTimeISKR(b *testing.B)      { benchFigure6Method(b, "shopping", "ISKR") }
+func BenchmarkFigure6aShoppingTimePEBC(b *testing.B)      { benchFigure6Method(b, "shopping", "PEBC") }
+func BenchmarkFigure6aShoppingTimeFMeasure(b *testing.B)  { benchFigure6Method(b, "shopping", "F-measure") }
+func BenchmarkFigure6bWikipediaTimeISKR(b *testing.B)     { benchFigure6Method(b, "wikipedia", "ISKR") }
+func BenchmarkFigure6bWikipediaTimePEBC(b *testing.B)     { benchFigure6Method(b, "wikipedia", "PEBC") }
+func BenchmarkFigure6bWikipediaTimeFMeasure(b *testing.B) { benchFigure6Method(b, "wikipedia", "F-measure") }
+
+// --- Figure 7: scalability ---------------------------------------------------
+
+func BenchmarkFigure7Scalability(b *testing.B) {
+	r, _ := sharedBench(b)
+	b.ResetTimer()
+	var rows []experiment.ScalabilityRow
+	for i := 0; i < b.N; i++ {
+		rows = r.Figure7([]int{100, 300, 500})
+	}
+	b.StopTimer()
+	for _, row := range rows {
+		b.ReportMetric(float64(row.ISKR.Milliseconds()), "iskr_ms_n"+itoa(row.NumResults))
+		b.ReportMetric(float64(row.PEBC.Milliseconds()), "pebc_ms_n"+itoa(row.NumResults))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Figures 8-9: listings ----------------------------------------------------
+
+func BenchmarkFigure8Listing(b *testing.B) {
+	_, s := sharedBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Listing()) != 120 {
+			b.Fatal("bad listing")
+		}
+	}
+}
+
+// --- §5.3 clustering-time prose ------------------------------------------------
+
+func benchClusteringTime(b *testing.B, ds *dataset.Dataset, raw string, topK int) {
+	eng := search.NewEngine(ds.Index)
+	q := search.ParseQuery(ds.Index, raw)
+	ids := search.ResultSet(eng.Search(q, search.And, topK)).IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.KMeans(ds.Index, ids, cluster.Options{K: 3, Seed: 1, PlusPlus: true})
+	}
+}
+
+func BenchmarkClusteringTimeShopping(b *testing.B) {
+	r, _ := sharedBench(b)
+	benchClusteringTime(b, r.Shopping, "memory", 0)
+}
+
+func BenchmarkClusteringTimeWikipedia(b *testing.B) {
+	r, _ := sharedBench(b)
+	benchClusteringTime(b, r.Wiki, "columbia", 30)
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------------
+
+// ablationProblems returns the prepared QW2 problems — a midsize messy
+// instance shared by the ablation benches.
+func ablationProblems(b *testing.B) []*core.Problem {
+	r, _ := sharedBench(b)
+	qr := r.Prepare(r.Wiki, dataset.TestQuery{ID: "QW2", Raw: "columbia"})
+	return qr.Problems
+}
+
+func benchPEBCStrategy(b *testing.B, strategy core.SelectionStrategy) {
+	problems := ablationProblems(b)
+	ex := &core.PEBC{Strategy: strategy, Seed: 9}
+	b.ResetTimer()
+	var score float64
+	for i := 0; i < b.N; i++ {
+		res := core.Solve(ex, problems)
+		score = res.Score
+	}
+	b.ReportMetric(score, "eq1")
+}
+
+func BenchmarkAblationPEBCSelectionSingleResult(b *testing.B) {
+	benchPEBCStrategy(b, core.SelectSingleResult)
+}
+func BenchmarkAblationPEBCSelectionFixedOrder(b *testing.B) {
+	benchPEBCStrategy(b, core.SelectFixedOrder)
+}
+func BenchmarkAblationPEBCSelectionSubset(b *testing.B) {
+	benchPEBCStrategy(b, core.SelectSubset)
+}
+
+func BenchmarkAblationISKRNoRemoval(b *testing.B) {
+	problems := ablationProblems(b)
+	b.ResetTimer()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = core.Solve(&core.ISKR{}, problems).Score
+		without = core.Solve(&core.ISKR{DisableRemoval: true}, problems).Score
+	}
+	b.ReportMetric(with, "eq1_with_removal")
+	b.ReportMetric(without, "eq1_no_removal")
+}
+
+func BenchmarkAblationWeighted(b *testing.B) {
+	r, _ := sharedBench(b)
+	qr := r.Prepare(r.Wiki, dataset.TestQuery{ID: "QW5", Raw: "eclipse"})
+	q := qr.Query
+	// Rebuild problems without rank weights for the unweighted arm.
+	unweighted := core.BuildProblems(r.Wiki.Index, q, qr.Clustering, nil,
+		core.DefaultPoolOptions())
+	b.ResetTimer()
+	var w, uw float64
+	for i := 0; i < b.N; i++ {
+		w = core.Solve(&core.ISKR{}, qr.Problems).Score
+		uw = core.Solve(&core.ISKR{}, unweighted).Score
+	}
+	b.ReportMetric(w, "eq1_weighted")
+	b.ReportMetric(uw, "eq1_unweighted")
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	r, _ := sharedBench(b)
+	eng := search.NewEngine(r.Wiki.Index)
+	q := search.ParseQuery(r.Wiki.Index, "mouse")
+	results := eng.Search(q, search.And, 30)
+	ids := search.ResultSet(results).IDs()
+	weights := eval.Weights{}
+	for _, res := range results {
+		weights[res.Doc] = res.Score
+	}
+	b.ResetTimer()
+	var km, agg float64
+	for i := 0; i < b.N; i++ {
+		ck := cluster.KMeans(r.Wiki.Index, ids, cluster.Options{K: 3, Seed: 1, PlusPlus: true, Restarts: 5})
+		km = core.Solve(&core.ISKR{}, core.BuildProblems(r.Wiki.Index, q, ck, weights, core.DefaultPoolOptions())).Score
+		ca := cluster.Agglomerative(r.Wiki.Index, ids, 3, cluster.AverageLinkage)
+		agg = core.Solve(&core.ISKR{}, core.BuildProblems(r.Wiki.Index, q, ca, weights, core.DefaultPoolOptions())).Score
+	}
+	b.ReportMetric(km, "eq1_kmeans")
+	b.ReportMetric(agg, "eq1_agglomerative")
+}
+
+func BenchmarkAblationPEBCBudget(b *testing.B) {
+	problems := ablationProblems(b)
+	b.ResetTimer()
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		small = core.Solve(&core.PEBC{Segments: 3, Iterations: 3, Seed: 9}, problems).Score
+		large = core.Solve(&core.PEBC{Segments: 5, Iterations: 5, Seed: 9}, problems).Score
+	}
+	b.ReportMetric(small, "eq1_3x3")
+	b.ReportMetric(large, "eq1_5x5")
+}
+
+// --- Extensions (OR semantics, interleaving, parallel solve) --------------------
+
+func BenchmarkExtensionORISKR(b *testing.B) {
+	problems := ablationProblems(b)
+	b.ResetTimer()
+	var score float64
+	for i := 0; i < b.N; i++ {
+		score = core.Solve(&core.ORISKR{}, problems).Score
+	}
+	b.ReportMetric(score, "eq1_or")
+}
+
+func BenchmarkExtensionInterleave(b *testing.B) {
+	r, _ := sharedBench(b)
+	qr := r.Prepare(r.Wiki, dataset.TestQuery{ID: "QW9", Raw: "mouse"})
+	it := &core.Interleave{MaxRounds: 4}
+	b.ResetTimer()
+	var oneShot, interleaved float64
+	for i := 0; i < b.N; i++ {
+		oneShot = core.Solve(&core.ISKR{}, qr.Problems).Score
+		interleaved = it.Run(r.Wiki.Index, qr.Query, qr.Clustering, qr.Weights).Result.Score
+	}
+	b.ReportMetric(oneShot, "eq1_oneshot")
+	b.ReportMetric(interleaved, "eq1_interleaved")
+}
+
+func BenchmarkExtensionSolveParallel(b *testing.B) {
+	problems := ablationProblems(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SolveParallel(&core.ISKR{}, problems)
+	}
+}
+
+func BenchmarkExtensionDynamicClusteringSelection(b *testing.B) {
+	r, _ := sharedBench(b)
+	eng := search.NewEngine(r.Wiki.Index)
+	q := search.ParseQuery(r.Wiki.Index, "domino")
+	ids := search.ResultSet(eng.Search(q, search.And, 30)).IDs()
+	b.ResetTimer()
+	var score float64
+	for i := 0; i < b.N; i++ {
+		cands := core.DefaultClusteringCandidates(r.Wiki.Index, ids, 3, 1)
+		_, res := core.SelectClustering(r.Wiki.Index, q, cands, nil,
+			core.DefaultPoolOptions(), nil)
+		score = res.Score
+	}
+	b.ReportMetric(score, "eq1_selected")
+}
+
+// --- Public API end-to-end -----------------------------------------------------
+
+func BenchmarkEngineExpandEndToEnd(b *testing.B) {
+	e := NewEngine(WithSeed(3))
+	d := dataset.Wikipedia(3, 1)
+	for _, doc := range d.Corpus.Docs() {
+		e.AddText(doc.Title, doc.Body)
+	}
+	e.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Expand("java", ExpandOptions{K: 3, TopK: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Command qec-bench regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	qec-bench -figure 5a          # one figure: 1, 2, 3, 4, 5a, 5b, 6a, 6b, 7, 8
+//	qec-bench -table 1            # the Table 1 query sets
+//	qec-bench -clustering-time    # §5.3's clustering-time prose numbers
+//	qec-bench -all                # everything
+//	qec-bench -scale 4 -seed 7 -figure 6a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		figure      = flag.String("figure", "", "figure to regenerate: 1, 2, 3, 4, 5a, 5b, 6a, 6b, 7, 8")
+		table       = flag.Int("table", 0, "table to regenerate (1)")
+		clusterTime = flag.Bool("clustering-time", false, "report mean clustering time per dataset")
+		all         = flag.Bool("all", false, "regenerate everything")
+		seed        = flag.Int64("seed", 2011, "dataset / clustering / PEBC seed")
+		scale       = flag.Int("scale", 1, "corpus scale multiplier")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	runner := experiment.NewRunner(cfg)
+
+	if *all {
+		printTable1(runner)
+		study := runner.RunStudy()
+		printFigure12(study)
+		printFigure34(study)
+		printFigure5(study, "shopping", "5a")
+		printFigure5(study, "wikipedia", "5b")
+		printFigure6(study, "shopping", "6a")
+		printFigure6(study, "wikipedia", "6b")
+		printClusteringTime(study)
+		printFigure7(runner)
+		printListing(study)
+		return
+	}
+
+	if *table == 1 {
+		printTable1(runner)
+		return
+	}
+	if *clusterTime {
+		printClusteringTime(runner.RunStudy())
+		return
+	}
+
+	switch *figure {
+	case "1", "2":
+		printFigure12(runner.RunStudy())
+	case "3", "4":
+		printFigure34(runner.RunStudy())
+	case "5a":
+		printFigure5(runner.RunStudy(), "shopping", "5a")
+	case "5b":
+		printFigure5(runner.RunStudy(), "wikipedia", "5b")
+	case "6a":
+		printFigure6(runner.RunStudy(), "shopping", "6a")
+	case "6b":
+		printFigure6(runner.RunStudy(), "wikipedia", "6b")
+	case "7":
+		printFigure7(runner)
+	case "8", "9":
+		printListing(runner.RunStudy())
+	case "":
+		flag.Usage()
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func printTable1(r *experiment.Runner) {
+	wiki, shop := r.Table1()
+	fmt.Println("Table 1: Data and Query Sets")
+	fmt.Println("  Wikipedia")
+	for _, q := range wiki {
+		fmt.Printf("    %-5s %s\n", q.ID, q.Raw)
+	}
+	fmt.Println("  Shopping")
+	for _, q := range shop {
+		fmt.Printf("    %-5s %s\n", q.ID, q.Raw)
+	}
+	fmt.Println()
+}
+
+func printFigure12(s *experiment.Study) {
+	fmt.Println("Figure 1: Average Individual Query Score (1-5)")
+	rows := s.Figure1And2()
+	for _, ms := range rows {
+		fmt.Printf("  %-12s %.2f\n", ms.Method, ms.Summary.MeanScore)
+	}
+	fmt.Println("Figure 2: Percentage of Users Choosing Options (A), (B), (C)")
+	fmt.Printf("  %-12s %6s %6s %6s\n", "method", "A%", "B%", "C%")
+	for _, ms := range rows {
+		fmt.Printf("  %-12s %6.1f %6.1f %6.1f\n", ms.Method,
+			ms.Summary.PctA, ms.Summary.PctB, ms.Summary.PctC)
+	}
+	fmt.Println()
+}
+
+func printFigure34(s *experiment.Study) {
+	fmt.Println("Figure 3: Collective Query Score (1-5)")
+	rows := s.Figure3And4()
+	for _, ms := range rows {
+		fmt.Printf("  %-12s %.2f\n", ms.Method, ms.Summary.MeanScore)
+	}
+	fmt.Println("Figure 4: Percentage of Users Choosing Options (A), (B), (C)")
+	fmt.Println("  (A) not comprehensive and not diverse / (B) one of the two / (C) both")
+	fmt.Printf("  %-12s %6s %6s %6s\n", "method", "A%", "B%", "C%")
+	for _, ms := range rows {
+		fmt.Printf("  %-12s %6.1f %6.1f %6.1f\n", ms.Method,
+			ms.Summary.PctA, ms.Summary.PctB, ms.Summary.PctC)
+	}
+	fmt.Println()
+}
+
+func printFigure5(s *experiment.Study, ds, label string) {
+	fmt.Printf("Figure %s: Scores of Expanded Queries (Eq. 1), %s\n", label, ds)
+	fmt.Printf("  %-6s %6s %6s %10s %6s\n", "query", "ISKR", "PEBC", "F-measure", "CS")
+	for _, row := range s.Figure5(ds) {
+		fmt.Printf("  %-6s %6.2f %6.2f %10.2f %6.2f\n", row.QueryID,
+			row.Scores[experiment.MethodISKR], row.Scores[experiment.MethodPEBC],
+			row.Scores[experiment.MethodFMeasure], row.Scores[experiment.MethodCS])
+	}
+	fmt.Println()
+}
+
+func printFigure6(s *experiment.Study, ds, label string) {
+	fmt.Printf("Figure %s: Query Expansion Time, %s\n", label, ds)
+	fmt.Printf("  %-6s %10s %10s %12s %10s %12s\n", "query", "ISKR", "PEBC",
+		"F-measure", "CS", "DataClouds")
+	for _, row := range s.Figure6(ds) {
+		fmt.Printf("  %-6s %10v %10v %12v %10v %12v\n", row.QueryID,
+			row.Times[experiment.MethodISKR], row.Times[experiment.MethodPEBC],
+			row.Times[experiment.MethodFMeasure], row.Times[experiment.MethodCS],
+			row.Times[experiment.MethodDataClouds])
+	}
+	fmt.Println()
+}
+
+func printClusteringTime(s *experiment.Study) {
+	fmt.Println("Clustering time (§5.3 prose; paper: 0.02s shopping, 0.35s Wikipedia)")
+	fmt.Printf("  shopping:  %v\n", s.ClusteringTime("shopping"))
+	fmt.Printf("  wikipedia: %v\n", s.ClusteringTime("wikipedia"))
+	fmt.Println()
+}
+
+func printFigure7(r *experiment.Runner) {
+	fmt.Println("Figure 7: Scalability over Number of Results (QW2 'columbia';")
+	fmt.Println("          clustering + generation time, as in the paper)")
+	fmt.Printf("  %-8s %10s %10s\n", "results", "ISKR", "PEBC")
+	for _, row := range r.Figure7(nil) {
+		fmt.Printf("  %-8d %10v %10v\n", row.NumResults, row.ISKR, row.PEBC)
+	}
+	fmt.Println()
+}
+
+func printListing(s *experiment.Study) {
+	fmt.Println("Figures 8-9: Expanded Queries")
+	last := ""
+	for _, e := range s.Listing() {
+		if e.QueryID != last {
+			fmt.Printf("%s:\n", e.QueryID)
+			last = e.QueryID
+		}
+		fmt.Printf("  %-12s\n", e.Method)
+		for i, q := range e.Queries {
+			fmt.Printf("    q%d: %q\n", i+1, q)
+		}
+	}
+}

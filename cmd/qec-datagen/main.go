@@ -1,0 +1,90 @@
+// Command qec-datagen dumps one of the synthetic corpora so the generated
+// data can be inspected or consumed by external tools.
+//
+// Usage:
+//
+//	qec-datagen -dataset shopping -format text | head
+//	qec-datagen -dataset wikipedia -format json > wiki.json
+//	qec-datagen -dataset shopping -format stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/document"
+)
+
+type jsonDoc struct {
+	ID       int                `json:"id"`
+	Label    string             `json:"label"`
+	Title    string             `json:"title,omitempty"`
+	Body     string             `json:"body,omitempty"`
+	Triplets []document.Triplet `json:"triplets,omitempty"`
+}
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "shopping", "corpus: shopping or wikipedia")
+		format = flag.String("format", "text", "output: text, json, stats")
+		seed   = flag.Int64("seed", 2011, "dataset seed")
+		scale  = flag.Int("scale", 1, "corpus scale multiplier")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	switch *ds {
+	case "shopping":
+		d = dataset.Shopping(*seed, *scale)
+	case "wikipedia":
+		d = dataset.Wikipedia(*seed+1, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "text":
+		for _, doc := range d.Corpus.Docs() {
+			fmt.Printf("#%d [%s] %s\n", doc.ID, d.Labels[doc.ID], doc.FullText())
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		for _, doc := range d.Corpus.Docs() {
+			jd := jsonDoc{
+				ID:       int(doc.ID),
+				Label:    d.Labels[doc.ID],
+				Title:    doc.Title,
+				Triplets: doc.Triplets,
+			}
+			if doc.Kind == document.Text {
+				jd.Body = doc.Body
+			}
+			if err := enc.Encode(jd); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case "stats":
+		labels := map[string]int{}
+		for _, doc := range d.Corpus.Docs() {
+			labels[d.Labels[doc.ID]]++
+		}
+		fmt.Printf("dataset: %s\ndocuments: %d\ndistinct terms: %d\navg doc length: %.1f\n",
+			d.Name, d.Corpus.Len(), d.Index.NumTerms(), d.Index.AvgDocLen())
+		fmt.Printf("query-log entries: %d\nlabels (%d):\n", len(d.Log), len(labels))
+		for _, doc := range d.Corpus.Docs() {
+			l := d.Labels[doc.ID]
+			if n, ok := labels[l]; ok {
+				fmt.Printf("  %-28s %d\n", l, n)
+				delete(labels, l)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

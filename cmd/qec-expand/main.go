@@ -1,0 +1,129 @@
+// Command qec-expand runs the full pipeline of the paper on one query:
+// search → cluster → one expanded query per cluster, printing each expanded
+// query with its precision/recall/F against its cluster and the Eq. 1 score
+// of the whole set.
+//
+// Usage:
+//
+//	qec-expand -dataset wikipedia -query "java" -method iskr
+//	qec-expand -dataset shopping -query "canon products" -method pebc -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
+		query  = flag.String("query", "", "keyword query (required)")
+		method = flag.String("method", "iskr", "iskr, pebc, fmeasure, cs, dataclouds, google")
+		k      = flag.Int("k", 3, "maximum number of clusters / expanded queries")
+		topK   = flag.Int("top", 30, "consider only the top-K results (0 = all)")
+		seed   = flag.Int64("seed", 2011, "dataset / clustering / PEBC seed")
+		scale  = flag.Int("scale", 1, "corpus scale multiplier")
+	)
+	flag.Parse()
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var d *dataset.Dataset
+	switch *ds {
+	case "shopping":
+		d = dataset.Shopping(*seed, *scale)
+	case "wikipedia":
+		d = dataset.Wikipedia(*seed+1, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	eng := search.NewEngine(d.Index)
+	q := search.ParseQuery(d.Index, *query)
+	results := eng.Search(q, search.And, *topK)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "no results for %q\n", *query)
+		os.Exit(1)
+	}
+	universe := search.ResultSet(results)
+	weights := eval.Weights{}
+	for _, r := range results {
+		weights[r.Doc] = r.Score
+	}
+
+	// Non-cluster baselines short-circuit before clustering.
+	switch *method {
+	case "dataclouds":
+		dc := &baseline.DataClouds{TopK: *k}
+		for i, eq := range dc.Suggest(d.Index, results, q) {
+			fmt.Printf("q%d: %q\n", i+1, strings.Join(eq.Terms, ", "))
+		}
+		return
+	case "google":
+		log := baseline.NewQueryLog(d.Log)
+		for i, eq := range log.Suggest(*query, *k) {
+			fmt.Printf("q%d: %q\n", i+1, strings.Join(eq.Terms, ", "))
+		}
+		return
+	}
+
+	start := time.Now()
+	cl := cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
+		K: *k, Seed: *seed, PlusPlus: true, Restarts: 5,
+	})
+	fmt.Printf("%d results, %d clusters (k-means, %v)\n",
+		len(results), cl.K(), time.Since(start))
+
+	if *method == "cs" {
+		cs := &baseline.CS{LabelSize: 3}
+		queries := cs.Suggest(d.Index, cl, q)
+		sets := cl.Sets()
+		var fs []float64
+		for i, eq := range queries {
+			retrieved := baseline.RetrieveWithin(d.Index, eq, universe)
+			m := eval.Measure(retrieved, sets[i], weights)
+			fs = append(fs, m.F)
+			fmt.Printf("q%d: %q  P=%.2f R=%.2f F=%.2f\n", i+1,
+				strings.Join(eq.Terms, ", "), m.Precision, m.Recall, m.F)
+		}
+		fmt.Printf("score (Eq. 1): %.3f\n", eval.Score(fs))
+		return
+	}
+
+	var ex core.Expander
+	switch *method {
+	case "iskr":
+		ex = &core.ISKR{}
+	case "pebc":
+		ex = &core.PEBC{Seed: *seed}
+	case "fmeasure":
+		ex = &core.FMeasureVariant{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
+	start = time.Now()
+	res := core.Solve(ex, problems)
+	elapsed := time.Since(start)
+	for i, ce := range res.Expansions {
+		prf := ce.Expanded.PRF
+		fmt.Printf("q%d: %q  P=%.2f R=%.2f F=%.2f (cluster of %d)\n", i+1,
+			strings.Join(ce.Expanded.Query.Terms, ", "),
+			prf.Precision, prf.Recall, prf.F, len(cl.Clusters[i]))
+	}
+	fmt.Printf("score (Eq. 1): %.3f   expansion time: %v\n", res.Score, elapsed)
+}

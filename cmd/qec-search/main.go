@@ -1,0 +1,61 @@
+// Command qec-search runs keyword searches over one of the synthetic
+// corpora and prints ranked results.
+//
+// Usage:
+//
+//	qec-search -dataset wikipedia -query "java" -top 10
+//	qec-search -dataset shopping -query "canon products"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
+		query = flag.String("query", "", "keyword query (required)")
+		top   = flag.Int("top", 10, "number of results to print (0 = all)")
+		seed  = flag.Int64("seed", 2011, "dataset seed")
+		scale = flag.Int("scale", 1, "corpus scale multiplier")
+	)
+	flag.Parse()
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var d *dataset.Dataset
+	switch *ds {
+	case "shopping":
+		d = dataset.Shopping(*seed, *scale)
+	case "wikipedia":
+		d = dataset.Wikipedia(*seed+1, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	eng := search.NewEngine(d.Index)
+	q := search.ParseQuery(d.Index, *query)
+	results := eng.Search(q, search.And, *top)
+	fmt.Printf("%d results for %q (parsed: %v) on %s (%d docs)\n",
+		len(results), *query, q.Terms, d.Name, d.Corpus.Len())
+	for i, r := range results {
+		doc := d.Corpus.Get(r.Doc)
+		text := doc.Title
+		if text == "" {
+			text = doc.Body
+		}
+		if len(text) > 90 {
+			text = text[:90] + "…"
+		}
+		fmt.Printf("%3d. [%.3f] #%-4d %-24s %s\n", i+1, r.Score, r.Doc,
+			d.Labels[r.Doc], text)
+	}
+}

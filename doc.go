@@ -1,0 +1,39 @@
+// Package qec is a from-scratch Go implementation of "Query Expansion Based
+// on Clustered Results" (Liu, Natarajan, Chen; PVLDB 4(6), 2011).
+//
+// Given a keyword query over a corpus of text documents or structured
+// (entity:attribute:value) products, the library:
+//
+//  1. retrieves the query's results with a built-in inverted-index search
+//     engine (AND semantics, TF-IDF ranking),
+//  2. clusters the results with k-means over TF vectors (cosine
+//     similarity), and
+//  3. generates one expanded query per cluster whose result set is as close
+//     to the cluster as possible, maximizing the rank-weighted F-measure —
+//     using the paper's ISKR or PEBC algorithms (or the exact-but-slow
+//     delta-F variant).
+//
+// The expanded queries classify the possible interpretations of an
+// ambiguous or exploratory query: searching "apple" yields one query per
+// meaning (fruit, company, ...) rather than popular words biased toward the
+// dominant interpretation.
+//
+// Quick start:
+//
+//	e := qec.NewEngine()
+//	e.AddText("", "apple fruit orchard harvest ...")
+//	e.AddText("", "apple iphone store launch ...")
+//	...
+//	e.Build()
+//	exp, err := e.Expand("apple", qec.ExpandOptions{K: 2})
+//	for _, q := range exp.Queries {
+//	    fmt.Println(q.Terms, q.F)
+//	}
+//
+// The internal packages implement the full substrate described in DESIGN.md:
+// analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,
+// eval, core (ISKR/PEBC), baseline (Data Clouds, TFICF cluster
+// summarization, query-log suggestion), dataset (synthetic shopping and
+// Wikipedia corpora), userstudy (simulated raters) and experiment (the
+// figure-regeneration harness).
+package qec

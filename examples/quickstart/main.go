@@ -1,0 +1,51 @@
+// Quickstart: index a handful of documents about an ambiguous term and let
+// the library generate one expanded query per meaning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	qec "repro"
+)
+
+func main() {
+	e := qec.NewEngine(qec.WithSeed(1))
+
+	// A tiny corpus about "apple": two meanings, fruit and company. Note
+	// the ranking bias the paper's introduction describes — most documents
+	// are about the company.
+	docs := []string{
+		"apple fruit orchard juice harvest tree",
+		"apple fruit pie bake cider orchard",
+		"apple fruit tree grove picking season",
+		"apple iphone store launch event keynote",
+		"apple computer mac laptop software store",
+		"apple software developer mac xcode release",
+		"apple store retail flagship opening glass",
+		"apple iphone mac ipad lineup store",
+	}
+	for _, d := range docs {
+		e.AddText("", d)
+	}
+
+	// Plain search: ranked results, AND semantics.
+	fmt.Println("search 'apple store':")
+	for _, r := range e.Search("apple store", 3) {
+		fmt.Printf("  #%d score=%.3f\n", r.Doc, r.Score)
+	}
+
+	// Query expansion: cluster the results of "apple" into 2 groups and
+	// generate one expanded query per group (ISKR, the default).
+	exp, err := e.Expand("apple", qec.ExpandOptions{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexpanded queries for 'apple' (Eq.1 score %.2f):\n", exp.Score)
+	for _, q := range exp.Queries {
+		fmt.Printf("  %-28q  P=%.2f R=%.2f F=%.2f (cluster of %d docs)\n",
+			strings.Join(q.Terms, " "), q.Precision, q.Recall, q.F,
+			len(exp.Clusters[q.Cluster]))
+	}
+}

@@ -1,0 +1,76 @@
+// Shopping: the paper's QS1 scenario ("Canon Products") on structured
+// product data. Products carry (entity:attribute:value) feature triplets;
+// the expanded queries pin exact features, reproducing the paper's
+// "canonproducts: category: camcorders" style of output (Figure 9).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	qec "repro"
+)
+
+// product families: category → brands, per-category features.
+var families = []struct {
+	category string
+	models   []string
+	features map[string][]string
+	count    int
+}{
+	{"camera", []string{"powershot", "eos"}, map[string][]string{
+		"image resolution": {"4752 x 3168", "3648 x 2736"},
+		"zoom":             {"4x", "10x", "12x"},
+	}, 12},
+	{"camcorders", []string{"vixia", "fs"}, map[string][]string{
+		"media":        {"flash", "dvd"},
+		"optical zoom": {"37x", "41x"},
+	}, 9},
+	{"printer", []string{"pixma", "imageclass"}, map[string][]string{
+		"printmethod": {"inkjet", "laser"},
+	}, 10},
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	e := qec.NewEngine(qec.WithSeed(42))
+	for _, fam := range families {
+		for i := 0; i < fam.count; i++ {
+			m := fam.models[rng.Intn(len(fam.models))]
+			title := fmt.Sprintf("canon products %s %s-%d", fam.category, m, 100+rng.Intn(900))
+			triplets := []qec.Triplet{
+				{Entity: "canonproducts", Attribute: "category", Value: fam.category},
+				{Entity: fam.category, Attribute: "brand", Value: "canon"},
+			}
+			for attr, vals := range fam.features {
+				triplets = append(triplets, qec.Triplet{
+					Entity: fam.category, Attribute: attr,
+					Value: vals[rng.Intn(len(vals))],
+				})
+			}
+			e.AddProduct(title, triplets)
+		}
+	}
+
+	// QS1: "Canon Products" — the results span three product categories;
+	// each category should become one expanded query (the paper's running
+	// shopping example).
+	exp, err := e.Expand("canon products", qec.ExpandOptions{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QS1 'canon products': %d results in %d clusters, Eq.1 score %.2f\n",
+		e.Len(), len(exp.Clusters), exp.Score)
+	for i, q := range exp.Queries {
+		fmt.Printf("  q%d: %q  (P=%.2f R=%.2f F=%.2f)\n", i+1,
+			strings.Join(q.Terms, ", "), q.Precision, q.Recall, q.F)
+	}
+
+	// Composite feature terms are directly searchable.
+	fmt.Println("\nsearch 'canonproducts:category:camcorders':")
+	for _, r := range e.Search("canonproducts:category:camcorders", 3) {
+		fmt.Printf("  %s\n", e.Get(r.Doc).Title)
+	}
+}

@@ -1,0 +1,271 @@
+package analysis
+
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping", 1980).
+// This is a from-scratch implementation of the original algorithm, steps
+// 1a through 5b, operating on lowercase ASCII words. Words containing
+// non-ASCII-letter runes (digits, inner punctuation such as "wp-dc26") are
+// returned unchanged: stemming model numbers would corrupt the structured
+// shopping vocabulary.
+
+// StemFilter applies Porter stemming to each token.
+type StemFilter struct{}
+
+// NewStemFilter returns a Porter stemming filter.
+func NewStemFilter() StemFilter { return StemFilter{} }
+
+// Filter implements TokenFilter.
+func (StemFilter) Filter(tok Token) (Token, bool) {
+	tok.Term = Stem(tok.Term)
+	return tok, true
+}
+
+// Stem returns the Porter stem of a lowercase word. Inputs that are not pure
+// lowercase ASCII letters are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	b := []byte(word)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense: a
+// non-vowel letter, where 'y' is a consonant iff preceded by a vowel (or at
+// the start of the word).
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:k], per the paper's
+// [C](VC)^m[V] decomposition.
+func measure(b []byte) int {
+	n := len(b)
+	i := 0
+	// skip initial consonants
+	for i < n && isConsonant(b, i) {
+		i++
+	}
+	m := 0
+	for {
+		// skip vowels
+		for i < n && !isConsonant(b, i) {
+			i++
+		}
+		if i >= n {
+			return m
+		}
+		// skip consonants
+		for i < n && isConsonant(b, i) {
+			i++
+		}
+		m++
+	}
+}
+
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b ends with a doubled consonant.
+func endsDoubleConsonant(b []byte) bool {
+	n := len(b)
+	if n < 2 || b[n-1] != b[n-2] {
+		return false
+	}
+	return isConsonant(b, n-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x or y ("*o" condition in the paper).
+func endsCVC(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(b, n-3) || isConsonant(b, n-2) || !isConsonant(b, n-1) {
+		return false
+	}
+	c := b[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix old with new if the stem before old has
+// measure > minM. Returns the (possibly rewritten) word and whether old
+// matched at all (regardless of the measure test).
+func replaceSuffix(b []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(b, old) {
+		return b, false
+	}
+	stem := b[:len(b)-len(old)]
+	if measure(stem) > minM {
+		return append(stem[:len(stem):len(stem)], new...), true
+	}
+	return b, true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2] // sses -> ss
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2] // ies -> i
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1] // eed -> ee
+		}
+		return b
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]):
+		stem = b[:len(b)-2]
+	case hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]):
+		stem = b[:len(b)-3]
+	default:
+		return b
+	}
+	// cleanup after removing ed/ing
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem):
+		c := stem[len(stem)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		out := make([]byte, len(b))
+		copy(out, b)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return b
+}
+
+// step2 maps double suffixes to single ones when m > 0.
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if measure(stem) <= 1 {
+			return b
+		}
+		if s == "ion" {
+			n := len(stem)
+			if n == 0 || (stem[n-1] != 's' && stem[n-1] != 't') {
+				return b
+			}
+		}
+		return stem
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := b[:len(b)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if endsDoubleConsonant(b) && b[len(b)-1] == 'l' && measure(b[:len(b)-1]) > 1 {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vocabulary drawn from Porter's published examples plus domain words from
+// the paper (player, hockey, location, products...).
+func TestStemKnownWords(t *testing.T) {
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate": "triplic",
+		"formative":  "form",
+		"formalize":  "formal",
+		"electriciti": "electr",
+		"electrical": "electr",
+		"hopeful":    "hope",
+		"goodness":   "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":    "probat",
+		"rate":       "rate",
+		"cease":      "ceas",
+		"controll":   "control",
+		"roll":       "roll",
+		// domain words used in the paper's examples
+		"players":   "player",
+		"locations": "locat",
+		"products":  "product",
+		"printers":  "printer",
+		"routers":   "router",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "tv", "is"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonAlphaUnchanged(t *testing.T) {
+	for _, w := range []string{"wp-dc26", "8gb", "ddr3", "Mixed", "x2", "6000+", "東京"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged (non lowercase-ASCII)", w, got)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for in, want := range cases {
+		if got := measure([]byte(in)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsConsonantYRule(t *testing.T) {
+	// In "sky": s consonant, k consonant, y vowel (preceded by consonant).
+	b := []byte("sky")
+	if !isConsonant(b, 0) || !isConsonant(b, 1) || isConsonant(b, 2) {
+		t.Error("y after consonant should be a vowel")
+	}
+	// In "say": y after vowel is a consonant.
+	b = []byte("say")
+	if isConsonant(b, 2) != true {
+		t.Error("y after vowel should be a consonant")
+	}
+	// Leading y is a consonant.
+	b = []byte("yes")
+	if !isConsonant(b, 0) {
+		t.Error("leading y should be a consonant")
+	}
+}
+
+func TestEndsCVC(t *testing.T) {
+	if !endsCVC([]byte("hop")) {
+		t.Error("hop ends CVC")
+	}
+	for _, w := range []string{"snow", "box", "tray"} {
+		if endsCVC([]byte(w)) {
+			t.Errorf("%q should fail the *o condition", w)
+		}
+	}
+}
+
+// Property: stemming is idempotent for stems it produces... Porter is not
+// strictly idempotent in general, but output must always be non-empty and
+// no longer than the input.
+func TestStemPropertyLengthBounded(t *testing.T) {
+	words := []string{"running", "jumped", "happiness", "nationalization",
+		"caresses", "relational", "generalizations", "oscillators"}
+	for _, w := range words {
+		got := Stem(w)
+		if got == "" {
+			t.Errorf("Stem(%q) is empty", w)
+		}
+		if len(got) > len(w) {
+			t.Errorf("Stem(%q) = %q is longer than input", w, got)
+		}
+	}
+}
+
+// Property: Stem never panics and output is non-empty for non-empty input.
+func TestStemPropertyTotal(t *testing.T) {
+	prop := func(s string) bool {
+		if s == "" {
+			return Stem(s) == ""
+		}
+		return len(Stem(s)) > 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stemming is deterministic.
+func TestStemPropertyDeterministic(t *testing.T) {
+	prop := func(s string) bool { return Stem(s) == Stem(s) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+// StopwordFilter drops tokens whose term is in the stopword set. The term
+// must already be lowercased (place LowercaseFilter before this filter).
+type StopwordFilter struct {
+	set map[string]struct{}
+}
+
+// NewStopwordFilter builds a filter over the given words.
+func NewStopwordFilter(words []string) *StopwordFilter {
+	set := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		set[w] = struct{}{}
+	}
+	return &StopwordFilter{set: set}
+}
+
+// Filter implements TokenFilter.
+func (f *StopwordFilter) Filter(tok Token) (Token, bool) {
+	if _, ok := f.set[tok.Term]; ok {
+		return Token{}, false
+	}
+	return tok, true
+}
+
+// IsStopword reports whether w is in the filter's set.
+func (f *StopwordFilter) IsStopword(w string) bool {
+	_, ok := f.set[w]
+	return ok
+}
+
+// Len returns the number of stopwords in the set.
+func (f *StopwordFilter) Len() int { return len(f.set) }
+
+// defaultStopwords is the classic English stopword list (a superset of the
+// Lucene/SMART core), adequate for both the prose and the product corpora.
+var defaultStopwords = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "as", "at", "be", "because", "been", "before",
+	"being", "below", "between", "both", "but", "by", "can", "cannot",
+	"could", "did", "do", "does", "doing", "down", "during", "each", "few",
+	"for", "from", "further", "had", "has", "have", "having", "he", "her",
+	"here", "hers", "herself", "him", "himself", "his", "how", "i", "if",
+	"in", "into", "is", "it", "its", "itself", "just", "me", "more", "most",
+	"my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+	"only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+	"same", "she", "should", "so", "some", "such", "than", "that", "the",
+	"their", "theirs", "them", "themselves", "then", "there", "these",
+	"they", "this", "those", "through", "to", "too", "under", "until", "up",
+	"very", "was", "we", "were", "what", "when", "where", "which", "while",
+	"who", "whom", "why", "with", "would", "you", "your", "yours",
+	"yourself", "yourselves",
+}
+
+// DefaultStopwords returns a copy of the default English stopword list.
+func DefaultStopwords() []string {
+	out := make([]string, len(defaultStopwords))
+	copy(out, defaultStopwords)
+	return out
+}

@@ -1,0 +1,180 @@
+// Package analysis implements the text-analysis pipeline used by the search
+// substrate: tokenization, lowercasing, stopword removal and Porter stemming.
+//
+// The paper models a text document as a set of words and a structured
+// document as a set of (entity:attribute:value) triplets. The analyzer turns
+// raw text into the normalized term stream from which those sets are built.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single unit produced by the tokenizer. Position is the ordinal
+// position of the token in the input stream (0-based) and is preserved across
+// filters that drop tokens, so downstream consumers can detect gaps.
+type Token struct {
+	Term     string
+	Position int
+}
+
+// Tokenizer splits raw text into tokens.
+type Tokenizer interface {
+	Tokenize(text string) []Token
+}
+
+// LetterDigitTokenizer splits on any rune that is neither a letter nor a
+// digit. Runs of letters/digits become tokens; everything else is a
+// separator. It additionally keeps '-' and '.' inside tokens when both
+// neighbours are alphanumeric, so product names such as "wp-dc26" and model
+// numbers like "6000+" tokenize the way the shopping dataset expects.
+type LetterDigitTokenizer struct {
+	// KeepInnerPunct preserves '-' '.' '+' between alphanumerics
+	// ("wp-dc26", "d-link", "x2"). Defaults to true via NewTokenizer.
+	KeepInnerPunct bool
+}
+
+// NewTokenizer returns the default tokenizer used throughout the system.
+func NewTokenizer() *LetterDigitTokenizer {
+	return &LetterDigitTokenizer{KeepInnerPunct: true}
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize implements Tokenizer.
+func (t *LetterDigitTokenizer) Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	n := len(runes)
+	pos := 0
+	i := 0
+	for i < n {
+		if !isWordRune(runes[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < n {
+			if isWordRune(runes[i]) {
+				i++
+				continue
+			}
+			if t.KeepInnerPunct && (runes[i] == '-' || runes[i] == '.' || runes[i] == '+') &&
+				i+1 < n && isWordRune(runes[i+1]) && i > start {
+				i++
+				continue
+			}
+			break
+		}
+		tokens = append(tokens, Token{Term: string(runes[start:i]), Position: pos})
+		pos++
+	}
+	return tokens
+}
+
+// TokenFilter transforms a token stream. Filters may drop tokens (return the
+// zero Token and false) or rewrite terms.
+type TokenFilter interface {
+	Filter(tok Token) (Token, bool)
+}
+
+// LowercaseFilter maps every term to lower case.
+type LowercaseFilter struct{}
+
+// Filter implements TokenFilter.
+func (LowercaseFilter) Filter(tok Token) (Token, bool) {
+	tok.Term = strings.ToLower(tok.Term)
+	return tok, true
+}
+
+// MinLengthFilter drops tokens shorter than Min runes.
+type MinLengthFilter struct{ Min int }
+
+// Filter implements TokenFilter.
+func (f MinLengthFilter) Filter(tok Token) (Token, bool) {
+	if len([]rune(tok.Term)) < f.Min {
+		return Token{}, false
+	}
+	return tok, true
+}
+
+// Analyzer is a tokenizer followed by a filter chain.
+type Analyzer struct {
+	tokenizer Tokenizer
+	filters   []TokenFilter
+}
+
+// NewAnalyzer builds an analyzer from a tokenizer and an ordered filter
+// chain.
+func NewAnalyzer(tok Tokenizer, filters ...TokenFilter) *Analyzer {
+	return &Analyzer{tokenizer: tok, filters: filters}
+}
+
+// Standard returns the analyzer configuration used for the Wikipedia-style
+// prose corpus: letter/digit tokenizer, lowercase, stopwords, Porter stemmer.
+func Standard() *Analyzer {
+	return NewAnalyzer(NewTokenizer(),
+		LowercaseFilter{},
+		NewStopwordFilter(DefaultStopwords()),
+		NewStemFilter(),
+	)
+}
+
+// Simple returns an analyzer without stemming, used for structured shopping
+// data where feature values ("camcorders", "8gb", "ddr3") must round-trip
+// exactly between indexing and query expansion output.
+func Simple() *Analyzer {
+	return NewAnalyzer(NewTokenizer(),
+		LowercaseFilter{},
+		NewStopwordFilter(DefaultStopwords()),
+	)
+}
+
+// Analyze runs the full pipeline over text and returns the surviving tokens.
+func (a *Analyzer) Analyze(text string) []Token {
+	toks := a.tokenizer.Tokenize(text)
+	out := toks[:0]
+	for _, tok := range toks {
+		keep := true
+		for _, f := range a.filters {
+			tok, keep = f.Filter(tok)
+			if !keep {
+				break
+			}
+		}
+		if keep && tok.Term != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Terms is a convenience wrapper returning just the normalized term strings.
+func (a *Analyzer) Terms(text string) []string {
+	toks := a.Analyze(text)
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return terms
+}
+
+// UniqueTerms returns the distinct normalized terms of text, in first-seen
+// order. The paper models a document as a *set* of words; this is the
+// set-construction step.
+func (a *Analyzer) UniqueTerms(text string) []string {
+	toks := a.Analyze(text)
+	seen := make(map[string]struct{}, len(toks))
+	var terms []string
+	for _, t := range toks {
+		if _, ok := seen[t.Term]; ok {
+			continue
+		}
+		seen[t.Term] = struct{}{}
+		terms = append(terms, t.Term)
+	}
+	return terms
+}

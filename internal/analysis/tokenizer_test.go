@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func terms(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+func TestTokenizerBasicSplit(t *testing.T) {
+	tok := NewTokenizer()
+	got := terms(tok.Tokenize("Apple announced the new iPad today"))
+	want := []string{"Apple", "announced", "the", "new", "iPad", "today"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerPunctuationSeparates(t *testing.T) {
+	tok := NewTokenizer()
+	got := terms(tok.Tokenize("camera, printer; camcorder!"))
+	want := []string{"camera", "printer", "camcorder"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerKeepsInnerPunct(t *testing.T) {
+	tok := NewTokenizer()
+	cases := map[string][]string{
+		"canon wp-dc26 underwater":  {"canon", "wp-dc26", "underwater"},
+		"d-link dir-130 vpn":        {"d-link", "dir-130", "vpn"},
+		"version 2.5.1 released":    {"version", "2.5.1", "released"},
+		"athlon x2 6000 processor": {"athlon", "x2", "6000", "processor"},
+	}
+	for in, want := range cases {
+		if got := terms(tok.Tokenize(in)); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenizerTrailingPunctNotKept(t *testing.T) {
+	tok := NewTokenizer()
+	got := terms(tok.Tokenize("end. next-"))
+	want := []string{"end", "next"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerWithoutInnerPunct(t *testing.T) {
+	tok := &LetterDigitTokenizer{KeepInnerPunct: false}
+	got := terms(tok.Tokenize("wp-dc26"))
+	want := []string{"wp", "dc26"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerEmptyAndWhitespace(t *testing.T) {
+	tok := NewTokenizer()
+	for _, in := range []string{"", "   ", "\t\n", "...", "—"} {
+		if got := tok.Tokenize(in); len(got) != 0 {
+			t.Errorf("Tokenize(%q) = %v, want empty", in, got)
+		}
+	}
+}
+
+func TestTokenizerPositionsSequential(t *testing.T) {
+	tok := NewTokenizer()
+	toks := tok.Tokenize("one two three four")
+	for i, tk := range toks {
+		if tk.Position != i {
+			t.Errorf("token %d has position %d", i, tk.Position)
+		}
+	}
+}
+
+func TestTokenizerUnicode(t *testing.T) {
+	tok := NewTokenizer()
+	got := terms(tok.Tokenize("café naïve 東京"))
+	want := []string{"café", "naïve", "東京"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestLowercaseFilter(t *testing.T) {
+	f := LowercaseFilter{}
+	got, keep := f.Filter(Token{Term: "CaNoN"})
+	if !keep || got.Term != "canon" {
+		t.Errorf("Filter = %q, %v", got.Term, keep)
+	}
+}
+
+func TestMinLengthFilter(t *testing.T) {
+	f := MinLengthFilter{Min: 2}
+	if _, keep := f.Filter(Token{Term: "a"}); keep {
+		t.Error("kept 1-rune token with Min=2")
+	}
+	if _, keep := f.Filter(Token{Term: "ab"}); !keep {
+		t.Error("dropped 2-rune token with Min=2")
+	}
+}
+
+func TestStopwordFilter(t *testing.T) {
+	f := NewStopwordFilter(DefaultStopwords())
+	for _, w := range []string{"the", "and", "is", "of"} {
+		if !f.IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+		if _, keep := f.Filter(Token{Term: w}); keep {
+			t.Errorf("stopword %q not dropped", w)
+		}
+	}
+	for _, w := range []string{"apple", "java", "camera"} {
+		if f.IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}
+
+func TestDefaultStopwordsIsCopy(t *testing.T) {
+	a := DefaultStopwords()
+	a[0] = "mutated"
+	b := DefaultStopwords()
+	if b[0] == "mutated" {
+		t.Error("DefaultStopwords shares backing array with caller")
+	}
+}
+
+func TestStandardAnalyzerPipeline(t *testing.T) {
+	a := Standard()
+	got := a.Terms("The Hockey Players were skating")
+	// stopwords removed, lowercased, stemmed
+	want := []string{"hockei", "player", "skate"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestSimpleAnalyzerNoStemming(t *testing.T) {
+	a := Simple()
+	got := a.Terms("Canon Camcorders and Printers")
+	want := []string{"canon", "camcorders", "printers"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestUniqueTermsDeduplicates(t *testing.T) {
+	a := Simple()
+	got := a.UniqueTerms("camera camera lens camera lens body")
+	want := []string{"camera", "lens", "body"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UniqueTerms = %v, want %v", got, want)
+	}
+}
+
+func TestUniqueTermsEmpty(t *testing.T) {
+	a := Standard()
+	if got := a.UniqueTerms("the and of"); len(got) != 0 {
+		t.Errorf("UniqueTerms = %v, want empty", got)
+	}
+}
+
+func TestAnalyzeFilterOrderMatters(t *testing.T) {
+	// Stopword filter expects lowercase input; "The" must be dropped.
+	a := Standard()
+	if got := a.Terms("The THE the"); len(got) != 0 {
+		t.Errorf("Terms = %v, want empty", got)
+	}
+}
+
+// Property: tokenizing never produces empty terms and never produces terms
+// containing spaces.
+func TestTokenizerPropertyNoEmptyTerms(t *testing.T) {
+	tok := NewTokenizer()
+	prop := func(s string) bool {
+		for _, tk := range tok.Tokenize(s) {
+			if tk.Term == "" || strings.ContainsAny(tk.Term, " \t\n") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UniqueTerms returns distinct elements.
+func TestUniqueTermsPropertyDistinct(t *testing.T) {
+	a := Standard()
+	prop := func(s string) bool {
+		seen := map[string]bool{}
+		for _, term := range a.UniqueTerms(s) {
+			if seen[term] {
+				return false
+			}
+			seen[term] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: analysis is deterministic.
+func TestAnalyzePropertyDeterministic(t *testing.T) {
+	a := Standard()
+	prop := func(s string) bool {
+		return reflect.DeepEqual(a.Terms(s), a.Terms(s))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// CS reproduces the cluster-summarization comparison system: it labels each
+// cluster with its top TFICF words (term frequency × inverse cluster
+// frequency, per Carmel et al., SIGIR 2009) and uses "user query + label" as
+// the expanded query for the cluster. The paper's critique — CS picks words
+// with high occurrence in few results and ignores keyword interaction, so
+// its queries often have low recall — emerges from this construction.
+type CS struct {
+	// LabelSize is the number of label words per cluster (the paper's
+	// examples show 3). 0 means 3.
+	LabelSize int
+}
+
+// Name identifies the method in reports.
+func (c *CS) Name() string { return "CS" }
+
+// Label returns the top TFICF words of cluster ci within the clustering.
+func (c *CS) Label(idx *index.Index, cl *cluster.Clustering, ci int, uq search.Query) []string {
+	n := c.LabelSize
+	if n <= 0 {
+		n = 3
+	}
+	// Cluster frequency: number of clusters whose documents contain a term.
+	cf := make(map[string]int)
+	for _, ids := range cl.Clusters {
+		seen := map[string]struct{}{}
+		for _, id := range ids {
+			for _, term := range idx.DocTerms(id) {
+				seen[term] = struct{}{}
+			}
+		}
+		for term := range seen {
+			cf[term]++
+		}
+	}
+	k := float64(cl.K())
+	// Term frequency within the target cluster.
+	tf := make(map[string]float64)
+	for _, id := range cl.Clusters[ci] {
+		for _, term := range idx.DocTerms(id) {
+			tf[term] += float64(idx.TermFreq(id, term))
+		}
+	}
+	type ws struct {
+		word  string
+		score float64
+	}
+	ranked := make([]ws, 0, len(tf))
+	for term, f := range tf {
+		if uq.Contains(term) {
+			continue
+		}
+		icf := math.Log(1 + k/float64(cf[term]))
+		ranked = append(ranked, ws{term, f * icf})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].word < ranked[j].word
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].word
+	}
+	return out
+}
+
+// Suggest returns one expanded query per cluster: the user query plus the
+// cluster's TFICF label words.
+func (c *CS) Suggest(idx *index.Index, cl *cluster.Clustering, uq search.Query) []search.Query {
+	out := make([]search.Query, 0, cl.K())
+	for ci := range cl.Clusters {
+		q := uq
+		for _, w := range c.Label(idx, cl, ci, uq) {
+			q = q.With(w)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// RetrieveWithin evaluates an arbitrary query against the index under AND
+// semantics and restricts the result to the universe — used to score
+// baseline queries (whose terms need not come from any candidate pool) with
+// the Section 2 measures.
+func RetrieveWithin(idx *index.Index, q search.Query, universe document.DocSet) document.DocSet {
+	eng := search.NewEngine(idx)
+	return eng.Eval(q, search.And).Intersect(universe)
+}

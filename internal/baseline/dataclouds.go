@@ -1,0 +1,102 @@
+// Package baseline implements the comparison systems of Section 5.1:
+// Data Clouds [15] (popular words over ranked results), CS (cluster
+// summarization by TFICF [6]), and a query-log suggester standing in for
+// Google's related-queries feature.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// DataClouds reproduces Koutrika et al. (EDBT 2009) as described by the
+// paper: it "takes a set of ranked results, and returns the top-k important
+// words in the results", importance being term frequency in the results the
+// word appears in, inverse document frequency, and the ranking scores of
+// those results. It does not cluster; each top word becomes one expanded
+// query (user query + word), matching the Figures 8–9 listings.
+type DataClouds struct {
+	// TopK is the number of expanded queries to produce (paper cap: 5,
+	// usually 3 to match the other approaches). 0 means 3.
+	TopK int
+}
+
+// Name identifies the method in reports.
+func (d *DataClouds) Name() string { return "DataClouds" }
+
+// Suggest returns one expanded query per top word over the ranked results.
+func (d *DataClouds) Suggest(idx *index.Index, results []search.Result, uq search.Query) []search.Query {
+	topK := d.TopK
+	if topK <= 0 {
+		topK = 3
+	}
+	type ws struct {
+		word  string
+		score float64
+	}
+	scores := make(map[string]float64)
+	for _, res := range results {
+		rank := res.Score
+		if rank <= 0 {
+			rank = 1
+		}
+		for _, term := range idx.DocTerms(res.Doc) {
+			if uq.Contains(term) {
+				continue
+			}
+			tf := float64(idx.TermFreq(res.Doc, term))
+			scores[term] += tf * idx.IDF(term) * rank
+		}
+	}
+	ranked := make([]ws, 0, len(scores))
+	for w, s := range scores {
+		ranked = append(ranked, ws{w, s})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].word < ranked[j].word
+	})
+	if topK > len(ranked) {
+		topK = len(ranked)
+	}
+	out := make([]search.Query, 0, topK)
+	for i := 0; i < topK; i++ {
+		out = append(out, uq.With(ranked[i].word))
+	}
+	return out
+}
+
+// TopWords returns the n most important words without forming queries
+// (the raw "data cloud").
+func (d *DataClouds) TopWords(idx *index.Index, results []search.Result, uq search.Query, n int) []string {
+	saved := d.TopK
+	d.TopK = n
+	queries := d.Suggest(idx, results, uq)
+	d.TopK = saved
+	out := make([]string, 0, len(queries))
+	for _, q := range queries {
+		// The added word is the term of q not in uq.
+		for _, t := range q.Terms {
+			if !uq.Contains(t) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// resultWeights extracts ranking weights from ranked results (shared by the
+// experiment harness).
+func resultWeights(results []search.Result) map[document.DocID]float64 {
+	w := make(map[document.DocID]float64, len(results))
+	for _, r := range results {
+		w[r.Doc] = r.Score
+	}
+	return w
+}

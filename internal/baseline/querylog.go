@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/search"
+)
+
+// LogEntry is one historical query with its popularity (issue count).
+type LogEntry struct {
+	Query string
+	Count int
+}
+
+// QueryLog is the "Google" comparison system: related-query suggestion from
+// a query log. The paper takes Google's first 3–5 suggestions per test
+// query; since a live query log is unavailable here, the dataset package
+// synthesizes one with the two behaviours the paper evaluates — popular,
+// meaningful suggestions, but (a) sometimes suggesting terms that do not
+// occur in the corpus at all (QS1 "Sony, products"), and (b) sometimes
+// covering only one sense of an ambiguous query (QW8 "rockets").
+type QueryLog struct {
+	entries []LogEntry
+}
+
+// NewQueryLog builds a suggester over the given log.
+func NewQueryLog(entries []LogEntry) *QueryLog {
+	out := make([]LogEntry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Query < out[j].Query
+	})
+	return &QueryLog{entries: out}
+}
+
+// Name identifies the method in reports.
+func (l *QueryLog) Name() string { return "Google" }
+
+// Len returns the number of log entries.
+func (l *QueryLog) Len() int { return len(l.entries) }
+
+// Suggest returns up to n expanded queries: the most popular log queries
+// that contain every seed keyword, excluding the seed itself. Terms are
+// whitespace-split and lowercased; no corpus analysis is applied (the log is
+// external to the corpus, which is exactly the paper's point about Google).
+func (l *QueryLog) Suggest(seed string, n int) []search.Query {
+	seedTerms := strings.Fields(strings.ToLower(seed))
+	var out []search.Query
+	for _, e := range l.entries {
+		if len(out) >= n {
+			break
+		}
+		q := strings.ToLower(e.Query)
+		if q == strings.ToLower(seed) {
+			continue
+		}
+		terms := strings.Fields(q)
+		if !containsAll(terms, seedTerms) {
+			continue
+		}
+		out = append(out, search.NewQuery(terms...))
+	}
+	return out
+}
+
+func containsAll(haystack, needles []string) bool {
+	for _, n := range needles {
+		found := false
+		for _, h := range haystack {
+			if h == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+func TestVectorCosine(t *testing.T) {
+	a := Vector{"x": 1, "y": 0}
+	b := Vector{"x": 1, "y": 0}
+	if got := a.Cosine(b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine identical = %v, want 1", got)
+	}
+	c := Vector{"z": 3}
+	if got := a.Cosine(c); got != 0 {
+		t.Errorf("Cosine orthogonal = %v, want 0", got)
+	}
+	if got := a.Cosine(Vector{}); got != 0 {
+		t.Errorf("Cosine vs empty = %v, want 0", got)
+	}
+}
+
+func TestVectorDotSymmetric(t *testing.T) {
+	a := Vector{"x": 2, "y": 3}
+	b := Vector{"y": 5, "z": 7}
+	if a.Dot(b) != b.Dot(a) || a.Dot(b) != 15 {
+		t.Errorf("Dot = %v / %v, want 15", a.Dot(b), b.Dot(a))
+	}
+}
+
+func TestVectorNorm(t *testing.T) {
+	v := Vector{"x": 3, "y": 4}
+	if got := v.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestMeanCentroid(t *testing.T) {
+	m := Mean([]Vector{{"x": 2}, {"x": 4, "y": 2}})
+	if m["x"] != 3 || m["y"] != 1 {
+		t.Errorf("Mean = %v", m)
+	}
+	if got := Mean(nil); len(got) != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	a := Vector{"x": 1}
+	b := a.Clone()
+	b["x"] = 9
+	if a["x"] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	v := Vector{"low": 1, "hi": 5, "mid": 3, "alpha": 3}
+	got := v.TopTerms(3)
+	// ties broken alphabetically: alpha before mid
+	want := []string{"hi", "alpha", "mid"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopTerms = %v, want %v", got, want)
+		}
+	}
+	if n := len(v.TopTerms(100)); n != 4 {
+		t.Errorf("TopTerms(100) len = %d, want 4", n)
+	}
+}
+
+// twoTopicIndex builds a corpus with two clearly separated vocabularies.
+func twoTopicIndex(t *testing.T, perTopic int) (*index.Index, []document.DocID, map[document.DocID]string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	fruitWords := []string{"fruit", "orchard", "juice", "tree", "harvest", "pie"}
+	techWords := []string{"computer", "iphone", "store", "software", "mac", "laptop"}
+	c := document.NewCorpus()
+	labels := map[document.DocID]string{}
+	var ids []document.DocID
+	for i := 0; i < perTopic; i++ {
+		text := "apple"
+		for j := 0; j < 5; j++ {
+			text += " " + fruitWords[rng.Intn(len(fruitWords))]
+		}
+		id := c.AddText("", text)
+		labels[id] = "fruit"
+		ids = append(ids, id)
+	}
+	for i := 0; i < perTopic; i++ {
+		text := "apple"
+		for j := 0; j < 5; j++ {
+			text += " " + techWords[rng.Intn(len(techWords))]
+		}
+		id := c.AddText("", text)
+		labels[id] = "tech"
+		ids = append(ids, id)
+	}
+	return index.Build(c, analysis.Simple()), ids, labels
+}
+
+func TestKMeansSeparatesTopics(t *testing.T) {
+	idx, ids, labels := twoTopicIndex(t, 15)
+	cl := KMeans(idx, ids, Options{K: 2, Seed: 1, PlusPlus: true})
+	if cl.K() != 2 {
+		t.Fatalf("K = %d, want 2", cl.K())
+	}
+	if p := Purity(cl, labels); p < 0.95 {
+		t.Errorf("purity = %v, want >= 0.95", p)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 10)
+	a := KMeans(idx, ids, Options{K: 3, Seed: 42})
+	b := KMeans(idx, ids, Options{K: 3, Seed: 42})
+	if a.K() != b.K() {
+		t.Fatalf("nondeterministic K: %d vs %d", a.K(), b.K())
+	}
+	for i := range a.Clusters {
+		if len(a.Clusters[i]) != len(b.Clusters[i]) {
+			t.Fatal("nondeterministic cluster sizes")
+		}
+		for j := range a.Clusters[i] {
+			if a.Clusters[i][j] != b.Clusters[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}
+
+func TestKMeansPartitionInvariants(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 12)
+	cl := KMeans(idx, ids, Options{K: 4, Seed: 5, PlusPlus: true})
+	seen := document.NewDocSet()
+	for ord, cluster := range cl.Clusters {
+		if len(cluster) == 0 {
+			t.Error("empty cluster survived")
+		}
+		for _, id := range cluster {
+			if seen.Contains(id) {
+				t.Errorf("doc %d in two clusters", id)
+			}
+			seen.Add(id)
+			if cl.Assign[id] != ord {
+				t.Errorf("Assign[%d] = %d, want %d", id, cl.Assign[id], ord)
+			}
+		}
+	}
+	if seen.Len() != len(ids) {
+		t.Errorf("clustered %d docs, want %d", seen.Len(), len(ids))
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 2) // 4 docs
+	cl := KMeans(idx, ids, Options{K: 10, Seed: 1})
+	if cl.K() > 4 {
+		t.Errorf("K = %d with only 4 docs", cl.K())
+	}
+}
+
+func TestKMeansEmptyInput(t *testing.T) {
+	idx, _, _ := twoTopicIndex(t, 2)
+	cl := KMeans(idx, nil, Options{K: 3})
+	if cl.K() != 0 {
+		t.Errorf("K = %d, want 0", cl.K())
+	}
+}
+
+func TestKMeansSingleDoc(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 1)
+	cl := KMeans(idx, ids[:1], Options{K: 3, Seed: 1})
+	if cl.K() != 1 || len(cl.Clusters[0]) != 1 {
+		t.Errorf("K = %d", cl.K())
+	}
+}
+
+func TestClusteringSets(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 5)
+	cl := KMeans(idx, ids, Options{K: 2, Seed: 9})
+	sets := cl.Sets()
+	if len(sets) != cl.K() {
+		t.Fatalf("Sets len = %d", len(sets))
+	}
+	total := 0
+	for i, s := range sets {
+		if s.Len() != len(cl.Clusters[i]) {
+			t.Error("set size mismatch")
+		}
+		total += s.Len()
+	}
+	if total != len(ids) {
+		t.Error("sets do not partition input")
+	}
+}
+
+func TestAgglomerativeSeparatesTopics(t *testing.T) {
+	idx, ids, labels := twoTopicIndex(t, 10)
+	// Complete linkage is sensitive to outlier pairs on small noisy data;
+	// hold it to a looser bar than average/single.
+	minPurity := map[Linkage]float64{
+		AverageLinkage: 0.9, SingleLinkage: 0.9, CompleteLinkage: 0.7,
+	}
+	for link, min := range minPurity {
+		cl := Agglomerative(idx, ids, 2, link)
+		if cl.K() != 2 {
+			t.Fatalf("linkage %d: K = %d, want 2", link, cl.K())
+		}
+		if p := Purity(cl, labels); p < min {
+			t.Errorf("linkage %d: purity = %v, want >= %v", link, p, min)
+		}
+	}
+}
+
+func TestAgglomerativeEdgeCases(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 2)
+	if cl := Agglomerative(idx, nil, 2, AverageLinkage); cl.K() != 0 {
+		t.Error("empty input should give empty clustering")
+	}
+	if cl := Agglomerative(idx, ids, 0, AverageLinkage); cl.K() != 1 {
+		t.Errorf("k=0 should clamp to 1, got %d", cl.K())
+	}
+	if cl := Agglomerative(idx, ids, 100, AverageLinkage); cl.K() != len(ids) {
+		t.Errorf("k>n should give n singletons, got %d", cl.K())
+	}
+}
+
+func TestPurityPerfectAndWorst(t *testing.T) {
+	cl := &Clustering{
+		Clusters: [][]document.DocID{{0, 1}, {2, 3}},
+		Assign:   map[document.DocID]int{0: 0, 1: 0, 2: 1, 3: 1},
+	}
+	perfect := map[document.DocID]string{0: "a", 1: "a", 2: "b", 3: "b"}
+	if p := Purity(cl, perfect); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	mixed := map[document.DocID]string{0: "a", 1: "b", 2: "a", 3: "b"}
+	if p := Purity(cl, mixed); p != 0.5 {
+		t.Errorf("mixed purity = %v", p)
+	}
+	empty := &Clustering{}
+	if p := Purity(empty, nil); p != 0 {
+		t.Errorf("empty purity = %v", p)
+	}
+}
+
+func TestSilhouetteSeparatedHigherThanRandom(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 10)
+	good := KMeans(idx, ids, Options{K: 2, Seed: 1, PlusPlus: true})
+	s := Silhouette(idx, good)
+	if s <= 0.1 {
+		t.Errorf("silhouette of separated clustering = %v, want > 0.1", s)
+	}
+	// Single cluster: silhouette defined as 0.
+	one := Agglomerative(idx, ids, 1, AverageLinkage)
+	if got := Silhouette(idx, one); got != 0 {
+		t.Errorf("silhouette with k=1 = %v, want 0", got)
+	}
+}
+
+// Property: cosine similarity is symmetric and within [0,1] for TF vectors.
+func TestCosinePropertyBounds(t *testing.T) {
+	prop := func(aw, bw []uint8) bool {
+		a, b := Vector{}, Vector{}
+		for i, w := range aw {
+			a[string(rune('a'+i%8))] = float64(w%16) + 1
+		}
+		for i, w := range bw {
+			b[string(rune('a'+i%8))] = float64(w%16) + 1
+		}
+		s, s2 := a.Cosine(b), b.Cosine(a)
+		if math.Abs(s-s2) > 1e-9 {
+			return false
+		}
+		return s >= -1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: k-means distortion is finite and assignment is total.
+func TestKMeansPropertyTotalAssignment(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 8)
+	for seed := int64(0); seed < 10; seed++ {
+		cl := KMeans(idx, ids, Options{K: 3, Seed: seed, PlusPlus: seed%2 == 0})
+		if len(cl.Assign) != len(ids) {
+			t.Fatalf("seed %d: assigned %d of %d", seed, len(cl.Assign), len(ids))
+		}
+		if math.IsNaN(cl.Distortion) || math.IsInf(cl.Distortion, 0) {
+			t.Fatalf("seed %d: bad distortion %v", seed, cl.Distortion)
+		}
+	}
+}
+
+func TestKMeansRestartsPickLowestDistortion(t *testing.T) {
+	idx, ids, _ := twoTopicIndex(t, 12)
+	single := KMeans(idx, ids, Options{K: 3, Seed: 5, PlusPlus: true})
+	multi := KMeans(idx, ids, Options{K: 3, Seed: 5, PlusPlus: true, Restarts: 8})
+	if multi.Distortion > single.Distortion+1e-9 {
+		t.Errorf("restarts distortion %v above single run %v",
+			multi.Distortion, single.Distortion)
+	}
+	// Restarted runs remain deterministic.
+	again := KMeans(idx, ids, Options{K: 3, Seed: 5, PlusPlus: true, Restarts: 8})
+	if again.Distortion != multi.Distortion || again.K() != multi.K() {
+		t.Error("restarted k-means not deterministic")
+	}
+}

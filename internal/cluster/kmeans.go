@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+// Clustering is the output of a clustering run: an assignment of the input
+// documents into non-empty clusters.
+type Clustering struct {
+	// Clusters holds the document IDs of each cluster, sorted ascending.
+	Clusters []([]document.DocID)
+	// Assign maps each clustered document to its cluster ordinal.
+	Assign map[document.DocID]int
+	// Distortion is the final sum of cosine distances to assigned centroids
+	// (k-means only; 0 for other methods).
+	Distortion float64
+	// Iterations is the number of refinement rounds performed.
+	Iterations int
+}
+
+// Sets returns the clusters as DocSets.
+func (c *Clustering) Sets() []document.DocSet {
+	out := make([]document.DocSet, len(c.Clusters))
+	for i, ids := range c.Clusters {
+		out[i] = document.NewDocSet(ids...)
+	}
+	return out
+}
+
+// K returns the number of clusters.
+func (c *Clustering) K() int { return len(c.Clusters) }
+
+// Options configures k-means.
+type Options struct {
+	// K is the requested number of clusters (an upper bound per Section 1:
+	// "k is an upper bound specified by the user"; empty clusters are
+	// dropped).
+	K int
+	// MaxIter bounds refinement rounds. Default 50.
+	MaxIter int
+	// Seed makes runs reproducible.
+	Seed int64
+	// PlusPlus enables k-means++ seeding instead of uniform sampling.
+	PlusPlus bool
+	// Restarts runs the whole algorithm this many times with derived seeds
+	// and keeps the clustering with the lowest distortion. 0 or 1 means a
+	// single run.
+	Restarts int
+}
+
+func (o *Options) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.K <= 0 {
+		o.K = 2
+	}
+}
+
+// KMeans clusters the given documents' TF vectors by cosine distance.
+// Deterministic for a fixed seed. Empty input yields an empty clustering.
+func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
+	opts.defaults()
+	if opts.Restarts > 1 {
+		restarts := opts.Restarts
+		single := opts
+		single.Restarts = 0
+		best := (*Clustering)(nil)
+		for r := 0; r < restarts; r++ {
+			single.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
+			cl := KMeans(idx, docs, single)
+			if best == nil || cl.Distortion < best.Distortion {
+				best = cl
+			}
+		}
+		return best
+	}
+	n := len(docs)
+	if n == 0 {
+		return &Clustering{Assign: map[document.DocID]int{}}
+	}
+	k := opts.K
+	if k > n {
+		k = n
+	}
+	vecs := make([]Vector, n)
+	for i, id := range docs {
+		vecs[i] = VectorFromDoc(idx, id)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var centroids []Vector
+	if opts.PlusPlus {
+		centroids = seedPlusPlus(vecs, k, rng)
+	} else {
+		perm := rng.Perm(n)
+		centroids = make([]Vector, k)
+		for i := 0; i < k; i++ {
+			centroids[i] = vecs[perm[i]].Clone()
+		}
+	}
+
+	assign := make([]int, n)
+	var distortion float64
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		changed := false
+		distortion = 0
+		for i, v := range vecs {
+			best, bestD := 0, v.CosineDistance(centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := v.CosineDistance(centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			distortion += bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		groups := make([][]Vector, len(centroids))
+		for i, v := range vecs {
+			groups[assign[i]] = append(groups[assign[i]], v)
+		}
+		for c := range centroids {
+			if len(groups[c]) > 0 {
+				centroids[c] = Mean(groups[c])
+			}
+			// Empty centroid: keep previous position; the cluster will be
+			// dropped at the end if it stays empty.
+		}
+	}
+
+	return buildClustering(docs, assign, len(centroids), distortion, iters)
+}
+
+// seedPlusPlus implements k-means++ seeding under cosine distance.
+func seedPlusPlus(vecs []Vector, k int, rng *rand.Rand) []Vector {
+	n := len(vecs)
+	centroids := make([]Vector, 0, k)
+	centroids = append(centroids, vecs[rng.Intn(n)].Clone())
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vecs {
+			best := v.CosineDistance(centroids[0])
+			for _, c := range centroids[1:] {
+				if d := v.CosineDistance(c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, vecs[rng.Intn(n)].Clone())
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, vecs[pick].Clone())
+	}
+	return centroids
+}
+
+// buildClustering converts an assignment array into a Clustering, dropping
+// empty clusters and renumbering.
+func buildClustering(docs []document.DocID, assign []int, k int, distortion float64, iters int) *Clustering {
+	byCluster := make([][]document.DocID, k)
+	for i, id := range docs {
+		c := assign[i]
+		byCluster[c] = append(byCluster[c], id)
+	}
+	out := &Clustering{Assign: make(map[document.DocID]int, len(docs)), Distortion: distortion, Iterations: iters}
+	for _, ids := range byCluster {
+		if len(ids) == 0 {
+			continue
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ord := len(out.Clusters)
+		out.Clusters = append(out.Clusters, ids)
+		for _, id := range ids {
+			out.Assign[id] = ord
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package cluster implements the result-clustering substrate: sparse
+// term-frequency vectors with cosine similarity, k-means (the paper's
+// clustering method, Appendix C) with k-means++ seeding, and agglomerative
+// clustering (for the paper's future-work ablation on clustering methods).
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+// Vector is a sparse term-weight vector. Following the experimental setup,
+// "each result is modeled as a vector whose components are features in the
+// results and the weight of each component is the TF of the feature".
+type Vector map[string]float64
+
+// VectorFromDoc builds the TF vector of a document from the index.
+func VectorFromDoc(idx *index.Index, id document.DocID) Vector {
+	v := Vector{}
+	for _, term := range idx.DocTerms(id) {
+		v[term] = float64(idx.TermFreq(id, term))
+	}
+	return v
+}
+
+// sortedTerms returns v's terms sorted. Accumulating in sorted order makes
+// Norm and Dot bit-identical across runs (map iteration order varies and
+// float addition is not associative); k-means assignment ties would
+// otherwise flip between runs.
+func (v Vector) sortedTerms() []string {
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, t := range v.sortedTerms() {
+		w := v[t]
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the dot product v·u.
+func (v Vector) Dot(u Vector) float64 {
+	small, large := v, u
+	if len(u) < len(v) {
+		small, large = u, v
+	}
+	s := 0.0
+	for _, term := range small.sortedTerms() {
+		if w2, ok := large[term]; ok {
+			s += small[term] * w2
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity between v and u in [0,1] for
+// non-negative weights; 0 when either vector is empty.
+func (v Vector) Cosine(u Vector) float64 {
+	nv, nu := v.Norm(), u.Norm()
+	if nv == 0 || nu == 0 {
+		return 0
+	}
+	return v.Dot(u) / (nv * nu)
+}
+
+// CosineDistance returns 1 - cosine similarity, the distance k-means
+// minimizes here.
+func (v Vector) CosineDistance(u Vector) float64 { return 1 - v.Cosine(u) }
+
+// Add accumulates u into v.
+func (v Vector) Add(u Vector) {
+	for term, w := range u {
+		v[term] += w
+	}
+}
+
+// Scale multiplies every weight by f.
+func (v Vector) Scale(f float64) {
+	for term := range v {
+		v[term] *= f
+	}
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for term, w := range v {
+		out[term] = w
+	}
+	return out
+}
+
+// Mean returns the centroid of vs (the zero vector for empty input).
+func Mean(vs []Vector) Vector {
+	out := Vector{}
+	if len(vs) == 0 {
+		return out
+	}
+	for _, v := range vs {
+		out.Add(v)
+	}
+	out.Scale(1 / float64(len(vs)))
+	return out
+}
+
+// TopTerms returns the n highest-weight terms of v, ties broken
+// alphabetically, used for cluster labels and debugging.
+func (v Vector) TopTerms(n int) []string {
+	type tw struct {
+		term string
+		w    float64
+	}
+	all := make([]tw, 0, len(v))
+	for term, w := range v {
+		all = append(all, tw{term, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].term < all[j].term
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// ClusterExpansion is the expanded query generated for one cluster.
+type ClusterExpansion struct {
+	Cluster  int
+	Expanded Expanded
+}
+
+// QECResult is the solution to one QEC instance (Definition 2.1): one
+// expanded query per cluster plus the Eq. 1 score of the whole set.
+type QECResult struct {
+	Method     string
+	Expansions []ClusterExpansion
+	// Score is Eq. 1: the harmonic mean of the per-cluster F-measures.
+	Score float64
+}
+
+// Queries returns just the expanded queries, in cluster order.
+func (r *QECResult) Queries() []search.Query {
+	out := make([]search.Query, len(r.Expansions))
+	for i, e := range r.Expansions {
+		out[i] = e.Expanded.Query
+	}
+	return out
+}
+
+// FMeasures returns the per-cluster F-measures, in cluster order.
+func (r *QECResult) FMeasures() []float64 {
+	out := make([]float64, len(r.Expansions))
+	for i, e := range r.Expansions {
+		out[i] = e.Expanded.PRF.F
+	}
+	return out
+}
+
+// TotalEvaluations sums the per-cluster evaluation counts.
+func (r *QECResult) TotalEvaluations() int {
+	n := 0
+	for _, e := range r.Expansions {
+		n += e.Expanded.Evaluations
+	}
+	return n
+}
+
+// BuildProblems constructs one Definition 2.2 problem per cluster from a
+// clustering of the user query's results. Since maximizing Eq. 1 decomposes
+// into maximizing each query's F-measure independently (Section 2), solving
+// the problems independently solves QEC.
+func BuildProblems(idx *index.Index, userQuery search.Query, cl *cluster.Clustering,
+	weights eval.Weights, opts PoolOptions) []*Problem {
+
+	sets := cl.Sets()
+	problems := make([]*Problem, len(sets))
+	for i, c := range sets {
+		u := document.DocSet{}
+		for j, other := range sets {
+			if j != i {
+				u = u.Union(other)
+			}
+		}
+		problems[i] = NewProblem(idx, userQuery, c, u, weights, opts)
+	}
+	return problems
+}
+
+// Solve runs the expander over every cluster and assembles the QEC result.
+func Solve(expander Expander, problems []*Problem) *QECResult {
+	res := &QECResult{Method: expander.Name()}
+	fs := make([]float64, 0, len(problems))
+	for i, p := range problems {
+		exp := expander.Expand(p)
+		res.Expansions = append(res.Expansions, ClusterExpansion{Cluster: i, Expanded: exp})
+		fs = append(fs, exp.PRF.F)
+	}
+	res.Score = eval.Score(fs)
+	return res
+}
+
+// SolveParallel is Solve with one goroutine per cluster. Since Section 2
+// shows Eq. 1 decomposes into independent per-cluster maximizations, the
+// clusters embarrassingly parallelize; the result is identical to Solve's
+// for deterministic expanders.
+func SolveParallel(expander Expander, problems []*Problem) *QECResult {
+	res := &QECResult{
+		Method:     expander.Name(),
+		Expansions: make([]ClusterExpansion, len(problems)),
+	}
+	done := make(chan int, len(problems))
+	for i, p := range problems {
+		go func(i int, p *Problem) {
+			exp := expander.Expand(p)
+			res.Expansions[i] = ClusterExpansion{Cluster: i, Expanded: exp}
+			done <- i
+		}(i, p)
+	}
+	for range problems {
+		<-done
+	}
+	res.Score = eval.Score(res.FMeasures())
+	return res
+}

@@ -1,0 +1,220 @@
+package core
+
+// Tests for the paper-adjacent extensions: OR semantics (the paper's
+// appendix problem), interleaved clustering+expansion and dynamic
+// clustering selection (both named in Section 7's future work), and
+// parallel solving.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+func TestORISKRPerfectCover(t *testing.T) {
+	// Two keywords jointly cover the cluster exactly; OR-ISKR must find
+	// them and score F=1.
+	c := document.NewDocSet(1, 2, 3, 4)
+	u := document.NewDocSet(10, 11, 12)
+	contain := map[string]document.DocSet{
+		"left":  document.NewDocSet(1, 2),
+		"right": document.NewDocSet(3, 4),
+		"bad":   document.NewDocSet(1, 10, 11, 12),
+	}
+	p := NewProblemFromSets(search.NewQuery("seed"), c, u, nil, contain)
+	got := (&ORISKR{}).Expand(p)
+	if got.PRF.F != 1 {
+		t.Fatalf("F = %v, query = %v", got.PRF.F, got.Query.Terms)
+	}
+	if !got.Query.Contains("left") || !got.Query.Contains("right") || got.Query.Contains("bad") {
+		t.Errorf("query = %v, want {left right}", got.Query.Terms)
+	}
+}
+
+func TestORISKRRemovalHelps(t *testing.T) {
+	// "wide" covers most of C but drags in U; adding the two precise
+	// keywords afterwards makes "wide" removable.
+	c := document.NewDocSet(1, 2, 3, 4, 5, 6)
+	u := document.NewDocSet(10, 11)
+	contain := map[string]document.DocSet{
+		"wide":  document.NewDocSet(1, 2, 3, 4, 5, 10, 11),
+		"left":  document.NewDocSet(1, 2, 3),
+		"right": document.NewDocSet(4, 5, 6),
+	}
+	p := NewProblemFromSets(search.NewQuery("seed"), c, u, nil, contain)
+	got := (&ORISKR{}).Expand(p)
+	if got.Query.Contains("wide") {
+		t.Errorf("query %v retains the imprecise keyword", got.Query.Terms)
+	}
+	if got.PRF.F != 1 {
+		t.Errorf("F = %v", got.PRF.F)
+	}
+}
+
+func TestORISKRTerminatesOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := randomProblem(300+seed, 10, 12, 10, seed%2 == 0)
+		got := (&ORISKR{}).Expand(p)
+		if got.PRF.Precision < 0 || got.PRF.Recall < 0 {
+			t.Fatalf("seed %d: bad PRF %+v", seed, got.PRF)
+		}
+		// The reported PRF must be consistent with OR retrieval.
+		if !prfClose(got.PRF, p.MeasureOR(got.Query)) {
+			t.Fatalf("seed %d: PRF mismatch", seed)
+		}
+	}
+}
+
+func TestRetrieveORIsMonotone(t *testing.T) {
+	p := randomProblem(7, 8, 10, 8, false)
+	q := search.NewQuery()
+	prev := p.RetrieveOR(q)
+	if prev.Len() != 0 {
+		t.Fatal("empty OR query should retrieve nothing")
+	}
+	for _, k := range p.Pool[:5] {
+		q = q.With(k)
+		cur := p.RetrieveOR(q)
+		if prev.Subtract(cur).Len() != 0 {
+			t.Fatalf("OR retrieval shrank when adding %q", k)
+		}
+		prev = cur
+	}
+}
+
+// interleaveFixture builds an index plus an intentionally wrong initial
+// clustering over two clean senses.
+func interleaveFixture(t *testing.T) (*index.Index, search.Query, *cluster.Clustering, []document.DocID) {
+	t.Helper()
+	corpus := document.NewCorpus()
+	texts := []string{
+		"apple fruit orchard juice", "apple fruit pie orchard",
+		"apple fruit tree harvest", "apple fruit cider press",
+		"apple iphone store mac", "apple mac laptop store",
+		"apple software mac xcode store", "apple iphone launch store",
+	}
+	var ids []document.DocID
+	for _, txt := range texts {
+		ids = append(ids, corpus.AddText("", txt))
+	}
+	idx := index.Build(corpus, analysis.Simple())
+	// Wrong split: one fruit doc stranded in the tech cluster.
+	bad := &cluster.Clustering{
+		Clusters: [][]document.DocID{
+			{ids[0], ids[1], ids[2]},
+			{ids[3], ids[4], ids[5], ids[6], ids[7]},
+		},
+		Assign: map[document.DocID]int{},
+	}
+	for i, idsl := range bad.Clusters {
+		for _, id := range idsl {
+			bad.Assign[id] = i
+		}
+	}
+	return idx, search.NewQuery("apple"), bad, ids
+}
+
+func TestInterleaveImprovesBadClustering(t *testing.T) {
+	idx, q, bad, _ := interleaveFixture(t)
+	baseline := Solve(&ISKR{}, BuildProblems(idx, q, bad, nil, DefaultPoolOptions()))
+	it := &Interleave{}
+	res := it.Run(idx, q, bad, nil)
+	if res.Result.Score < baseline.Score {
+		t.Errorf("interleaving worsened the score: %v -> %v",
+			baseline.Score, res.Result.Score)
+	}
+	if res.Rounds < 1 {
+		t.Error("no rounds recorded")
+	}
+	// The stranded fruit doc should end up with its peers, giving a
+	// perfect split and score 1.
+	if res.Result.Score < 0.99 {
+		t.Errorf("interleaved score = %v, want ~1 on separable senses", res.Result.Score)
+	}
+}
+
+func TestInterleaveClustersPartitionUniverse(t *testing.T) {
+	idx, q, bad, ids := interleaveFixture(t)
+	res := (&Interleave{MaxRounds: 3}).Run(idx, q, bad, nil)
+	seen := document.DocSet{}
+	for _, s := range res.Clusters {
+		for id := range s {
+			if seen.Contains(id) {
+				t.Fatalf("doc %d in two clusters", id)
+			}
+			seen.Add(id)
+		}
+	}
+	if seen.Len() != len(ids) {
+		t.Errorf("clusters cover %d of %d docs", seen.Len(), len(ids))
+	}
+}
+
+func TestSelectClusteringPicksBest(t *testing.T) {
+	idx, q, _, ids := interleaveFixture(t)
+	cands := DefaultClusteringCandidates(idx, ids, 2, 3)
+	best, res := SelectClustering(idx, q, cands, nil, DefaultPoolOptions(), nil)
+	if res == nil || best.Clustering == nil {
+		t.Fatal("no selection made")
+	}
+	// Whatever wins must be at least as good as every candidate.
+	for _, cand := range cands {
+		r := Solve(&ISKR{}, BuildProblems(idx, q, cand.Clustering, nil, DefaultPoolOptions()))
+		if r.Score > res.Score+1e-9 {
+			t.Errorf("candidate %s scores %v above selected %v", cand.Name, r.Score, res.Score)
+		}
+	}
+}
+
+func TestSelectClusteringSkipsEmpty(t *testing.T) {
+	idx, q, _, ids := interleaveFixture(t)
+	cands := []ClusteringCandidate{
+		{Name: "empty", Clustering: &cluster.Clustering{}},
+		{Name: "real", Clustering: cluster.KMeans(idx, ids,
+			cluster.Options{K: 2, Seed: 1, PlusPlus: true})},
+	}
+	best, res := SelectClustering(idx, q, cands, nil, DefaultPoolOptions(), nil)
+	if best.Name != "real" || res == nil {
+		t.Errorf("selected %q", best.Name)
+	}
+}
+
+func TestSolveParallelMatchesSolve(t *testing.T) {
+	problems := []*Problem{
+		randomProblem(1, 10, 12, 10, false),
+		randomProblem(2, 10, 12, 10, false),
+		randomProblem(3, 10, 12, 10, false),
+	}
+	problems2 := []*Problem{
+		randomProblem(1, 10, 12, 10, false),
+		randomProblem(2, 10, 12, 10, false),
+		randomProblem(3, 10, 12, 10, false),
+	}
+	seq := Solve(&ISKR{}, problems)
+	par := SolveParallel(&ISKR{}, problems2)
+	if math.Abs(seq.Score-par.Score) > 1e-12 {
+		t.Fatalf("scores differ: %v vs %v", seq.Score, par.Score)
+	}
+	for i := range seq.Expansions {
+		a := seq.Expansions[i].Expanded.Query.String()
+		b := par.Expansions[i].Expanded.Query.String()
+		if a != b {
+			t.Errorf("cluster %d: %q vs %q", i, a, b)
+		}
+	}
+}
+
+func TestSolveParallelEmpty(t *testing.T) {
+	res := SolveParallel(&ISKR{}, nil)
+	if res.Score != 0 || len(res.Expansions) != 0 {
+		t.Errorf("empty parallel solve = %+v", res)
+	}
+}
+
+var _ = eval.Weights{} // keep the import for fixtures below

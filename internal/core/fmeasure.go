@@ -1,0 +1,65 @@
+package core
+
+// FMeasureVariant is the comparison algorithm of Section 5.1 item (4): the
+// ISKR loop with the value of a keyword taken as the delta F-measure of the
+// query after adding/removing it. More accurate per step than benefit/cost,
+// but after every accepted step the values of *all* keywords must be
+// recomputed (each requiring a full result-set evaluation), which is why the
+// paper reports it over an order of magnitude slower (Figure 6).
+type FMeasureVariant struct {
+	// MaxIterations is a termination safeguard; 0 means 2·|Pool|+16.
+	MaxIterations int
+}
+
+// Name implements Expander.
+func (a *FMeasureVariant) Name() string { return "F-measure" }
+
+// Expand implements Expander.
+func (a *FMeasureVariant) Expand(p *Problem) Expanded {
+	q := p.UserQuery
+	f := p.FMeasure(q)
+	evals := 1
+
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 2*len(p.Pool) + 16
+	}
+
+	iterations := 0
+	for iterations < maxIter {
+		bestQ, bestF := q, f
+		// Try adding every pool keyword not in q.
+		for _, k := range p.Pool {
+			if q.Contains(k) {
+				continue
+			}
+			cand := q.With(k)
+			evals++
+			if cf := p.FMeasure(cand); approxGreater(cf, bestF) {
+				bestQ, bestF = cand, cf
+			}
+		}
+		// Try removing every expansion keyword.
+		for _, k := range q.Terms {
+			if p.UserQuery.Contains(k) {
+				continue
+			}
+			cand := q.Without(k)
+			evals++
+			if cf := p.FMeasure(cand); approxGreater(cf, bestF) {
+				bestQ, bestF = cand, cf
+			}
+		}
+		if !approxGreater(bestF, f) {
+			break // no single add/remove improves F
+		}
+		q, f = bestQ, bestF
+		iterations++
+	}
+	return Expanded{
+		Query:       q,
+		PRF:         p.Measure(q),
+		Iterations:  iterations,
+		Evaluations: evals,
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/document"
+	"repro/internal/search"
+)
+
+// ISKR is the Iterative Single-Keyword Refinement algorithm of Section 3.
+// Starting from the user query, it repeatedly adds or removes the keyword
+// with the highest benefit/cost ratio (value) and stops when no keyword has
+// value > 1. Keyword values are maintained incrementally: after a step, only
+// keywords absent from at least one delta result change value, and only
+// those are updated.
+type ISKR struct {
+	// MaxIterations bounds refinement steps as a safeguard against
+	// add/remove oscillation (the paper's pseudo code has no such guard;
+	// with it, the algorithm provably terminates). 0 means 4·|Pool|+16.
+	MaxIterations int
+	// DisableRemoval turns off the keyword-removal move (Example 3.2
+	// motivates removal; this switch exists for the ablation benchmark).
+	DisableRemoval bool
+	// KeepBest returns the highest-F query seen during refinement instead
+	// of the terminal query. The paper's Algorithm 1 returns the terminal
+	// query, which can score *below* the seed query (its own Example
+	// 3.1/3.2 run ends at F=6/11 while the unexpanded seed scores 16/26);
+	// KeepBest is an extension guaranteeing F(expanded) ≥ F(seed).
+	KeepBest bool
+}
+
+// Name implements Expander.
+func (a *ISKR) Name() string {
+	if a.DisableRemoval {
+		return "ISKR-noremove"
+	}
+	return "ISKR"
+}
+
+// value computes the benefit/cost ratio with the paper's conventions:
+// 0 when both are 0, +Inf when only cost is 0.
+func value(benefit, cost float64) float64 {
+	if cost == 0 {
+		if benefit == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return benefit / cost
+}
+
+// approxEqual compares two keyword values with a relative epsilon. Rank
+// weights are accumulated in map-iteration order, so mathematically equal
+// values can differ in their last bits between runs; argmax sites must
+// treat those as ties (resolved lexicographically) or runs would be
+// nondeterministic.
+func approxEqual(a, b float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*scale
+}
+
+// approxGreater reports a > b beyond float-accumulation noise.
+func approxGreater(a, b float64) bool {
+	return !approxEqual(a, b) && a > b
+}
+
+// iskrState carries the mutable state of one run.
+type iskrState struct {
+	p *Problem
+	q search.Query
+	r document.DocSet // R(q) within the universe
+
+	// addBenefit/addCost for every pool keyword not currently in q.
+	addBenefit map[string]float64
+	addCost    map[string]float64
+
+	evaluations int
+}
+
+// Expand implements Expander.
+func (a *ISKR) Expand(p *Problem) Expanded {
+	st := &iskrState{
+		p:          p,
+		q:          p.UserQuery,
+		r:          p.Universe.Clone(),
+		addBenefit: make(map[string]float64, len(p.Pool)),
+		addCost:    make(map[string]float64, len(p.Pool)),
+	}
+	// Initial benefit/cost per keyword (Refine lines 2-8):
+	// benefit(k) = S(R(q) ∩ U ∩ E(k)), cost(k) = S(R(q) ∩ C ∩ E(k)).
+	for _, k := range p.Pool {
+		b, c := st.addDeltas(k)
+		st.addBenefit[k] = b
+		st.addCost[k] = c
+		st.evaluations++
+	}
+
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4*len(p.Pool) + 16
+	}
+
+	best := st.q
+	bestF := p.FMeasure(st.q)
+	iterations := 0
+	for iterations < maxIter {
+		kind, k, v := st.bestMove(a.DisableRemoval)
+		if !(v > 1) { // stop when value(k) <= 1 (Algorithm 1, line 16)
+			break
+		}
+		iterations++
+		if kind == moveAdd {
+			st.apply(k, true)
+		} else {
+			st.apply(k, false)
+		}
+		if f := p.FMeasure(st.q); f > bestF {
+			bestF = f
+			best = st.q
+		}
+	}
+	out := st.q // Algorithm 1 returns the terminal refined query
+	if a.KeepBest {
+		out = best
+	}
+	return Expanded{
+		Query:       out,
+		PRF:         p.Measure(out),
+		Iterations:  iterations,
+		Evaluations: st.evaluations,
+	}
+}
+
+type moveKind int
+
+const (
+	moveAdd moveKind = iota
+	moveRemove
+)
+
+// addDeltas computes from scratch the benefit and cost of adding k to the
+// current query: the weights of the results k eliminates from U and from C.
+func (st *iskrState) addDeltas(k string) (benefit, cost float64) {
+	contain := st.p.ContainSet(k)
+	for id := range st.r {
+		if contain.Contains(id) {
+			continue // k does not eliminate this result
+		}
+		w := st.weight(id)
+		if st.p.U.Contains(id) {
+			benefit += w
+		} else {
+			cost += w
+		}
+	}
+	return benefit, cost
+}
+
+// removeDeltas computes the benefit and cost of removing k from the current
+// query. D(k) = R(q\k) \ R(q) are the results that come back; benefit is
+// their weight in C, cost their weight in U.
+func (st *iskrState) removeDeltas(k string) (benefit, cost float64, delta document.DocSet) {
+	without := st.q.Without(k)
+	rWithout := st.p.Retrieve(without)
+	delta = rWithout.Subtract(st.r)
+	for id := range delta {
+		w := st.weight(id)
+		if st.p.C.Contains(id) {
+			benefit += w
+		} else {
+			cost += w
+		}
+	}
+	return benefit, cost, delta
+}
+
+func (st *iskrState) weight(id document.DocID) float64 {
+	if st.p.Weights == nil {
+		return 1
+	}
+	if w, ok := st.p.Weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// bestMove scans the maintained addition values and the (recomputed)
+// removal values and returns the best move. Add-moves that would eliminate
+// every remaining cluster result are excluded: such a move zeroes recall and
+// hence F, so it can never "improve the query" (the paper's stated stopping
+// intent), even though its raw benefit/cost ratio may exceed 1.
+func (st *iskrState) bestMove(noRemoval bool) (moveKind, string, float64) {
+	remainingC := st.p.S(st.r.Intersect(st.p.C))
+	bestKind, bestK, bestV := moveAdd, "", math.Inf(-1)
+	for k, b := range st.addBenefit {
+		if c := st.addCost[k]; remainingC > 0 && c >= remainingC-1e-9 {
+			continue // would empty R(q) ∩ C
+		}
+		v := value(b, st.addCost[k])
+		if approxGreater(v, bestV) ||
+			(approxEqual(v, bestV) && bestKind == moveAdd && k < bestK) {
+			bestKind, bestK, bestV = moveAdd, k, v
+		}
+	}
+	if !noRemoval {
+		for _, k := range st.q.Terms {
+			if st.p.UserQuery.Contains(k) {
+				continue // never remove original query keywords
+			}
+			b, c, _ := st.removeDeltas(k)
+			st.evaluations++
+			if v := value(b, c); approxGreater(v, bestV) {
+				bestKind, bestK, bestV = moveRemove, k, v
+			}
+		}
+	}
+	return bestKind, bestK, bestV
+}
+
+// apply performs an add or remove move and incrementally updates the
+// maintained addition values: only keywords absent from at least one delta
+// result are affected (the Section 3 observation), and for those the delta
+// is exactly the weight of the delta results they do not contain.
+func (st *iskrState) apply(k string, add bool) {
+	if add {
+		// Delta results: D = R(q) ∩ E(k) — results eliminated by k.
+		contain := st.p.ContainSet(k)
+		delta := document.DocSet{}
+		for id := range st.r {
+			if !contain.Contains(id) {
+				delta.Add(id)
+			}
+		}
+		st.q = st.q.With(k)
+		for id := range delta {
+			st.r.Remove(id)
+		}
+		st.updateAddValues(delta, -1)
+		// k is no longer an addition candidate.
+		delete(st.addBenefit, k)
+		delete(st.addCost, k)
+	} else {
+		_, _, delta := st.removeDeltas(k)
+		st.q = st.q.Without(k)
+		for id := range delta {
+			st.r.Add(id)
+		}
+		st.updateAddValues(delta, +1)
+		// k becomes an addition candidate again.
+		b, c := st.addDeltas(k)
+		st.addBenefit[k] = b
+		st.addCost[k] = c
+		st.evaluations++
+	}
+}
+
+// updateAddValues adjusts maintained addition benefits/costs for the delta
+// results entering (sign=+1) or leaving (sign=-1) R(q). A keyword k' is
+// affected iff it is absent from at least one delta result; the adjustment
+// is the weight of exactly those results.
+func (st *iskrState) updateAddValues(delta document.DocSet, sign float64) {
+	if delta.Len() == 0 {
+		return
+	}
+	for k := range st.addBenefit {
+		contain := st.p.ContainSet(k)
+		var db, dc float64
+		for id := range delta {
+			if contain.Contains(id) {
+				continue
+			}
+			w := st.weight(id)
+			if st.p.U.Contains(id) {
+				db += w
+			} else {
+				dc += w
+			}
+		}
+		if db != 0 || dc != 0 {
+			st.addBenefit[k] += sign * db
+			st.addCost[k] += sign * dc
+			st.evaluations++
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/document"
+	"repro/internal/search"
+)
+
+// ORISKR solves Definition 2.2 under OR semantics — the variant the paper's
+// Section 2 notes is "essentially the identical problem" (its appendix
+// discussion). Under OR, a result matches a query when it contains *any*
+// keyword, so every universe document already matches the user query and
+// refinement cannot shrink the result set by adding terms. The OR-expanded
+// query is therefore built from scratch for the cluster: keywords are
+// greedily added whose newly covered cluster mass (benefit) outweighs the
+// newly covered other-cluster mass (cost), with the dual removal move, and
+// the same value>1 stopping rule. The returned query's terms are offered
+// *instead of* the user query (it is presented alongside the original, as
+// the appendix's OR formulation implies).
+type ORISKR struct {
+	// MaxIterations bounds refinement; 0 means 4·|Pool|+16.
+	MaxIterations int
+}
+
+// Name implements Expander.
+func (a *ORISKR) Name() string { return "OR-ISKR" }
+
+// Expand implements Expander. The result's PRF is computed under OR
+// retrieval within the universe.
+func (a *ORISKR) Expand(p *Problem) Expanded {
+	q := search.NewQuery()
+	covered := document.DocSet{} // R(q) under OR
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4*len(p.Pool) + 16
+	}
+	evals := 0
+	iterations := 0
+	for iterations < maxIter {
+		bestK, bestV, bestAdd := "", math.Inf(-1), true
+		// Additions: benefit = newly covered C mass, cost = newly covered
+		// U mass.
+		for _, k := range p.Pool {
+			if q.Contains(k) {
+				continue
+			}
+			var b, c float64
+			for id := range p.ContainSet(k) {
+				if covered.Contains(id) {
+					continue
+				}
+				w := weightOf(p, id)
+				if p.C.Contains(id) {
+					b += w
+				} else {
+					c += w
+				}
+			}
+			evals++
+			if b == 0 {
+				continue
+			}
+			if v := value(b, c); approxGreater(v, bestV) ||
+				(approxEqual(v, bestV) && bestAdd && (bestK == "" || k < bestK)) {
+				bestK, bestV, bestAdd = k, v, true
+			}
+		}
+		// Removals: benefit = uncovered U mass, cost = uncovered C mass —
+		// where "uncovered" means covered only by this keyword.
+		for _, k := range q.Terms {
+			var b, c float64
+			for id := range p.ContainSet(k) {
+				if a.coveredByOther(p, q, k, id) {
+					continue
+				}
+				w := weightOf(p, id)
+				if p.U.Contains(id) {
+					b += w
+				} else {
+					c += w
+				}
+			}
+			evals++
+			if v := value(b, c); approxGreater(v, bestV) {
+				bestK, bestV, bestAdd = k, v, false
+			}
+		}
+		if !(bestV > 1) || bestK == "" {
+			break
+		}
+		iterations++
+		if bestAdd {
+			q = q.With(bestK)
+			for id := range p.ContainSet(bestK) {
+				covered.Add(id)
+			}
+		} else {
+			q = q.Without(bestK)
+			covered = p.RetrieveOR(q)
+		}
+	}
+	prf := p.MeasureOR(q)
+	return Expanded{Query: q, PRF: prf, Iterations: iterations, Evaluations: evals}
+}
+
+// coveredByOther reports whether universe doc id is covered by a term of q
+// other than k.
+func (a *ORISKR) coveredByOther(p *Problem, q search.Query, k string, id document.DocID) bool {
+	for _, t := range q.Terms {
+		if t == k {
+			continue
+		}
+		if p.ContainSet(t).Contains(id) {
+			return true
+		}
+	}
+	return false
+}

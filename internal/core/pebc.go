@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/search"
+)
+
+// SelectionStrategy picks how PEBC generates a sample query that eliminates
+// approximately x% of U (the "partial elimination" subproblem).
+type SelectionStrategy int
+
+const (
+	// SelectSingleResult is the published strategy (§4.3): repeatedly pick
+	// a random not-yet-eliminated result of U and the best keyword that
+	// eliminates it.
+	SelectSingleResult SelectionStrategy = iota
+	// SelectFixedOrder is the rejected §4.1 strategy: always take the
+	// keyword with the globally best benefit/cost ratio. Kept for the
+	// ablation benchmark demonstrating why it cannot hit the x% target.
+	SelectFixedOrder
+	// SelectSubset is the rejected §4.2 strategy: randomly choose a target
+	// subset of x% of U and greedily cover it.
+	SelectSubset
+)
+
+// String names the strategy for reports.
+func (s SelectionStrategy) String() string {
+	switch s {
+	case SelectFixedOrder:
+		return "fixed-order"
+	case SelectSubset:
+		return "subset"
+	default:
+		return "single-result"
+	}
+}
+
+// PEBC is the Partial Elimination Based Convergence algorithm of Section 4.
+// It samples queries that eliminate 0%..100% of U in nseg+1 evenly spaced
+// targets, then repeatedly zooms into the adjacent pair of samples with the
+// highest average F-measure.
+type PEBC struct {
+	// Segments per iteration (the paper's experiments use 3; Algorithm 2's
+	// default is 5). 0 means 3.
+	Segments int
+	// Iterations of interval zooming (experiments: 3; Algorithm 2: 5).
+	// 0 means 3.
+	Iterations int
+	// Strategy selects the partial-elimination procedure; the zero value is
+	// the published §4.3 single-result procedure.
+	Strategy SelectionStrategy
+	// Seed drives the randomized procedure; runs are deterministic per seed.
+	Seed int64
+}
+
+// Name implements Expander.
+func (a *PEBC) Name() string {
+	if a.Strategy == SelectSingleResult {
+		return "PEBC"
+	}
+	return "PEBC-" + a.Strategy.String()
+}
+
+func (a *PEBC) defaults() (nseg, nit int) {
+	nseg, nit = a.Segments, a.Iterations
+	if nseg <= 0 {
+		nseg = 3
+	}
+	if nit <= 0 {
+		nit = 3
+	}
+	return nseg, nit
+}
+
+// Expand implements Expander (Algorithm 2).
+func (a *PEBC) Expand(p *Problem) Expanded {
+	nseg, nit := a.defaults()
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	type sample struct {
+		x float64
+		q search.Query
+		f float64
+	}
+
+	evals := 0
+	gen := func(x float64) sample {
+		q := a.partialElimination(p, x, rng)
+		evals++
+		return sample{x: x, q: q, f: p.FMeasure(q)}
+	}
+
+	best := sample{x: 0, q: p.UserQuery, f: p.FMeasure(p.UserQuery)}
+	left, right := 0.0, 100.0
+	iterations := 0
+	for it := 0; it < nit; it++ {
+		iterations++
+		step := (right - left) / float64(nseg)
+		if step <= 0 {
+			break
+		}
+		samples := make([]sample, 0, nseg+1)
+		for i := 0; i <= nseg; i++ {
+			s := gen(left + float64(i)*step)
+			samples = append(samples, s)
+			if approxGreater(s.f, best.f) {
+				best = s
+			}
+		}
+		// Zoom into the adjacent pair with the highest average F-measure.
+		bestPair, bestAvg := 0, -1.0
+		for i := 0; i+1 < len(samples); i++ {
+			if avg := (samples[i].f + samples[i+1].f) / 2; approxGreater(avg, bestAvg) {
+				bestPair, bestAvg = i, avg
+			}
+		}
+		left, right = samples[bestPair].x, samples[bestPair+1].x
+	}
+
+	return Expanded{
+		Query:       best.q,
+		PRF:         p.Measure(best.q),
+		Iterations:  iterations,
+		Evaluations: evals,
+	}
+}
+
+// partialElimination generates a query eliminating approximately x% of the
+// total ranking score of U, maximizing retained results in C, using the
+// configured strategy.
+func (a *PEBC) partialElimination(p *Problem, x float64, rng *rand.Rand) search.Query {
+	switch a.Strategy {
+	case SelectFixedOrder:
+		return a.eliminateFixedOrder(p, x)
+	case SelectSubset:
+		return a.eliminateSubset(p, x, rng)
+	default:
+		return a.eliminateSingleResult(p, x, rng)
+	}
+}
+
+// elimState tracks a partial-elimination run. Benefit/cost/count tables are
+// maintained incrementally (cloned from the Problem's shared base tables and
+// adjusted only for delta results on each add), which is what keeps PEBC's
+// per-sample cost low — the efficiency property Figure 6 turns on.
+type elimState struct {
+	p          *Problem
+	q          search.Query
+	r          document.DocSet // R(q)
+	remU       []document.DocID // not-yet-eliminated results of U, stable order
+	benefit    map[string]float64
+	cost       map[string]float64
+	count      map[string]int
+	target     float64 // score of U to eliminate
+	eliminated float64 // score of U eliminated so far
+	totalU     float64
+}
+
+func newElimState(p *Problem, x float64) *elimState {
+	st := &elimState{p: p, q: p.UserQuery, r: p.Universe.Clone()}
+	st.remU = p.U.IDs()
+	b, c, n := p.baseTables()
+	st.benefit = make(map[string]float64, len(b))
+	st.cost = make(map[string]float64, len(c))
+	st.count = make(map[string]int, len(n))
+	for k := range b {
+		st.benefit[k], st.cost[k], st.count[k] = b[k], c[k], n[k]
+	}
+	st.totalU = p.S(p.U)
+	st.target = x / 100 * st.totalU
+	return st
+}
+
+// uRemaining returns the not-yet-eliminated results of U in a stable order
+// (maintained incrementally; no per-pick sorting).
+func (st *elimState) uRemaining() []document.DocID {
+	return st.remU
+}
+
+// keywordEffect returns the maintained benefit (score eliminated from U),
+// cost (score eliminated from C) and eliminated-result count of keyword k
+// against the current R(q).
+func (st *elimState) keywordEffect(k string) (benefit, cost float64, count int) {
+	return st.benefit[k], st.cost[k], st.count[k]
+}
+
+// add applies keyword k, updates the maintained tables for the delta
+// results, and returns the U-score it eliminated.
+func (st *elimState) add(k string) float64 {
+	contain := st.p.ContainSet(k)
+	delta := document.DocSet{}
+	var gone float64
+	for id := range st.r {
+		if contain.Contains(id) {
+			continue
+		}
+		delta.Add(id)
+		if st.p.U.Contains(id) {
+			gone += weightOf(st.p, id)
+		}
+	}
+	st.q = st.q.With(k)
+	for id := range delta {
+		st.r.Remove(id)
+	}
+	// Compact the remaining-U list in place, preserving order.
+	keep := st.remU[:0]
+	for _, id := range st.remU {
+		if !delta.Contains(id) {
+			keep = append(keep, id)
+		}
+	}
+	st.remU = keep
+	// Only keywords absent from at least one delta result change value.
+	for k2 := range st.benefit {
+		c2 := st.p.ContainSet(k2)
+		for id := range delta {
+			if c2.Contains(id) {
+				continue
+			}
+			w := weightOf(st.p, id)
+			if st.p.U.Contains(id) {
+				st.benefit[k2] -= w
+			} else {
+				st.cost[k2] -= w
+			}
+			st.count[k2]--
+		}
+	}
+	st.eliminated += gone
+	return gone
+}
+
+func weightOf(p *Problem, id document.DocID) float64 {
+	if p.Weights == nil {
+		return 1
+	}
+	if w, ok := p.Weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// closerWithout reports whether stopping before the last keyword leaves the
+// eliminated fraction closer to the target than including it ("determine
+// whether to include the last selected keyword based on which percentage is
+// closer to x%").
+func closerWithout(before, after, target float64) bool {
+	return math.Abs(before-target) <= math.Abs(after-target)
+}
+
+// eliminateSingleResult is the published §4.3 procedure.
+func (a *PEBC) eliminateSingleResult(p *Problem, x float64, rng *rand.Rand) search.Query {
+	st := newElimState(p, x)
+	if st.target <= 0 || st.totalU == 0 {
+		return st.q
+	}
+	// Results found to be uneliminable by the current candidate pool; they
+	// are skipped rather than aborting the whole procedure.
+	stuck := document.DocSet{}
+	for st.eliminated < st.target {
+		var candidates []document.DocID
+		for _, id := range st.uRemaining() {
+			if !stuck.Contains(id) {
+				candidates = append(candidates, id)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		r := candidates[rng.Intn(len(candidates))]
+		// Keywords that eliminate r: pool keywords not contained in r.
+		bestK, bestV, bestCount := "", math.Inf(-1), 0
+		for _, k := range p.Pool {
+			if p.Contains(r, k) || st.q.Contains(k) {
+				continue
+			}
+			b, c, count := st.keywordEffect(k)
+			if b == 0 {
+				continue
+			}
+			v := value(b, c)
+			// Tie: prefer the keyword eliminating fewer results ("minimize
+			// the risk that we eliminate too many"), then the smaller name.
+			if approxGreater(v, bestV) ||
+				(approxEqual(v, bestV) && (count < bestCount ||
+					(count == bestCount && (bestK == "" || k < bestK)))) {
+				bestK, bestV, bestCount = k, v, count
+			}
+		}
+		if bestK == "" {
+			stuck.Add(r) // r cannot be eliminated; try another result
+			continue
+		}
+		before := st.eliminated
+		st.add(bestK)
+		if st.eliminated >= st.target && closerWithout(before, st.eliminated, st.target) && before > 0 {
+			// Undo: rebuild without the last keyword (cheaper than a full
+			// union-restore given how small these queries are).
+			st.q = st.q.Without(bestK)
+			st.r = p.Retrieve(st.q)
+			st.eliminated = before
+			break
+		}
+	}
+	return st.q
+}
+
+// eliminateFixedOrder is the rejected §4.1 greedy: always the globally best
+// benefit/cost keyword.
+func (a *PEBC) eliminateFixedOrder(p *Problem, x float64) search.Query {
+	st := newElimState(p, x)
+	if st.target <= 0 || st.totalU == 0 {
+		return st.q
+	}
+	for st.eliminated < st.target {
+		bestK, bestV := "", math.Inf(-1)
+		for _, k := range p.Pool {
+			if st.q.Contains(k) {
+				continue
+			}
+			b, c, _ := st.keywordEffect(k)
+			if b == 0 {
+				continue
+			}
+			if v := value(b, c); approxGreater(v, bestV) ||
+				(approxEqual(v, bestV) && (bestK == "" || k < bestK)) {
+				bestK, bestV = k, v
+			}
+		}
+		if bestK == "" {
+			break
+		}
+		before := st.eliminated
+		st.add(bestK)
+		if st.eliminated >= st.target && closerWithout(before, st.eliminated, st.target) && before > 0 {
+			st.q = st.q.Without(bestK)
+			st.r = p.Retrieve(st.q)
+			st.eliminated = before
+			break
+		}
+	}
+	return st.q
+}
+
+// eliminateSubset is the rejected §4.2 procedure: choose a random subset S
+// of U whose score is ≈x% of U's, then greedily pick keywords covering S,
+// counting eliminations outside S as extra cost (Example 4.3).
+func (a *PEBC) eliminateSubset(p *Problem, x float64, rng *rand.Rand) search.Query {
+	st := newElimState(p, x)
+	if st.target <= 0 || st.totalU == 0 {
+		return st.q
+	}
+	// Randomly select S.
+	ids := p.U.IDs()
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	selected := document.DocSet{}
+	var got float64
+	for _, id := range ids {
+		if got >= st.target {
+			break
+		}
+		selected.Add(id)
+		got += weightOf(p, id)
+	}
+	// Greedy cover of S: keyword covering the most remaining S-score with
+	// the best adjusted benefit/cost.
+	for {
+		uncovered := st.r.Intersect(selected)
+		if uncovered.Len() == 0 {
+			break
+		}
+		bestK, bestV := "", math.Inf(-1)
+		for _, k := range p.Pool {
+			if st.q.Contains(k) {
+				continue
+			}
+			contain := p.ContainSet(k)
+			var b, c float64
+			for id := range st.r {
+				if contain.Contains(id) {
+					continue
+				}
+				w := weightOf(p, id)
+				switch {
+				case selected.Contains(id):
+					b += w // eliminating a selected result is the benefit
+				default:
+					c += w // eliminating C or unselected U results is cost
+				}
+			}
+			if b == 0 {
+				continue
+			}
+			if v := value(b, c); approxGreater(v, bestV) ||
+				(approxEqual(v, bestV) && (bestK == "" || k < bestK)) {
+				bestK, bestV = k, v
+			}
+		}
+		if bestK == "" {
+			break
+		}
+		st.add(bestK)
+	}
+	return st.q
+}
+
+// SampleTargets returns the elimination percentages PEBC would probe in its
+// first iteration — exported for tests and the ablation harness.
+func (a *PEBC) SampleTargets() []float64 {
+	nseg, _ := a.defaults()
+	out := make([]float64, 0, nseg+1)
+	step := 100.0 / float64(nseg)
+	for i := 0; i <= nseg; i++ {
+		out = append(out, float64(i)*step)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,303 @@
+// Package core implements the paper's primary contribution: generating an
+// expanded query for each cluster of keyword-search results such that the
+// expanded query's result set is as close to the cluster as possible
+// (Definition 2.2), plus the full QEC problem over all clusters
+// (Definition 2.1). The two published algorithms — ISKR (Section 3) and
+// PEBC (Section 4) — are implemented here, along with the F-measure ISKR
+// variant and the rejected PEBC keyword-selection strategies (§4.1, §4.2)
+// used for ablation.
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// Problem is one instance of Definition 2.2: a user query, a target cluster
+// C, the set U of results in all other clusters, and optional ranking
+// weights. All candidate keywords and incidence structures are precomputed
+// so the algorithms can evaluate R(q) restricted to the universe cheaply.
+type Problem struct {
+	UserQuery search.Query
+	C         document.DocSet // the cluster (ground truth)
+	U         document.DocSet // results in all other clusters
+	Universe  document.DocSet // C ∪ U
+	Weights   eval.Weights    // nil = unranked
+
+	// Pool is the candidate keyword vocabulary (the paper's setup: the
+	// top-20% of result words by tfidf), excluding the user query's own
+	// terms. Sorted for determinism.
+	Pool []string
+
+	// contain[k] is the set of universe documents containing keyword k.
+	// E(k) ∩ Universe (the documents k eliminates) is its complement.
+	contain map[string]document.DocSet
+
+	// docTerms enumerates the distinct terms of a universe document that
+	// are in Pool (used by PEBC: "each distinct keyword k ∉ r").
+	docTerms map[document.DocID][]string
+
+	// Cached benefit/cost/elimination-count of every pool keyword against
+	// the *unrefined* query (R(q) = Universe), computed once and cloned by
+	// each PEBC partial-elimination run.
+	baseOnce    sync.Once
+	baseBenefit map[string]float64
+	baseCost    map[string]float64
+	baseCount   map[string]int
+}
+
+// baseTables lazily computes the initial benefit/cost/count tables.
+func (p *Problem) baseTables() (map[string]float64, map[string]float64, map[string]int) {
+	p.baseOnce.Do(func() {
+		p.baseBenefit = make(map[string]float64, len(p.Pool))
+		p.baseCost = make(map[string]float64, len(p.Pool))
+		p.baseCount = make(map[string]int, len(p.Pool))
+		universe := p.Universe.IDs() // sorted: deterministic accumulation
+		for _, k := range p.Pool {
+			contain := p.contain[k]
+			var b, c float64
+			n := 0
+			for _, id := range universe {
+				if contain.Contains(id) {
+					continue
+				}
+				n++
+				w := weightOf(p, id)
+				if p.U.Contains(id) {
+					b += w
+				} else {
+					c += w
+				}
+			}
+			p.baseBenefit[k], p.baseCost[k], p.baseCount[k] = b, c, n
+		}
+	})
+	return p.baseBenefit, p.baseCost, p.baseCount
+}
+
+// PoolOptions configures candidate-keyword selection.
+type PoolOptions struct {
+	// TopFraction keeps this fraction of the distinct result terms, ranked
+	// by summed tfidf over the universe (paper: 0.20).
+	TopFraction float64
+	// MinKeywords is a floor so tiny result sets keep a usable pool.
+	MinKeywords int
+	// MaxKeywords caps the pool (0 = no cap).
+	MaxKeywords int
+}
+
+// DefaultPoolOptions mirrors the paper's experimental setup.
+func DefaultPoolOptions() PoolOptions {
+	return PoolOptions{TopFraction: 0.20, MinKeywords: 10}
+}
+
+// NewProblem assembles a Problem from the index, the user query, the target
+// cluster and the other-results set. weights may be nil.
+func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
+	weights eval.Weights, opts PoolOptions) *Problem {
+
+	p := &Problem{
+		UserQuery: userQuery,
+		C:         c,
+		U:         u,
+		Universe:  c.Union(u),
+		Weights:   weights,
+		contain:   make(map[string]document.DocSet),
+		docTerms:  make(map[document.DocID][]string),
+	}
+
+	// Score every distinct term of the universe by summed tfidf.
+	type termScore struct {
+		term  string
+		score float64
+	}
+	// Accumulate in sorted document order so the sums (and hence the pool
+	// cut) are bit-identical across runs.
+	scores := make(map[string]float64)
+	for _, id := range p.Universe.IDs() {
+		for _, term := range idx.DocTerms(id) {
+			if userQuery.Contains(term) {
+				continue
+			}
+			scores[term] += idx.TFIDF(id, term)
+		}
+	}
+	ranked := make([]termScore, 0, len(scores))
+	for term, s := range scores {
+		ranked = append(ranked, termScore{term, s})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].term < ranked[j].term
+	})
+
+	keep := int(math.Ceil(opts.TopFraction * float64(len(ranked))))
+	if keep < opts.MinKeywords {
+		keep = opts.MinKeywords
+	}
+	if opts.MaxKeywords > 0 && keep > opts.MaxKeywords {
+		keep = opts.MaxKeywords
+	}
+	if keep > len(ranked) {
+		keep = len(ranked)
+	}
+	p.Pool = make([]string, keep)
+	for i := 0; i < keep; i++ {
+		p.Pool[i] = ranked[i].term
+	}
+	sort.Strings(p.Pool)
+
+	inPool := make(map[string]struct{}, len(p.Pool))
+	for _, term := range p.Pool {
+		inPool[term] = struct{}{}
+	}
+	for _, term := range p.Pool {
+		p.contain[term] = document.DocSet{}
+	}
+	for id := range p.Universe {
+		var mine []string
+		for _, term := range idx.DocTerms(id) {
+			if _, ok := inPool[term]; ok {
+				p.contain[term].Add(id)
+				mine = append(mine, term)
+			}
+		}
+		p.docTerms[id] = mine
+	}
+	return p
+}
+
+// NewProblemFromSets assembles a Problem directly from keyword→document
+// incidence, bypassing the index. contain maps each candidate keyword to the
+// set of universe documents containing it; every universe document is
+// assumed to contain the user query's own keywords (it is one of its
+// results). Used by tests (to encode the paper's worked examples exactly)
+// and by callers with non-index substrates.
+func NewProblemFromSets(userQuery search.Query, c, u document.DocSet,
+	weights eval.Weights, contain map[string]document.DocSet) *Problem {
+
+	p := &Problem{
+		UserQuery: userQuery,
+		C:         c,
+		U:         u,
+		Universe:  c.Union(u),
+		Weights:   weights,
+		contain:   make(map[string]document.DocSet, len(contain)),
+		docTerms:  make(map[document.DocID][]string),
+	}
+	p.Pool = make([]string, 0, len(contain))
+	for k, set := range contain {
+		p.Pool = append(p.Pool, k)
+		p.contain[k] = set.Intersect(p.Universe)
+	}
+	sort.Strings(p.Pool)
+	for id := range p.Universe {
+		var mine []string
+		for _, k := range p.Pool {
+			if p.contain[k].Contains(id) {
+				mine = append(mine, k)
+			}
+		}
+		p.docTerms[id] = mine
+	}
+	return p
+}
+
+// Contains reports whether universe document id contains keyword k. Keywords
+// outside the pool are reported as not contained (they are never candidates).
+func (p *Problem) Contains(id document.DocID, k string) bool {
+	set, ok := p.contain[k]
+	return ok && set.Contains(id)
+}
+
+// ContainSet returns the universe documents containing pool keyword k.
+func (p *Problem) ContainSet(k string) document.DocSet { return p.contain[k] }
+
+// DocPoolTerms returns the pool keywords present in universe document id.
+func (p *Problem) DocPoolTerms(id document.DocID) []string { return p.docTerms[id] }
+
+// Retrieve computes R(q) restricted to the universe: the universe documents
+// containing every expansion term of q. The user query's own terms are
+// satisfied by construction (every universe document is a result of the user
+// query), so only terms beyond the user query filter.
+func (p *Problem) Retrieve(q search.Query) document.DocSet {
+	r := p.Universe.Clone()
+	for _, term := range q.Terms {
+		if p.UserQuery.Contains(term) {
+			continue
+		}
+		set, ok := p.contain[term]
+		if !ok {
+			// A term outside the pool retrieves nothing (we only expand
+			// with pool keywords; this branch guards foreign queries).
+			return document.DocSet{}
+		}
+		for id := range r {
+			if !set.Contains(id) {
+				r.Remove(id)
+			}
+		}
+	}
+	return r
+}
+
+// FMeasure evaluates a candidate expanded query against the cluster.
+func (p *Problem) FMeasure(q search.Query) float64 {
+	return eval.Measure(p.Retrieve(q), p.C, p.Weights).F
+}
+
+// Measure returns full precision/recall/F of a candidate expanded query.
+func (p *Problem) Measure(q search.Query) eval.PRF {
+	return eval.Measure(p.Retrieve(q), p.C, p.Weights)
+}
+
+// RetrieveOR computes R(q) under OR semantics restricted to the universe:
+// the universe documents containing at least one of q's terms.
+func (p *Problem) RetrieveOR(q search.Query) document.DocSet {
+	out := document.DocSet{}
+	for _, t := range q.Terms {
+		for id := range p.contain[t] {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// MeasureOR evaluates a candidate query under OR semantics.
+func (p *Problem) MeasureOR(q search.Query) eval.PRF {
+	return eval.Measure(p.RetrieveOR(q), p.C, p.Weights)
+}
+
+// S is the total ranking score of a set (Section 2's S(·)).
+func (p *Problem) S(set document.DocSet) float64 { return p.Weights.S(set) }
+
+// Expanded is the outcome of one expansion run.
+type Expanded struct {
+	Query search.Query
+	// PRF is the query's precision/recall/F against the cluster.
+	PRF eval.PRF
+	// Iterations counts refinement steps (algorithm-specific meaning).
+	Iterations int
+	// Evaluations counts how many candidate queries had their F-measure
+	// (or benefit/cost table) computed — the work metric the efficiency
+	// comparison of Section 5.3 turns on.
+	Evaluations int
+}
+
+// Expander generates an expanded query for one Problem. ISKR, PEBC and the
+// F-measure variant all implement it, as do the baselines adapted to
+// clusters.
+type Expander interface {
+	// Expand solves Definition 2.2 for the problem.
+	Expand(p *Problem) Expanded
+	// Name identifies the method in reports ("ISKR", "PEBC", ...).
+	Name() string
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// ClusteringCandidate names one clustering configuration for dynamic
+// selection.
+type ClusteringCandidate struct {
+	Name       string
+	Clustering *cluster.Clustering
+}
+
+// SelectClustering implements the paper's Section 7 future-work direction
+// of "choosing the best clustering method dynamically": it runs the
+// expander against every candidate clustering and keeps the one whose
+// expanded queries achieve the highest Eq. 1 score. Ties go to the earliest
+// candidate, so callers can order candidates by preference (e.g. cheapest
+// first).
+func SelectClustering(idx *index.Index, userQuery search.Query,
+	candidates []ClusteringCandidate, weights eval.Weights, opts PoolOptions,
+	expander Expander) (best ClusteringCandidate, result *QECResult) {
+
+	if expander == nil {
+		expander = &ISKR{}
+	}
+	for _, cand := range candidates {
+		if cand.Clustering == nil || cand.Clustering.K() == 0 {
+			continue
+		}
+		problems := BuildProblems(idx, userQuery, cand.Clustering, weights, opts)
+		res := Solve(expander, problems)
+		if result == nil || res.Score > result.Score {
+			best, result = cand, res
+		}
+	}
+	return best, result
+}
+
+// DefaultClusteringCandidates builds the standard candidate set over the
+// given documents: k-means and the three agglomerative linkages, each at
+// granularity k.
+func DefaultClusteringCandidates(idx *index.Index, docs []document.DocID,
+	k int, seed int64) []ClusteringCandidate {
+
+	return []ClusteringCandidate{
+		{Name: "kmeans", Clustering: cluster.KMeans(idx, docs,
+			cluster.Options{K: k, Seed: seed, PlusPlus: true, Restarts: 5})},
+		{Name: "agglomerative-average", Clustering: cluster.Agglomerative(idx,
+			docs, k, cluster.AverageLinkage)},
+		{Name: "agglomerative-single", Clustering: cluster.Agglomerative(idx,
+			docs, k, cluster.SingleLinkage)},
+		{Name: "agglomerative-complete", Clustering: cluster.Agglomerative(idx,
+			docs, k, cluster.CompleteLinkage)},
+	}
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/document"
+	"repro/internal/search"
+)
+
+func TestShoppingDeterministic(t *testing.T) {
+	a := Shopping(1, 1)
+	b := Shopping(1, 1)
+	if a.Corpus.Len() != b.Corpus.Len() {
+		t.Fatal("different corpus sizes for same seed")
+	}
+	for i := 0; i < a.Corpus.Len(); i++ {
+		da, db := a.Corpus.Get(document.DocID(i)), b.Corpus.Get(document.DocID(i))
+		if da.Title != db.Title || len(da.Triplets) != len(db.Triplets) {
+			t.Fatalf("doc %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestShoppingScale(t *testing.T) {
+	small := Shopping(1, 1)
+	big := Shopping(1, 3)
+	if big.Corpus.Len() != 3*small.Corpus.Len() {
+		t.Errorf("scale 3 = %d docs, want %d", big.Corpus.Len(), 3*small.Corpus.Len())
+	}
+}
+
+func TestShoppingQueriesRetrieve(t *testing.T) {
+	d := Shopping(1, 1)
+	eng := search.NewEngine(d.Index)
+	for _, tq := range d.Queries {
+		q := search.ParseQuery(d.Index, tq.Raw)
+		res := eng.Eval(q, search.And)
+		if res.Len() == 0 {
+			t.Errorf("%s %q retrieved nothing", tq.ID, tq.Raw)
+		}
+	}
+}
+
+func TestShoppingQS1RetrievesThreeCanonCategories(t *testing.T) {
+	d := Shopping(1, 1)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.ParseQuery(d.Index, "canon products"), search.And)
+	cats := map[string]bool{}
+	for id := range res {
+		cats[d.Labels[id]] = true
+	}
+	for _, want := range []string{"canon-camera", "canon-camcorder", "canon-printer"} {
+		if !cats[want] {
+			t.Errorf("QS1 missing category %s (got %v)", want, cats)
+		}
+	}
+	// And nothing else: canon products are exactly the canon families.
+	for cat := range cats {
+		switch cat {
+		case "canon-camera", "canon-camcorder", "canon-printer":
+		default:
+			t.Errorf("QS1 retrieved unexpected category %s", cat)
+		}
+	}
+}
+
+func TestShoppingCompositeTermsSearchable(t *testing.T) {
+	d := Shopping(1, 1)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.NewQuery("canonproducts:category:camcorders"), search.And)
+	if res.Len() == 0 {
+		t.Fatal("composite triplet term retrieves nothing")
+	}
+	for id := range res {
+		if d.Labels[id] != "canon-camcorder" {
+			t.Errorf("composite term retrieved %s", d.Labels[id])
+		}
+	}
+}
+
+func TestShoppingCategoriesClusterCleanly(t *testing.T) {
+	// The key structural property: canon product categories separate under
+	// k-means, so near-perfect expanded queries exist (Figure 5a).
+	d := Shopping(1, 1)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.ParseQuery(d.Index, "canon products"), search.And)
+	cl := cluster.KMeans(d.Index, res.IDs(), cluster.Options{K: 3, Seed: 7, PlusPlus: true})
+	p := cluster.Purity(cl, d.Labels)
+	if p < 0.9 {
+		t.Errorf("canon cluster purity = %v, want >= 0.9", p)
+	}
+}
+
+func TestShoppingQS8MemorySizes(t *testing.T) {
+	d := Shopping(1, 1)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.ParseQuery(d.Index, "memory 8gb"), search.And)
+	if res.Len() == 0 {
+		t.Fatal("QS8 empty")
+	}
+	for id := range res {
+		if !d.Index.HasTerm(id, "8gb") {
+			t.Errorf("doc %d retrieved without 8gb", id)
+		}
+	}
+}
+
+func TestShoppingLogHasOutOfCorpusSuggestion(t *testing.T) {
+	d := Shopping(1, 1)
+	// "sony products" must be in the log while sony cameras are not a
+	// product family — the paper's Google critique for QS1.
+	found := false
+	for _, e := range d.Log {
+		if e.Query == "sony products" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("log lacks the out-of-corpus 'sony products' suggestion")
+	}
+}
+
+func TestWikipediaDeterministic(t *testing.T) {
+	a, b := Wikipedia(2, 1), Wikipedia(2, 1)
+	if a.Corpus.Len() != b.Corpus.Len() {
+		t.Fatal("different sizes")
+	}
+	for i := 0; i < a.Corpus.Len(); i++ {
+		if a.Corpus.Get(document.DocID(i)).Body != b.Corpus.Get(document.DocID(i)).Body {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+}
+
+func TestWikipediaQueriesRetrieveAllSenses(t *testing.T) {
+	d := Wikipedia(2, 1)
+	eng := search.NewEngine(d.Index)
+	for _, tq := range d.Queries {
+		q := search.ParseQuery(d.Index, tq.Raw)
+		res := eng.Eval(q, search.And)
+		if res.Len() < 20 {
+			t.Errorf("%s retrieved only %d results", tq.ID, res.Len())
+		}
+		senses := map[string]bool{}
+		for id := range res {
+			senses[d.Labels[id]] = true
+		}
+		if len(senses) < 2 {
+			t.Errorf("%s: only %d senses retrieved (%v)", tq.ID, len(senses), senses)
+		}
+	}
+}
+
+func TestWikipediaSensesSeparate(t *testing.T) {
+	d := Wikipedia(2, 1)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.ParseQuery(d.Index, "java"), search.And)
+	cl := cluster.KMeans(d.Index, res.IDs(),
+		cluster.Options{K: 3, Seed: 3, PlusPlus: true, Restarts: 5})
+	if p := cluster.Purity(cl, d.Labels); p < 0.8 {
+		t.Errorf("java sense purity = %v, want >= 0.8", p)
+	}
+}
+
+func TestWikipediaScaleSupportsScalabilitySweep(t *testing.T) {
+	// Figure 7 needs up to 500 "columbia" results.
+	d := Wikipedia(2, 15)
+	eng := search.NewEngine(d.Index)
+	res := eng.Eval(search.ParseQuery(d.Index, "columbia"), search.And)
+	if res.Len() < 500 {
+		t.Errorf("columbia at scale 15 = %d results, want >= 500", res.Len())
+	}
+}
+
+func TestWikipediaRocketsLogMissesNBASense(t *testing.T) {
+	d := Wikipedia(2, 1)
+	for _, e := range d.Log {
+		if !containsWord(e.Query, "rockets") {
+			continue
+		}
+		if containsWord(e.Query, "nba") || containsWord(e.Query, "houston") {
+			t.Errorf("rockets log entry %q covers the NBA sense; the critique needs it missing", e.Query)
+		}
+	}
+}
+
+func containsWord(s, w string) bool {
+	fields := []rune(s)
+	_ = fields
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if s[start:i] == w {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
+func TestQueryByID(t *testing.T) {
+	d := Shopping(1, 1)
+	q, ok := d.QueryByID("QS4")
+	if !ok || q.Raw != "tv" {
+		t.Errorf("QueryByID(QS4) = %v, %v", q, ok)
+	}
+	if _, ok := d.QueryByID("QW1"); ok {
+		t.Error("shopping dataset should not contain QW1")
+	}
+}
+
+func TestLabelsCoverEveryDoc(t *testing.T) {
+	for _, d := range []*Dataset{Shopping(1, 1), Wikipedia(2, 1)} {
+		for i := 0; i < d.Corpus.Len(); i++ {
+			if d.Labels[document.DocID(i)] == "" {
+				t.Errorf("%s: doc %d unlabeled", d.Name, i)
+			}
+		}
+	}
+}

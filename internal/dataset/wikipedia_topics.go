@@ -1,0 +1,182 @@
+package dataset
+
+// wikiTopics models the ten Table 1 Wikipedia queries. Sense vocabularies
+// echo the words visible in the paper's Figures 8–9 expansions (player /
+// hockey / location for San Jose, university / album / british for
+// Columbia, server / code / island for Java, ...), and the rare tails
+// reproduce the junk-specific words the paper's CS and Data Clouds outputs
+// surface (guillermo/calvo, biophosphate/placent, sumono/yumeka, hali,
+// paganu, nabble, wakaheena, ...), so the qualitative listings regenerate
+// recognizably.
+func wikiTopics() []topic {
+	return []topic{
+		{
+			query: "san jose",
+			senses: []sense{
+				{name: "city", docs: 14, vocab: []string{
+					"city", "california", "location", "downtown", "silicon",
+					"valley", "population", "neighborhood", "municipal",
+					"mayor", "attractions", "weather"},
+					rare: []string{"wakaheena", "guadalupe", "fallon", "gold", "war"}},
+				{name: "sports", docs: 16, vocab: []string{
+					"player", "hockey", "sharks", "team", "season", "arena",
+					"scorer", "playoff", "league", "coach"},
+					rare: []string{"sabercat", "kyle", "stanley"}},
+			},
+		},
+		{
+			query: "columbia",
+			senses: []sense{
+				{name: "university", docs: 13, vocab: []string{
+					"university", "college", "research", "student", "campus",
+					"professor", "faculty", "graduate", "school"},
+					rare: []string{"guillermo", "calvo", "argentina"}},
+				{name: "records", docs: 11, vocab: []string{
+					"album", "record", "music", "artist", "release", "label",
+					"studio", "song", "bennett"},
+					rare: []string{"toni", "essential", "strong"}},
+				{name: "british", docs: 10, vocab: []string{
+					"british", "river", "mountain", "canada", "province",
+					"vancouver", "pacific", "basin"},
+					rare: []string{"yakama", "highway", "light"}},
+			},
+		},
+		{
+			query: "cvs",
+			senses: []sense{
+				{name: "pharmacy", docs: 12, vocab: []string{
+					"pharmacy", "store", "retail", "prescription", "caremark",
+					"household", "prince", "shop", "drug", "careers"},
+					rare: []string{"vma", "station", "distribution"}},
+				{name: "versioncontrol", docs: 12, vocab: []string{
+					"code", "repository", "software", "commit", "developer",
+					"community", "branch", "module", "checkout", "test"},
+					rare: []string{"jike", "gnuplot", "bull", "java"}},
+				{name: "place", docs: 8, vocab: []string{
+					"southwest", "settlement", "township", "county",
+					"railroad", "eastern"},
+					rare: []string{"webster", "indiana", "system"}},
+			},
+		},
+		{
+			query: "domino",
+			senses: []sense{
+				{name: "pizza", docs: 11, vocab: []string{
+					"pizza", "food", "restaurant", "delivery", "franchise",
+					"menu", "chain", "page"},
+					rare: []string{"harvey", "monaghan", "long"}},
+				{name: "music", docs: 12, vocab: []string{
+					"album", "produce", "vocal", "single", "record", "fats",
+					"song", "chart"},
+					rare: []string{"die", "brand"}},
+				{name: "game", docs: 9, vocab: []string{
+					"queen", "game", "tile", "player", "rules", "set",
+					"effect"},
+					rare: []string{"mexican", "spinner", "french", "language", "christian"}},
+			},
+		},
+		{
+			query: "eclipse",
+			senses: []sense{
+				{name: "software", docs: 14, vocab: []string{
+					"model", "software", "plugin", "ide", "java", "platform",
+					"environment", "automate", "core", "workspace"},
+					rare: []string{"postfix", "milestone", "official"}},
+				{name: "astronomy", docs: 11, vocab: []string{
+					"greek", "solar", "moon", "ancient", "athenian", "shadow",
+					"observation", "march", "total"},
+					rare: []string{"hali", "paganu"}},
+				{name: "car", docs: 9, vocab: []string{
+					"mitsubishi", "car", "coupe", "engine", "motor",
+					"drive", "sport", "video"},
+					rare: []string{"spyder", "gsx", "role", "origin"}},
+			},
+		},
+		{
+			query: "java",
+			senses: []sense{
+				{name: "programming", docs: 16, vocab: []string{
+					"server", "code", "web", "software", "language", "class",
+					"application", "aspectj", "virtual", "machine",
+					"tutorials", "games", "test"},
+					rare: []string{"nabble", "howard", "blog", "microsoft", "tool"}},
+				{name: "island", docs: 10, vocab: []string{
+					"island", "indonesia", "western", "south", "volcano",
+					"jakarta", "sea", "population"},
+					rare: []string{"molucca", "parallel"}},
+				{name: "coffee", docs: 8, vocab: []string{
+					"coffee", "bean", "roast", "brew", "plantation", "drink",
+					"cup", "trade"},
+					rare: []string{"arabica", "sumatra", "room"}},
+			},
+		},
+		{
+			query: "cell",
+			senses: []sense{
+				{name: "biology", docs: 14, vocab: []string{
+					"biological", "express", "data", "membrane", "nucleus",
+					"organism", "protein", "theory", "animal", "parts"},
+					rare: []string{"biophosphate", "placent", "mosaic", "multicellular", "stomach"}},
+				{name: "battery", docs: 10, vocab: []string{
+					"battery", "energy", "voltage", "electrode", "charge",
+					"lithium", "power", "fuel"},
+					rare: []string{"kinase", "amala"}},
+				{name: "phone", docs: 9, vocab: []string{
+					"phone", "mobile", "network", "tower", "signal",
+					"carrier", "wireless", "call"},
+					rare: []string{"sumono", "yumeka", "template", "bit"}},
+			},
+		},
+		{
+			query: "rockets",
+			senses: []sense{
+				{name: "nba", docs: 12, vocab: []string{
+					"nba", "houston", "basketball", "player", "season",
+					"maxwell", "coach", "playoff", "guard"},
+					rare: []string{"vernon", "orlando", "cincinnati"}},
+				{name: "space", docs: 14, vocab: []string{
+					"launch", "space", "orbit", "propellant", "stage",
+					"satellite", "engine", "nasa", "payload", "model"},
+					rare: []string{"target", "vanguard"}},
+				{name: "military", docs: 9, vocab: []string{
+					"missile", "dome", "israel", "anti", "artillery", "built",
+					"interior", "defense"},
+					rare: []string{"rhode", "singer", "iowa"}},
+			},
+		},
+		{
+			query: "mouse",
+			senses: []sense{
+				{name: "device", docs: 13, vocab: []string{
+					"technique", "wheel", "interface", "click", "button",
+					"cursor", "optical", "usb", "scroll"},
+					rare: []string{"mystery", "logitech"}},
+				{name: "animal", docs: 11, vocab: []string{
+					"scientific", "species", "fossil", "rodent", "laboratory",
+					"gene", "habitat"},
+					rare: []string{"hesperian", "birch", "bush"}},
+				{name: "cartoon", docs: 10, vocab: []string{
+					"cartoon", "television", "adventure", "mickey",
+					"animation", "character", "episode", "studio"},
+					rare: []string{"laugh", "hanna"}},
+			},
+		},
+		{
+			query: "sportsman williams",
+			senses: []sense{
+				{name: "athlete", docs: 11, vocab: []string{
+					"smith", "point", "club", "match", "champion", "title",
+					"record", "career", "football", "baseball"},
+					rare: []string{"piano", "american", "boston"}},
+				{name: "venue", docs: 10, vocab: []string{
+					"launch", "fire", "park", "stadium", "event", "crowd",
+					"opening", "ceremony"},
+					rare: []string{"alliance", "iraqi", "youth", "kick"}},
+				{name: "profile", docs: 9, vocab: []string{
+					"stuart", "biography", "born", "family", "school",
+					"town", "early"},
+					rare: []string{"barker", "salem", "gamebook", "highway"}},
+			},
+		},
+	}
+}

@@ -1,0 +1,126 @@
+// Package eval implements the quality measures of Section 2: precision,
+// recall and F-measure of an expanded query against its cluster (both
+// unweighted and rank-weighted), the Eq. 1 harmonic-mean score of a set of
+// expanded queries, and the comprehensiveness/diversity measures used by the
+// collective-score part of the user study.
+package eval
+
+import (
+	"repro/internal/document"
+)
+
+// Weights maps documents to ranking scores. A nil Weights means "unranked":
+// every document counts 1, reducing the weighted measures to the set-based
+// ones.
+type Weights map[document.DocID]float64
+
+// S returns the total ranking score of a set of results — the S(·) of
+// Section 2. With nil weights it is the cardinality. Documents missing from
+// a non-nil Weights count as weight 1 (the search layer assigns scores only
+// to ranked results). Summation runs in sorted document order so the result
+// is bit-identical across runs (map iteration order varies and float
+// addition is not associative).
+func (w Weights) S(set document.DocSet) float64 {
+	if w == nil {
+		return float64(set.Len())
+	}
+	total := 0.0
+	for _, id := range set.IDs() {
+		if s, ok := w[id]; ok && s > 0 {
+			total += s
+		} else {
+			total += 1
+		}
+	}
+	return total
+}
+
+// PRF holds the three measures of one expanded query.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+// Measure computes the rank-weighted precision, recall and F-measure of a
+// retrieved set against cluster C (the ground truth), per Section 2:
+//
+//	precision = S(R ∩ C) / S(R),  recall = S(R ∩ C) / S(C)
+//
+// Conventions for empty sets: an empty retrieved set has precision 0 (and
+// recall 0), so F is 0; an empty cluster makes the measure undefined and we
+// return zeros.
+func Measure(retrieved, cluster document.DocSet, w Weights) PRF {
+	if retrieved.Len() == 0 || cluster.Len() == 0 {
+		return PRF{}
+	}
+	inter := w.S(retrieved.Intersect(cluster))
+	p := inter / w.S(retrieved)
+	r := inter / w.S(cluster)
+	return PRF{Precision: p, Recall: r, F: FMeasure(p, r)}
+}
+
+// FMeasure returns the harmonic mean of precision and recall; 0 when both
+// are 0.
+func FMeasure(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Score implements Eq. 1: the harmonic mean of the F-measures of the k
+// expanded queries, one per cluster. If any F-measure is 0 the harmonic mean
+// is 0; the empty set scores 0.
+func Score(fmeasures []float64) float64 {
+	if len(fmeasures) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range fmeasures {
+		if f <= 0 {
+			return 0
+		}
+		sum += 1 / f
+	}
+	return float64(len(fmeasures)) / sum
+}
+
+// Comprehensiveness measures how much of the original result universe the
+// expanded queries jointly cover: S(∪ R_i) / S(universe). Used by the
+// simulated collective user study (Figure 3/4); the paper's raters call a
+// set of expanded queries comprehensive when it "covers various
+// aspects/meanings of the original query".
+func Comprehensiveness(retrieved []document.DocSet, universe document.DocSet, w Weights) float64 {
+	if universe.Len() == 0 {
+		return 0
+	}
+	union := document.DocSet{}
+	for _, r := range retrieved {
+		union = union.Union(r)
+	}
+	return w.S(union.Intersect(universe)) / w.S(universe)
+}
+
+// Diversity measures how little the expanded queries' result sets overlap:
+// 1 − mean pairwise Jaccard similarity. A single query (or none) is
+// trivially diverse.
+func Diversity(retrieved []document.DocSet) float64 {
+	n := len(retrieved)
+	if n < 2 {
+		return 1
+	}
+	totalJ, pairs := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			union := retrieved[i].Union(retrieved[j]).Len()
+			if union == 0 {
+				continue // two empty sets: count overlap as 0
+			}
+			inter := retrieved[i].Intersect(retrieved[j]).Len()
+			totalJ += float64(inter) / float64(union)
+		}
+	}
+	return 1 - totalJ/float64(pairs)
+}

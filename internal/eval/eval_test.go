@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+func TestMeasurePerfect(t *testing.T) {
+	c := document.NewDocSet(1, 2, 3)
+	got := Measure(c.Clone(), c, nil)
+	if got.Precision != 1 || got.Recall != 1 || got.F != 1 {
+		t.Errorf("Measure = %+v, want all 1", got)
+	}
+}
+
+func TestMeasureDisjoint(t *testing.T) {
+	got := Measure(document.NewDocSet(1), document.NewDocSet(2), nil)
+	if got.Precision != 0 || got.Recall != 0 || got.F != 0 {
+		t.Errorf("Measure = %+v, want all 0", got)
+	}
+}
+
+func TestMeasurePartial(t *testing.T) {
+	// retrieved {1,2,3,4}, cluster {3,4,5,6}: p = 2/4, r = 2/4, F = 1/2
+	got := Measure(document.NewDocSet(1, 2, 3, 4), document.NewDocSet(3, 4, 5, 6), nil)
+	if math.Abs(got.Precision-0.5) > 1e-12 || math.Abs(got.Recall-0.5) > 1e-12 ||
+		math.Abs(got.F-0.5) > 1e-12 {
+		t.Errorf("Measure = %+v", got)
+	}
+}
+
+func TestMeasureEmptySets(t *testing.T) {
+	if got := Measure(document.DocSet{}, document.NewDocSet(1), nil); got != (PRF{}) {
+		t.Errorf("empty retrieved: %+v", got)
+	}
+	if got := Measure(document.NewDocSet(1), document.DocSet{}, nil); got != (PRF{}) {
+		t.Errorf("empty cluster: %+v", got)
+	}
+}
+
+func TestMeasureWeighted(t *testing.T) {
+	// cluster {1,2}: weight(1)=9, weight(2)=1; retrieve only {1}.
+	w := Weights{1: 9, 2: 1}
+	got := Measure(document.NewDocSet(1), document.NewDocSet(1, 2), w)
+	if got.Precision != 1 {
+		t.Errorf("precision = %v", got.Precision)
+	}
+	if math.Abs(got.Recall-0.9) > 1e-12 {
+		t.Errorf("recall = %v, want 0.9 (rank-weighted)", got.Recall)
+	}
+}
+
+func TestWeightsSFallsBackToOne(t *testing.T) {
+	w := Weights{1: 2}
+	// doc 5 absent from weights counts as 1
+	if got := w.S(document.NewDocSet(1, 5)); got != 3 {
+		t.Errorf("S = %v, want 3", got)
+	}
+	var nilW Weights
+	if got := nilW.S(document.NewDocSet(1, 2, 3)); got != 3 {
+		t.Errorf("nil S = %v, want 3", got)
+	}
+}
+
+func TestWeightedEqualsUnweightedWhenUniform(t *testing.T) {
+	r := document.NewDocSet(1, 2, 5)
+	c := document.NewDocSet(2, 5, 7)
+	w := Weights{1: 1, 2: 1, 5: 1, 7: 1}
+	a, b := Measure(r, c, w), Measure(r, c, nil)
+	if math.Abs(a.F-b.F) > 1e-12 {
+		t.Errorf("uniform weighted F %v != unweighted F %v", a.F, b.F)
+	}
+}
+
+func TestFMeasureHarmonic(t *testing.T) {
+	if got := FMeasure(1, 0.5); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("FMeasure(1, 0.5) = %v", got)
+	}
+	if FMeasure(0, 0) != 0 {
+		t.Error("FMeasure(0,0) should be 0")
+	}
+}
+
+func TestScoreEq1(t *testing.T) {
+	// harmonic mean of {0.5, 1}: 2 / (2 + 1) = 2/3
+	if got := Score([]float64{0.5, 1}); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Score = %v", got)
+	}
+	if got := Score([]float64{0.8}); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("single-query Score = %v", got)
+	}
+}
+
+func TestScoreZeroFGivesZero(t *testing.T) {
+	if got := Score([]float64{0.9, 0}); got != 0 {
+		t.Errorf("Score with a zero F = %v, want 0", got)
+	}
+	if got := Score(nil); got != 0 {
+		t.Errorf("Score(nil) = %v, want 0", got)
+	}
+}
+
+func TestComprehensiveness(t *testing.T) {
+	universe := document.NewDocSet(1, 2, 3, 4)
+	half := []document.DocSet{document.NewDocSet(1), document.NewDocSet(2)}
+	if got := Comprehensiveness(half, universe, nil); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Comprehensiveness = %v, want 0.5", got)
+	}
+	full := []document.DocSet{document.NewDocSet(1, 2), document.NewDocSet(3, 4)}
+	if got := Comprehensiveness(full, universe, nil); got != 1 {
+		t.Errorf("full coverage = %v", got)
+	}
+	if got := Comprehensiveness(nil, document.DocSet{}, nil); got != 0 {
+		t.Errorf("empty universe = %v", got)
+	}
+	// Results outside the universe don't inflate coverage.
+	outside := []document.DocSet{document.NewDocSet(9, 10)}
+	if got := Comprehensiveness(outside, universe, nil); got != 0 {
+		t.Errorf("outside universe = %v", got)
+	}
+}
+
+func TestDiversity(t *testing.T) {
+	disjoint := []document.DocSet{document.NewDocSet(1, 2), document.NewDocSet(3, 4)}
+	if got := Diversity(disjoint); got != 1 {
+		t.Errorf("disjoint diversity = %v", got)
+	}
+	identical := []document.DocSet{document.NewDocSet(1, 2), document.NewDocSet(1, 2)}
+	if got := Diversity(identical); got != 0 {
+		t.Errorf("identical diversity = %v", got)
+	}
+	if got := Diversity([]document.DocSet{document.NewDocSet(1)}); got != 1 {
+		t.Errorf("single set diversity = %v", got)
+	}
+	empties := []document.DocSet{{}, {}}
+	if got := Diversity(empties); got != 1 {
+		t.Errorf("two empty sets diversity = %v", got)
+	}
+}
+
+func genSet(ids []uint8) document.DocSet {
+	s := document.NewDocSet()
+	for _, id := range ids {
+		s.Add(document.DocID(id % 24))
+	}
+	return s
+}
+
+// Property: all measures lie in [0,1]; F <= 2·min(P,R)/(anything) ... more
+// precisely F <= min(2P, 2R) and F <= max(P, R).
+func TestMeasurePropertyBounds(t *testing.T) {
+	prop := func(rs, cs []uint8, ws []uint8) bool {
+		r, c := genSet(rs), genSet(cs)
+		var w Weights
+		if len(ws) > 0 {
+			w = Weights{}
+			for i, x := range ws {
+				w[document.DocID(i%24)] = float64(x%10) + 0.5
+			}
+		}
+		m := Measure(r, c, w)
+		eps := 1e-9
+		if m.Precision < -eps || m.Precision > 1+eps ||
+			m.Recall < -eps || m.Recall > 1+eps ||
+			m.F < -eps || m.F > 1+eps {
+			return false
+		}
+		if m.F > 2*m.Precision+eps || m.F > 2*m.Recall+eps {
+			return false
+		}
+		return m.F <= math.Max(m.Precision, m.Recall)+eps
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Eq. 1 harmonic mean is <= the minimum F-measure... actually
+// harmonic mean lies between min and max.
+func TestScorePropertyBetweenMinMax(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fs := make([]float64, len(raw))
+		min, max := 1.0, 0.0
+		for i, x := range raw {
+			fs[i] = (float64(x%100) + 1) / 101.0
+			if fs[i] < min {
+				min = fs[i]
+			}
+			if fs[i] > max {
+				max = fs[i]
+			}
+		}
+		s := Score(fs)
+		eps := 1e-9
+		return s >= min-eps && s <= max+eps
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diversity and comprehensiveness lie in [0,1].
+func TestDiversityComprehensivenessPropertyBounds(t *testing.T) {
+	prop := func(as, bs, us []uint8) bool {
+		sets := []document.DocSet{genSet(as), genSet(bs)}
+		u := genSet(us)
+		d := Diversity(sets)
+		if d < -1e-9 || d > 1+1e-9 {
+			return false
+		}
+		if u.Len() > 0 {
+			c := Comprehensiveness(sets, u, nil)
+			if c < -1e-9 || c > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

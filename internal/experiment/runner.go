@@ -1,0 +1,369 @@
+// Package experiment is the harness that regenerates every table and figure
+// of the paper's evaluation (Section 5): the Eq. 1 score comparisons
+// (Figure 5), the timing comparison (Figure 6), the scalability sweep
+// (Figure 7), the simulated user study (Figures 1–4), the Table 1 query
+// sets, and the Figures 8–9 expanded-query listings.
+package experiment
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/search"
+	"repro/internal/userstudy"
+)
+
+// Method names, in the order the paper's figures list them.
+const (
+	MethodISKR       = "ISKR"
+	MethodPEBC       = "PEBC"
+	MethodFMeasure   = "F-measure"
+	MethodCS         = "CS"
+	MethodDataClouds = "DataClouds"
+	MethodGoogle     = "Google"
+)
+
+// Config fixes the experimental setup (Appendix C).
+type Config struct {
+	// Seed drives dataset generation, clustering restarts and PEBC.
+	Seed int64
+	// Scale multiplies corpus sizes (1 = paper-like result counts).
+	Scale int
+	// TopK bounds the number of results considered per query on the
+	// Wikipedia data set ("all systems only consider the top 30 results").
+	// 0 means 30.
+	TopK int
+	// MaxExpanded caps the number of expanded queries per approach
+	// (paper: 5). 0 means 5.
+	MaxExpanded int
+	// PEBCSegments / PEBCIterations: the paper's experiments use 3 and 3.
+	PEBCSegments   int
+	PEBCIterations int
+}
+
+// DefaultConfig mirrors Appendix C.
+func DefaultConfig() Config {
+	return Config{Seed: 2011, Scale: 1, TopK: 30, MaxExpanded: 5,
+		PEBCSegments: 3, PEBCIterations: 3}
+}
+
+func (c *Config) defaults() {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 30
+	}
+	if c.MaxExpanded <= 0 {
+		c.MaxExpanded = 5
+	}
+	if c.PEBCSegments <= 0 {
+		c.PEBCSegments = 3
+	}
+	if c.PEBCIterations <= 0 {
+		c.PEBCIterations = 3
+	}
+}
+
+// Runner holds the two datasets and shared machinery for all experiments.
+type Runner struct {
+	Config   Config
+	Shopping *dataset.Dataset
+	Wiki     *dataset.Dataset
+	pool     *userstudy.Pool
+}
+
+// NewRunner generates both corpora and prepares the rater pool.
+func NewRunner(cfg Config) *Runner {
+	cfg.defaults()
+	return &Runner{
+		Config:   cfg,
+		Shopping: dataset.Shopping(cfg.Seed, cfg.Scale),
+		Wiki:     dataset.Wikipedia(cfg.Seed+1, cfg.Scale),
+		pool:     userstudy.NewPool(cfg.Seed + 2),
+	}
+}
+
+// QueryRun is the prepared state for one test query: ranked results, rank
+// weights, the k-means clustering, and one Definition 2.2 problem per
+// cluster.
+type QueryRun struct {
+	Dataset    *dataset.Dataset
+	TQ         dataset.TestQuery
+	Query      search.Query
+	Results    []search.Result
+	Universe   document.DocSet
+	Weights    eval.Weights
+	Clustering *cluster.Clustering
+	Problems   []*core.Problem
+	// ClusterTime is how long k-means took (reported in §5.3's prose).
+	ClusterTime time.Duration
+}
+
+// Prepare runs the shared pipeline for one test query: search, rank, take
+// top-K (Wikipedia only), cluster with k-means, and build the per-cluster
+// problems.
+func (r *Runner) Prepare(d *dataset.Dataset, tq dataset.TestQuery) *QueryRun {
+	eng := search.NewEngine(d.Index)
+	q := search.ParseQuery(d.Index, tq.Raw)
+	topK := 0
+	if d.Name == "wikipedia" {
+		topK = r.Config.TopK
+	}
+	results := eng.Search(q, search.And, topK)
+	universe := search.ResultSet(results)
+	weights := eval.Weights{}
+	for _, res := range results {
+		weights[res.Doc] = res.Score
+	}
+
+	// k: the user-specified granularity. We derive it from the number of
+	// distinct ground-truth categories/senses among the results, capped by
+	// MaxExpanded — standing in for "an upper bound specified by the user".
+	// When the results are label-homogeneous (e.g. QS3: all routers), the
+	// user would still want subgroups (the paper's QS3 clusters by product
+	// line), so we pick k by silhouette over 2..4.
+	distinct := map[string]struct{}{}
+	for id := range universe {
+		distinct[d.Labels[id]] = struct{}{}
+	}
+	k := len(distinct)
+	if k > r.Config.MaxExpanded {
+		k = r.Config.MaxExpanded
+	}
+
+	start := time.Now()
+	var cl *cluster.Clustering
+	if k >= 2 {
+		cl = cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
+			K: k, Seed: r.Config.Seed, PlusPlus: true, Restarts: 5,
+		})
+	} else {
+		best := -2.0
+		for kk := 2; kk <= 4; kk++ {
+			cand := cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
+				K: kk, Seed: r.Config.Seed, PlusPlus: true, Restarts: 5,
+			})
+			if s := cluster.Silhouette(d.Index, cand); s > best {
+				best, cl = s, cand
+			}
+		}
+	}
+	clusterTime := time.Since(start)
+
+	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
+	return &QueryRun{
+		Dataset: d, TQ: tq, Query: q, Results: results, Universe: universe,
+		Weights: weights, Clustering: cl, Problems: problems,
+		ClusterTime: clusterTime,
+	}
+}
+
+// expanders returns the cluster-based methods, configured per the paper.
+func (r *Runner) expanders() []core.Expander {
+	return []core.Expander{
+		&core.ISKR{},
+		&core.PEBC{Segments: r.Config.PEBCSegments,
+			Iterations: r.Config.PEBCIterations, Seed: r.Config.Seed},
+		&core.FMeasureVariant{},
+	}
+}
+
+// MethodQueries holds the expanded queries one approach produced for one
+// test query, with timing.
+type MethodQueries struct {
+	Method  string
+	Queries []search.Query
+	Elapsed time.Duration
+	// Score is the Eq. 1 score; NaN-free: 0 when inapplicable (Data Clouds
+	// and Google are not cluster-based, per §5.2.2).
+	Score      float64
+	Applicable bool // whether Score is meaningful for this method
+}
+
+// RunAll executes every approach on a prepared query and returns their
+// expanded queries, Eq. 1 scores (where applicable) and timings.
+func (r *Runner) RunAll(qr *QueryRun) []MethodQueries {
+	var out []MethodQueries
+
+	// Cluster-based: ISKR, PEBC, F-measure.
+	for _, ex := range r.expanders() {
+		start := time.Now()
+		res := core.Solve(ex, qr.Problems)
+		elapsed := time.Since(start)
+		out = append(out, MethodQueries{
+			Method: ex.Name(), Queries: res.Queries(), Elapsed: elapsed,
+			Score: res.Score, Applicable: true,
+		})
+	}
+
+	// CS: TFICF labels per cluster.
+	cs := &baseline.CS{LabelSize: 3}
+	start := time.Now()
+	csQueries := cs.Suggest(qr.Dataset.Index, qr.Clustering, qr.Query)
+	csScore := r.scoreAgainstClusters(qr, csQueries)
+	out = append(out, MethodQueries{
+		Method: MethodCS, Queries: csQueries, Elapsed: time.Since(start),
+		Score: csScore, Applicable: true,
+	})
+
+	// Data Clouds: top words over the ranked results (no clusters).
+	dc := &baseline.DataClouds{TopK: len(qr.Problems)}
+	start = time.Now()
+	dcQueries := dc.Suggest(qr.Dataset.Index, qr.Results, qr.Query)
+	out = append(out, MethodQueries{
+		Method: MethodDataClouds, Queries: dcQueries, Elapsed: time.Since(start),
+	})
+
+	// Google: query-log suggestions (no clusters, no corpus access).
+	log := baseline.NewQueryLog(qr.Dataset.Log)
+	start = time.Now()
+	gQueries := log.Suggest(qr.TQ.Raw, len(qr.Problems))
+	out = append(out, MethodQueries{
+		Method: MethodGoogle, Queries: gQueries, Elapsed: time.Since(start),
+	})
+
+	return out
+}
+
+// logPopularity returns a suggestion's normalized popularity in the dataset's
+// query log (0 when not found). The simulated raters treat popular log
+// queries as inherently "related to the search" — the paper's raters judged
+// Google's suggestions by real-world meaning, not corpus presence, and
+// marked them down only to "related but there are better ones" when they
+// were not results-oriented.
+func (r *Runner) logPopularity(d *dataset.Dataset, q search.Query) float64 {
+	maxCount := 0
+	match := 0
+	for _, e := range d.Log {
+		if e.Count > maxCount {
+			maxCount = e.Count
+		}
+		terms := search.NewQuery(strings.Fields(strings.ToLower(e.Query))...)
+		if terms.Len() != q.Len() {
+			continue
+		}
+		same := true
+		for _, t := range q.Terms {
+			if !terms.Contains(t) {
+				same = false
+				break
+			}
+		}
+		if same && e.Count > match {
+			match = e.Count
+		}
+	}
+	if maxCount == 0 {
+		return 0
+	}
+	return float64(match) / float64(maxCount)
+}
+
+// scoreAgainstClusters computes Eq. 1 for a set of queries that were
+// generated one-per-cluster but whose terms may fall outside the candidate
+// pools (CS labels): each query is evaluated with full retrieval restricted
+// to the universe.
+func (r *Runner) scoreAgainstClusters(qr *QueryRun, queries []search.Query) float64 {
+	sets := qr.Clustering.Sets()
+	n := len(queries)
+	if n > len(sets) {
+		n = len(sets)
+	}
+	fs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		retrieved := baseline.RetrieveWithin(qr.Dataset.Index, queries[i], qr.Universe)
+		fs = append(fs, eval.Measure(retrieved, sets[i], qr.Weights).F)
+	}
+	return eval.Score(fs)
+}
+
+// resultSets evaluates each query against the universe (full retrieval, so
+// out-of-corpus terms yield empty sets — the Google behaviour the paper
+// describes).
+func (r *Runner) resultSets(qr *QueryRun, queries []search.Query) []document.DocSet {
+	out := make([]document.DocSet, len(queries))
+	for i, q := range queries {
+		out[i] = baseline.RetrieveWithin(qr.Dataset.Index, q, qr.Universe)
+	}
+	return out
+}
+
+// relatedness measures how results-oriented one expanded query is: the
+// fraction of its expansion terms occurring anywhere in the original
+// results, halved when the conjunctive query retrieves nothing.
+func (r *Runner) relatedness(qr *QueryRun, q search.Query) float64 {
+	var expansion []string
+	for _, t := range q.Terms {
+		if !qr.Query.Contains(t) {
+			expansion = append(expansion, t)
+		}
+	}
+	if len(expansion) == 0 {
+		return 0.5 // the unmodified query: related but unhelpful
+	}
+	present := 0
+	for _, t := range expansion {
+		found := false
+		for id := range qr.Universe {
+			if qr.Dataset.Index.HasTerm(id, t) {
+				found = true
+				break
+			}
+		}
+		if found {
+			present++
+		}
+	}
+	rel := float64(present) / float64(len(expansion))
+	if baseline.RetrieveWithin(qr.Dataset.Index, q, qr.Universe).Len() == 0 {
+		rel *= 0.4
+	}
+	return rel
+}
+
+// helpfulness is the query's best F-measure against any cluster.
+func (r *Runner) helpfulness(qr *QueryRun, q search.Query) float64 {
+	retrieved := baseline.RetrieveWithin(qr.Dataset.Index, q, qr.Universe)
+	best := 0.0
+	for _, set := range qr.Clustering.Sets() {
+		if f := eval.Measure(retrieved, set, qr.Weights).F; f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// AllQueryRuns prepares every test query of both datasets, in Table 1
+// order.
+func (r *Runner) AllQueryRuns() []*QueryRun {
+	var out []*QueryRun
+	for _, d := range []*dataset.Dataset{r.Shopping, r.Wiki} {
+		for _, tq := range d.Queries {
+			out = append(out, r.Prepare(d, tq))
+		}
+	}
+	return out
+}
+
+// MethodOrder is the canonical figure ordering of the six approaches.
+func MethodOrder() []string {
+	return []string{MethodISKR, MethodPEBC, MethodFMeasure, MethodCS,
+		MethodDataClouds, MethodGoogle}
+}
+
+// sortByMethodOrder orders a method->value map's keys canonically.
+func sortByMethodOrder(keys []string) {
+	rank := map[string]int{}
+	for i, m := range MethodOrder() {
+		rank[m] = i
+	}
+	sort.Slice(keys, func(i, j int) bool { return rank[keys[i]] < rank[keys[j]] })
+}

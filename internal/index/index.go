@@ -1,0 +1,214 @@
+// Package index implements the in-memory inverted index that backs the
+// search substrate. Postings lists are sorted by document ID and carry term
+// frequencies, which the ranking layer (TF-IDF) and the baselines (Data
+// Clouds, TFICF cluster summarization) consume.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+)
+
+// Posting records one document's occurrences of a term.
+type Posting struct {
+	Doc document.DocID
+	// Freq is the number of occurrences of the term in the document.
+	Freq int
+}
+
+// PostingList is the ordered (by DocID) list of postings for one term.
+type PostingList []Posting
+
+// Docs returns the document IDs of the posting list, in order.
+func (p PostingList) Docs() []document.DocID {
+	out := make([]document.DocID, len(p))
+	for i, e := range p {
+		out[i] = e.Doc
+	}
+	return out
+}
+
+// Contains reports whether the posting list has an entry for id, using
+// binary search.
+func (p PostingList) Contains(id document.DocID) bool {
+	i := sort.Search(len(p), func(i int) bool { return p[i].Doc >= id })
+	return i < len(p) && p[i].Doc == id
+}
+
+// Freq returns the term frequency for id, or 0 when absent.
+func (p PostingList) Freq(id document.DocID) int {
+	i := sort.Search(len(p), func(i int) bool { return p[i].Doc >= id })
+	if i < len(p) && p[i].Doc == id {
+		return p[i].Freq
+	}
+	return 0
+}
+
+// Index is an inverted index over a corpus. It is built once and then
+// read-only; concurrent readers are safe after Build returns.
+type Index struct {
+	corpus   *document.Corpus
+	analyzer *analysis.Analyzer
+
+	postings map[string]PostingList
+	// docTerms[id] is the sorted set of distinct terms of each document —
+	// the "document as a set of words" of Section 2. The QEC algorithms
+	// iterate these to enumerate candidate keywords.
+	docTerms map[document.DocID][]string
+	// docLen[id] is the total token count (for TF normalization).
+	docLen map[document.DocID]int
+	// totalLen is the sum of docLen (for average document length).
+	totalLen int
+}
+
+// Build indexes every document of the corpus with the given analyzer.
+// Structured documents additionally index their composite triplet terms
+// (entity:attribute:value) verbatim, so expanded queries can reference exact
+// features.
+func Build(corpus *document.Corpus, analyzer *analysis.Analyzer) *Index {
+	idx := &Index{
+		corpus:   corpus,
+		analyzer: analyzer,
+		postings: make(map[string]PostingList),
+		docTerms: make(map[document.DocID][]string),
+		docLen:   make(map[document.DocID]int),
+	}
+	for _, doc := range corpus.Docs() {
+		idx.add(doc)
+	}
+	return idx
+}
+
+func (idx *Index) add(doc *document.Document) {
+	counts := make(map[string]int)
+	tokens := idx.analyzer.Analyze(doc.FullText())
+	for _, tok := range tokens {
+		counts[tok.Term]++
+	}
+	for _, composite := range doc.CompositeTerms() {
+		counts[composite]++
+	}
+	terms := make([]string, 0, len(counts))
+	total := 0
+	for term, n := range counts {
+		terms = append(terms, term)
+		total += n
+		idx.postings[term] = append(idx.postings[term], Posting{Doc: doc.ID, Freq: n})
+	}
+	sort.Strings(terms)
+	idx.docTerms[doc.ID] = terms
+	idx.docLen[doc.ID] = total
+	idx.totalLen += total
+}
+
+// Corpus returns the indexed corpus.
+func (idx *Index) Corpus() *document.Corpus { return idx.corpus }
+
+// Analyzer returns the analyzer the index was built with; queries must be
+// analyzed with the same pipeline.
+func (idx *Index) Analyzer() *analysis.Analyzer { return idx.analyzer }
+
+// Postings returns the posting list for a term (nil when the term does not
+// occur). The returned slice is shared and must not be mutated.
+func (idx *Index) Postings(term string) PostingList { return idx.postings[term] }
+
+// DocFreq returns the number of documents containing term.
+func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
+
+// NumDocs returns the corpus size.
+func (idx *Index) NumDocs() int { return idx.corpus.Len() }
+
+// NumTerms returns the vocabulary size.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// AvgDocLen returns the mean token count per document.
+func (idx *Index) AvgDocLen() float64 {
+	if idx.NumDocs() == 0 {
+		return 0
+	}
+	return float64(idx.totalLen) / float64(idx.NumDocs())
+}
+
+// DocLen returns the token count of a document.
+func (idx *Index) DocLen(id document.DocID) int { return idx.docLen[id] }
+
+// DocTerms returns the sorted distinct terms of a document. The returned
+// slice is shared and must not be mutated.
+func (idx *Index) DocTerms(id document.DocID) []string { return idx.docTerms[id] }
+
+// HasTerm reports whether document id contains term.
+func (idx *Index) HasTerm(id document.DocID, term string) bool {
+	terms := idx.docTerms[id]
+	i := sort.SearchStrings(terms, term)
+	return i < len(terms) && terms[i] == term
+}
+
+// TermFreq returns the frequency of term in document id.
+func (idx *Index) TermFreq(id document.DocID, term string) int {
+	return idx.postings[term].Freq(id)
+}
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/df); 0 for unseen terms.
+func (idx *Index) IDF(term string) float64 {
+	df := idx.DocFreq(term)
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(idx.NumDocs())/float64(df))
+}
+
+// TFIDF returns tf · idf for a term in a document, with raw term-frequency
+// weighting as used by the paper's setup ("the weight of each component is
+// the TF of the feature"; results ranked by "tfidf of the keywords").
+func (idx *Index) TFIDF(id document.DocID, term string) float64 {
+	tf := idx.TermFreq(id, term)
+	if tf == 0 {
+		return 0
+	}
+	return float64(tf) * idx.IDF(term)
+}
+
+// Vocabulary returns all indexed terms, sorted. Intended for tests and
+// debugging; it allocates.
+func (idx *Index) Vocabulary() []string {
+	terms := make([]string, 0, len(idx.postings))
+	for t := range idx.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Validate checks internal invariants (postings sorted, doc frequencies
+// consistent with document term sets) and returns an error describing the
+// first violation. Used by tests and the property suite.
+func (idx *Index) Validate() error {
+	for term, plist := range idx.postings {
+		for i := 1; i < len(plist); i++ {
+			if plist[i-1].Doc >= plist[i].Doc {
+				return fmt.Errorf("postings for %q not strictly sorted at %d", term, i)
+			}
+		}
+		for _, p := range plist {
+			if p.Freq <= 0 {
+				return fmt.Errorf("non-positive freq for %q in doc %d", term, p.Doc)
+			}
+			if !idx.HasTerm(p.Doc, term) {
+				return fmt.Errorf("posting %q->%d missing from docTerms", term, p.Doc)
+			}
+		}
+	}
+	for id, terms := range idx.docTerms {
+		for _, term := range terms {
+			if !idx.postings[term].Contains(id) {
+				return fmt.Errorf("docTerm %q of doc %d missing from postings", term, id)
+			}
+		}
+	}
+	return nil
+}

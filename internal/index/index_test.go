@@ -1,0 +1,215 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	c := document.NewCorpus()
+	c.AddText("", "apple fruit orchard apple")
+	c.AddText("", "apple computer store")
+	c.AddText("", "banana fruit")
+	c.AddStructured("canon", []document.Triplet{
+		{Entity: "canonproducts", Attribute: "category", Value: "camera"},
+	})
+	return Build(c, analysis.Simple())
+}
+
+func TestBuildPostings(t *testing.T) {
+	idx := buildTestIndex(t)
+	apple := idx.Postings("apple")
+	if got := apple.Docs(); !reflect.DeepEqual(got, []document.DocID{0, 1}) {
+		t.Errorf("apple postings = %v", got)
+	}
+	if apple.Freq(0) != 2 {
+		t.Errorf("freq(apple, d0) = %d, want 2", apple.Freq(0))
+	}
+	if apple.Freq(1) != 1 {
+		t.Errorf("freq(apple, d1) = %d, want 1", apple.Freq(1))
+	}
+}
+
+func TestCompositeTermsIndexed(t *testing.T) {
+	idx := buildTestIndex(t)
+	p := idx.Postings("canonproducts:category:camera")
+	if got := p.Docs(); !reflect.DeepEqual(got, []document.DocID{3}) {
+		t.Errorf("composite postings = %v", got)
+	}
+	// Parts are searchable too.
+	if idx.DocFreq("camera") != 1 || idx.DocFreq("canonproducts") != 1 {
+		t.Error("triplet parts not indexed")
+	}
+}
+
+func TestDocFreqAndIDF(t *testing.T) {
+	idx := buildTestIndex(t)
+	if idx.DocFreq("fruit") != 2 {
+		t.Errorf("DocFreq(fruit) = %d, want 2", idx.DocFreq("fruit"))
+	}
+	if idx.DocFreq("nosuchterm") != 0 {
+		t.Error("DocFreq of unseen term should be 0")
+	}
+	if idx.IDF("nosuchterm") != 0 {
+		t.Error("IDF of unseen term should be 0")
+	}
+	wantIDF := math.Log(1 + 4.0/2.0)
+	if got := idx.IDF("fruit"); math.Abs(got-wantIDF) > 1e-12 {
+		t.Errorf("IDF(fruit) = %v, want %v", got, wantIDF)
+	}
+	// Rarer terms have higher IDF.
+	if idx.IDF("banana") <= idx.IDF("fruit") {
+		t.Error("rarer term should have higher IDF")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	idx := buildTestIndex(t)
+	if idx.TFIDF(2, "apple") != 0 {
+		t.Error("TFIDF for absent term should be 0")
+	}
+	// d0 has apple twice, d1 once: same idf, double tf.
+	r := idx.TFIDF(0, "apple") / idx.TFIDF(1, "apple")
+	if math.Abs(r-2) > 1e-12 {
+		t.Errorf("TFIDF ratio = %v, want 2", r)
+	}
+}
+
+func TestDocTermsSortedDistinct(t *testing.T) {
+	idx := buildTestIndex(t)
+	terms := idx.DocTerms(0)
+	if !sort.StringsAreSorted(terms) {
+		t.Errorf("DocTerms not sorted: %v", terms)
+	}
+	want := []string{"apple", "fruit", "orchard"} // "apple" deduped
+	if !reflect.DeepEqual(terms, want) {
+		t.Errorf("DocTerms = %v, want %v", terms, want)
+	}
+}
+
+func TestHasTerm(t *testing.T) {
+	idx := buildTestIndex(t)
+	if !idx.HasTerm(0, "apple") || idx.HasTerm(0, "banana") {
+		t.Error("HasTerm wrong")
+	}
+	if idx.HasTerm(99, "apple") {
+		t.Error("HasTerm on unknown doc should be false")
+	}
+}
+
+func TestDocLenAndAvg(t *testing.T) {
+	idx := buildTestIndex(t)
+	if idx.DocLen(0) != 4 {
+		t.Errorf("DocLen(0) = %d, want 4", idx.DocLen(0))
+	}
+	if idx.AvgDocLen() <= 0 {
+		t.Error("AvgDocLen should be positive")
+	}
+}
+
+func TestNumDocsTerms(t *testing.T) {
+	idx := buildTestIndex(t)
+	if idx.NumDocs() != 4 {
+		t.Errorf("NumDocs = %d", idx.NumDocs())
+	}
+	if idx.NumTerms() == 0 {
+		t.Error("NumTerms = 0")
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	idx := Build(document.NewCorpus(), analysis.Simple())
+	if idx.NumDocs() != 0 || idx.NumTerms() != 0 || idx.AvgDocLen() != 0 {
+		t.Error("empty corpus stats wrong")
+	}
+	if err := idx.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	idx := buildTestIndex(t)
+	if err := idx.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPostingListContains(t *testing.T) {
+	p := PostingList{{Doc: 1, Freq: 1}, {Doc: 5, Freq: 2}, {Doc: 9, Freq: 1}}
+	for _, id := range []document.DocID{1, 5, 9} {
+		if !p.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []document.DocID{0, 2, 10} {
+		if p.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestVocabularySorted(t *testing.T) {
+	idx := buildTestIndex(t)
+	v := idx.Vocabulary()
+	if !sort.StringsAreSorted(v) {
+		t.Errorf("Vocabulary not sorted: %v", v)
+	}
+}
+
+// Property: on a random corpus, the index validates and document frequency
+// equals a naive recount.
+func TestIndexPropertyRandomCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa"}
+	for trial := 0; trial < 25; trial++ {
+		c := document.NewCorpus()
+		n := 1 + rng.Intn(20)
+		raw := make([][]string, n)
+		for i := 0; i < n; i++ {
+			m := 1 + rng.Intn(12)
+			doc := make([]string, m)
+			for j := range doc {
+				doc[j] = words[rng.Intn(len(words))]
+			}
+			raw[i] = doc
+			c.AddText("", joinWords(doc))
+		}
+		idx := Build(c, analysis.Simple())
+		if err := idx.Validate(); err != nil {
+			t.Fatalf("trial %d: Validate: %v", trial, err)
+		}
+		for _, w := range words {
+			naive := 0
+			for _, doc := range raw {
+				for _, t2 := range doc {
+					if t2 == w {
+						naive++
+						break
+					}
+				}
+			}
+			if got := idx.DocFreq(w); got != naive {
+				t.Fatalf("trial %d: DocFreq(%q) = %d, want %d", trial, w, got, naive)
+			}
+		}
+	}
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+)
+
+// persistVersion guards the on-disk format; bump on incompatible change.
+const persistVersion = 1
+
+// snapshot is the gob-encoded form of an index together with its corpus.
+// The analyzer is not serialized (it contains function values); the loader
+// receives it explicitly and the snapshot records only which standard
+// pipeline was used, as a consistency check.
+type snapshot struct {
+	Version  int
+	Docs     []document.Document
+	Postings map[string]PostingList
+	DocTerms map[document.DocID][]string
+	DocLen   map[document.DocID]int
+	TotalLen int
+}
+
+// encodeSnapshot writes a raw snapshot; split out so tests can craft
+// version-mismatched streams.
+func encodeSnapshot(w io.Writer, snap *snapshot) error {
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Save writes the index (including its corpus) to w in gob format.
+func (idx *Index) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:  persistVersion,
+		Postings: idx.postings,
+		DocTerms: idx.docTerms,
+		DocLen:   idx.docLen,
+		TotalLen: idx.totalLen,
+	}
+	for _, d := range idx.corpus.Docs() {
+		snap.Docs = append(snap.Docs, *d)
+	}
+	if err := encodeSnapshot(w, &snap); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save. The analyzer must be the
+// same pipeline the index was built with; queries analyzed differently will
+// not match the stored postings.
+func Load(r io.Reader, analyzer *analysis.Analyzer) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("index: load: unsupported snapshot version %d", snap.Version)
+	}
+	corpus := document.NewCorpus()
+	for i := range snap.Docs {
+		d := snap.Docs[i]
+		corpus.Add(&d)
+	}
+	idx := &Index{
+		corpus:   corpus,
+		analyzer: analyzer,
+		postings: snap.Postings,
+		docTerms: snap.DocTerms,
+		docLen:   snap.DocLen,
+		totalLen: snap.TotalLen,
+	}
+	if idx.postings == nil {
+		idx.postings = map[string]PostingList{}
+	}
+	if idx.docTerms == nil {
+		idx.docTerms = map[document.DocID][]string{}
+	}
+	if idx.docLen == nil {
+		idx.docLen = map[document.DocID]int{}
+	}
+	if err := idx.Validate(); err != nil {
+		return nil, fmt.Errorf("index: load: corrupt snapshot: %w", err)
+	}
+	return idx, nil
+}

@@ -1,0 +1,221 @@
+// Package search implements boolean keyword retrieval with TF-IDF ranking
+// over the inverted index. A result of a query is, per Section 2 of the
+// paper, a document that contains all the query keywords (AND semantics);
+// OR semantics is also provided since the paper notes it is "essentially the
+// identical problem".
+package search
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+// Semantics selects how multiple keywords combine.
+type Semantics int
+
+const (
+	// And retrieves documents containing every keyword.
+	And Semantics = iota
+	// Or retrieves documents containing at least one keyword.
+	Or
+)
+
+// Query is a keyword query: a set of normalized terms. Terms may be plain
+// words or composite triplet terms (entity:attribute:value).
+type Query struct {
+	Terms []string
+}
+
+// ParseQuery analyzes raw user text into a query using the index's analyzer.
+// Composite terms (containing ':') are kept verbatim.
+func ParseQuery(idx *index.Index, raw string) Query {
+	var terms []string
+	seen := make(map[string]struct{})
+	for _, field := range strings.Fields(raw) {
+		if strings.Contains(field, ":") {
+			if _, ok := seen[field]; !ok {
+				seen[field] = struct{}{}
+				terms = append(terms, strings.ToLower(field))
+			}
+			continue
+		}
+		for _, term := range idx.Analyzer().UniqueTerms(field) {
+			if _, ok := seen[term]; !ok {
+				seen[term] = struct{}{}
+				terms = append(terms, term)
+			}
+		}
+	}
+	return Query{Terms: terms}
+}
+
+// NewQuery builds a query from already-normalized terms, deduplicated,
+// preserving order.
+func NewQuery(terms ...string) Query {
+	seen := make(map[string]struct{}, len(terms))
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return Query{Terms: out}
+}
+
+// With returns a copy of q with term appended (no-op if already present).
+func (q Query) With(term string) Query {
+	for _, t := range q.Terms {
+		if t == term {
+			return q
+		}
+	}
+	terms := make([]string, len(q.Terms), len(q.Terms)+1)
+	copy(terms, q.Terms)
+	return Query{Terms: append(terms, term)}
+}
+
+// Without returns a copy of q with term removed.
+func (q Query) Without(term string) Query {
+	terms := make([]string, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		if t != term {
+			terms = append(terms, t)
+		}
+	}
+	return Query{Terms: terms}
+}
+
+// Contains reports whether the query includes term.
+func (q Query) Contains(term string) bool {
+	for _, t := range q.Terms {
+		if t == term {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of terms.
+func (q Query) Len() int { return len(q.Terms) }
+
+// String renders the query as space-joined terms.
+func (q Query) String() string { return strings.Join(q.Terms, " ") }
+
+// Result is one ranked search hit.
+type Result struct {
+	Doc   document.DocID
+	Score float64
+}
+
+// Engine evaluates queries against an index.
+type Engine struct {
+	idx *index.Index
+}
+
+// NewEngine returns a search engine over idx.
+func NewEngine(idx *index.Index) *Engine { return &Engine{idx: idx} }
+
+// Index returns the underlying index.
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// Eval returns the unranked result set of q under the given semantics.
+// An empty AND query matches every document; an empty OR query matches none.
+func (e *Engine) Eval(q Query, sem Semantics) document.DocSet {
+	if sem == Or {
+		return e.evalOr(q)
+	}
+	return e.evalAnd(q)
+}
+
+func (e *Engine) evalAnd(q Query) document.DocSet {
+	if len(q.Terms) == 0 {
+		all := make(document.DocSet, e.idx.NumDocs())
+		for _, d := range e.idx.Corpus().Docs() {
+			all.Add(d.ID)
+		}
+		return all
+	}
+	// Intersect postings smallest-first to keep intermediate sets small.
+	lists := make([]index.PostingList, len(q.Terms))
+	for i, t := range q.Terms {
+		lists[i] = e.idx.Postings(t)
+		if len(lists[i]) == 0 {
+			return document.DocSet{}
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := make(document.DocSet, len(lists[0]))
+	for _, p := range lists[0] {
+		out.Add(p.Doc)
+	}
+	for _, plist := range lists[1:] {
+		for id := range out {
+			if !plist.Contains(id) {
+				out.Remove(id)
+			}
+		}
+		if out.Len() == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+func (e *Engine) evalOr(q Query) document.DocSet {
+	out := document.DocSet{}
+	for _, t := range q.Terms {
+		for _, p := range e.idx.Postings(t) {
+			out.Add(p.Doc)
+		}
+	}
+	return out
+}
+
+// Score returns the TF-IDF relevance score of document id for query q:
+// the sum of tf·idf over the query terms, normalized by document length.
+// This is the ranking the experimental setup describes ("the results are
+// ranked using tfidf of the keywords").
+func (e *Engine) Score(id document.DocID, q Query) float64 {
+	s := 0.0
+	for _, t := range q.Terms {
+		s += e.idx.TFIDF(id, t)
+	}
+	if n := e.idx.DocLen(id); n > 0 {
+		s /= 1 + float64(n)/e.idx.AvgDocLen()
+	}
+	return s
+}
+
+// Search evaluates q and returns results ranked by descending TF-IDF score
+// (ties broken by ascending DocID for determinism). topK <= 0 returns all.
+func (e *Engine) Search(q Query, sem Semantics, topK int) []Result {
+	set := e.Eval(q, sem)
+	results := make([]Result, 0, set.Len())
+	for id := range set {
+		results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if topK > 0 && len(results) > topK {
+		results = results[:topK]
+	}
+	return results
+}
+
+// ResultSet converts ranked results into a DocSet.
+func ResultSet(results []Result) document.DocSet {
+	s := make(document.DocSet, len(results))
+	for _, r := range results {
+		s.Add(r.Doc)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolSize(t *testing.T) {
+	p := NewPool(1)
+	if got := len(p.JudgeIndividual(0.5, 0.5)); got != 45 {
+		t.Errorf("judgments = %d, want 45 raters", got)
+	}
+	if got := len(p.JudgeCollective(0.5, 0.5)); got != 45 {
+		t.Errorf("judgments = %d, want 45 raters", got)
+	}
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	a := NewPool(7).JudgeIndividual(0.7, 0.6)
+	b := NewPool(7).JudgeIndividual(0.7, 0.6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different judgments")
+		}
+	}
+}
+
+func TestBetterProxiesScoreHigher(t *testing.T) {
+	p := NewPool(3)
+	good := Summarize(p.JudgeIndividual(0.95, 0.9))
+	bad := Summarize(p.JudgeIndividual(0.2, 0.15))
+	if good.MeanScore <= bad.MeanScore {
+		t.Errorf("good %v <= bad %v", good.MeanScore, bad.MeanScore)
+	}
+	if good.MeanScore < 4 {
+		t.Errorf("excellent query mean = %v, want >= 4", good.MeanScore)
+	}
+	if bad.MeanScore > 2.5 {
+		t.Errorf("poor query mean = %v, want <= 2.5", bad.MeanScore)
+	}
+}
+
+func TestUnrelatedQueryGetsOptionC(t *testing.T) {
+	p := NewPool(3)
+	s := Summarize(p.JudgeIndividual(0.05, 0.5))
+	if s.PctC < 80 {
+		t.Errorf("unrelated query got only %.0f%% option C", s.PctC)
+	}
+}
+
+func TestExcellentQueryGetsOptionA(t *testing.T) {
+	p := NewPool(3)
+	s := Summarize(p.JudgeIndividual(0.95, 0.95))
+	if s.PctA < 70 {
+		t.Errorf("excellent query got only %.0f%% option A", s.PctA)
+	}
+}
+
+func TestCollectiveOptionLogic(t *testing.T) {
+	p := NewPool(5)
+	both := Summarize(p.JudgeCollective(0.95, 0.95))
+	if both.PctC < 70 {
+		t.Errorf("both-properties set got %.0f%% option C", both.PctC)
+	}
+	neither := Summarize(p.JudgeCollective(0.1, 0.1))
+	if neither.PctA < 70 {
+		t.Errorf("neither-property set got %.0f%% option A", neither.PctA)
+	}
+	oneOnly := Summarize(p.JudgeCollective(0.95, 0.1))
+	if oneOnly.PctB < 60 {
+		t.Errorf("one-property set got %.0f%% option B", oneOnly.PctB)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+}
+
+func TestSummarizePercentagesSum(t *testing.T) {
+	p := NewPool(11)
+	for _, proxies := range [][2]float64{{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.2}} {
+		s := Summarize(p.JudgeIndividual(proxies[0], proxies[1]))
+		if math.Abs(s.PctA+s.PctB+s.PctC-100) > 1e-9 {
+			t.Errorf("percentages sum to %v", s.PctA+s.PctB+s.PctC)
+		}
+	}
+}
+
+// Property: scores are always within 1..5 and percentages within [0,100].
+func TestJudgmentPropertyBounds(t *testing.T) {
+	p := NewPool(13)
+	prop := func(a, b uint8) bool {
+		x := float64(a%101) / 100
+		y := float64(b%101) / 100
+		for _, js := range [][]Judgment{p.JudgeIndividual(x, y), p.JudgeCollective(x, y)} {
+			for _, j := range js {
+				if j.Score < 1 || j.Score > 5 {
+					return false
+				}
+				if j.Option != OptionA && j.Option != OptionB && j.Option != OptionC {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean score is monotone in quality (comparing two clearly
+// separated quality levels).
+func TestJudgmentPropertyMonotone(t *testing.T) {
+	p := NewPool(17)
+	for q := 0.0; q <= 0.6; q += 0.1 {
+		lo := Summarize(p.JudgeIndividual(q, q)).MeanScore
+		hi := Summarize(p.JudgeIndividual(q+0.35, q+0.35)).MeanScore
+		if hi <= lo {
+			t.Errorf("quality %v: hi %v <= lo %v", q, hi, lo)
+		}
+	}
+}

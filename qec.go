@@ -1,0 +1,276 @@
+package qec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/eval"
+	"repro/internal/index"
+	"repro/internal/search"
+)
+
+// Re-exported data types. External users cannot import the internal
+// packages directly; these aliases are the public names.
+type (
+	// Document is one searchable unit (text or structured).
+	Document = document.Document
+	// Triplet is a structured (entity:attribute:value) feature.
+	Triplet = document.Triplet
+	// DocID identifies a document within an engine.
+	DocID = document.DocID
+	// Result is one ranked search hit.
+	Result = search.Result
+	// Query is a keyword query (a set of normalized terms).
+	Query = search.Query
+)
+
+// Method selects the expansion algorithm.
+type Method int
+
+const (
+	// ISKR is iterative single-keyword refinement (paper Section 3) — the
+	// default; best quality in the paper's experiments.
+	ISKR Method = iota
+	// PEBC is partial elimination based convergence (Section 4) — faster
+	// on large result sets, slightly lower quality.
+	PEBC
+	// DeltaF is the exact-but-slow ISKR variant whose keyword values are
+	// delta F-measures (the paper's "F-measure" comparison method).
+	DeltaF
+	// ORExpansion generates expanded queries under OR semantics (the
+	// paper's appendix problem): keywords whose union of results covers the
+	// cluster. The returned queries stand alone (they do not include the
+	// original query's terms).
+	ORExpansion
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case PEBC:
+		return "PEBC"
+	case DeltaF:
+		return "DeltaF"
+	case ORExpansion:
+		return "OR-ISKR"
+	default:
+		return "ISKR"
+	}
+}
+
+// Engine is the top-level façade: a corpus, its index, and the expansion
+// pipeline. Not safe for concurrent mutation; safe for concurrent reads
+// after Build.
+type Engine struct {
+	corpus   *document.Corpus
+	analyzer *analysis.Analyzer
+	idx      *index.Index
+	eng      *search.Engine
+	seed     int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithStemming switches to the full prose pipeline (lowercase, stopwords,
+// Porter stemmer). The default pipeline skips stemming so structured feature
+// values round-trip exactly.
+func WithStemming() Option {
+	return func(e *Engine) { e.analyzer = analysis.Standard() }
+}
+
+// WithSeed fixes the random seed used by clustering and PEBC (default 1).
+func WithSeed(seed int64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// NewEngine returns an empty engine.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		corpus:   document.NewCorpus(),
+		analyzer: analysis.Simple(),
+		seed:     1,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// AddText adds a prose document and returns its ID. Must be called before
+// Build.
+func (e *Engine) AddText(title, body string) DocID {
+	e.idx = nil
+	return e.corpus.AddText(title, body)
+}
+
+// AddProduct adds a structured document with feature triplets and returns
+// its ID. Must be called before Build.
+func (e *Engine) AddProduct(title string, triplets []Triplet) DocID {
+	e.idx = nil
+	return e.corpus.AddStructured(title, triplets)
+}
+
+// Len returns the number of documents.
+func (e *Engine) Len() int { return e.corpus.Len() }
+
+// Get returns a document by ID (nil when out of range).
+func (e *Engine) Get(id DocID) *Document { return e.corpus.Get(id) }
+
+// Build indexes the corpus. It is called implicitly by Search and Expand
+// when needed; call it explicitly to control when the cost is paid.
+func (e *Engine) Build() {
+	if e.idx == nil {
+		e.idx = index.Build(e.corpus, e.analyzer)
+		e.eng = search.NewEngine(e.idx)
+	}
+}
+
+// Search runs a keyword query (AND semantics) and returns results ranked by
+// TF-IDF. topK <= 0 returns all results.
+func (e *Engine) Search(raw string, topK int) []Result {
+	e.Build()
+	return e.eng.Search(search.ParseQuery(e.idx, raw), search.And, topK)
+}
+
+// Save writes the engine's index and corpus to w (gob format), so large
+// corpora need not be re-indexed on every start.
+func (e *Engine) Save(w io.Writer) error {
+	e.Build()
+	return e.idx.Save(w)
+}
+
+// LoadEngine restores an engine previously written by Save. Options must
+// reproduce the original analyzer configuration (pass WithStemming if the
+// saved engine used it).
+func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
+	e := NewEngine(opts...)
+	idx, err := index.Load(r, e.analyzer)
+	if err != nil {
+		return nil, err
+	}
+	e.corpus = idx.Corpus()
+	e.idx = idx
+	e.eng = search.NewEngine(idx)
+	return e, nil
+}
+
+// ExpandOptions configures Expand.
+type ExpandOptions struct {
+	// K is the maximum number of clusters / expanded queries (the
+	// user-specified granularity of Section 1). 0 means 3.
+	K int
+	// TopK considers only the top-ranked results (the paper uses 30 for
+	// large result sets). 0 means all results.
+	TopK int
+	// Method selects the algorithm (default ISKR).
+	Method Method
+	// Unweighted disables rank-weighted precision/recall.
+	Unweighted bool
+	// Parallel expands the clusters concurrently (one goroutine each).
+	// Results are identical to the sequential run.
+	Parallel bool
+	// Interleave alternates expansion and cluster re-assignment (the
+	// paper's future-work "interweaving" idea) for up to this many rounds;
+	// 0 disables it.
+	Interleave int
+}
+
+// ExpandedQuery is one expanded query with its quality against its cluster.
+type ExpandedQuery struct {
+	// Terms are the query keywords (the original query's terms first).
+	Terms []string
+	// Cluster is the ordinal of the cluster this query targets.
+	Cluster int
+	// Precision, Recall and F measure the query's results against the
+	// cluster (rank-weighted unless Unweighted was set).
+	Precision, Recall, F float64
+}
+
+// Expansion is the result of Expand: one query per cluster plus the overall
+// Eq. 1 score.
+type Expansion struct {
+	// Original is the parsed user query.
+	Original []string
+	// Queries are the expanded queries, one per cluster.
+	Queries []ExpandedQuery
+	// Clusters holds the document IDs of each cluster.
+	Clusters [][]DocID
+	// Score is the harmonic mean of the queries' F-measures (Eq. 1).
+	Score float64
+}
+
+// Expand runs the full pipeline of the paper on a user query: search,
+// cluster the results, and generate one expanded query per cluster.
+func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
+	e.Build()
+	q := search.ParseQuery(e.idx, raw)
+	if q.Len() == 0 {
+		return nil, errors.New("qec: empty query")
+	}
+	results := e.eng.Search(q, search.And, opts.TopK)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("qec: no results for %q", raw)
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 3
+	}
+	universe := search.ResultSet(results)
+	var weights eval.Weights
+	if !opts.Unweighted {
+		weights = eval.Weights{}
+		for _, r := range results {
+			weights[r.Doc] = r.Score
+		}
+	}
+	cl := cluster.KMeans(e.idx, universe.IDs(), cluster.Options{
+		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5,
+	})
+
+	var expander core.Expander
+	switch opts.Method {
+	case PEBC:
+		expander = &core.PEBC{Seed: e.seed}
+	case DeltaF:
+		expander = &core.FMeasureVariant{}
+	case ORExpansion:
+		expander = &core.ORISKR{}
+	default:
+		expander = &core.ISKR{}
+	}
+
+	var res *core.QECResult
+	switch {
+	case opts.Interleave > 0:
+		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave}
+		res = it.Run(e.idx, q, cl, weights).Result
+	case opts.Parallel:
+		res = core.SolveParallel(expander,
+			core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions()))
+	default:
+		res = core.Solve(expander,
+			core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions()))
+	}
+
+	out := &Expansion{
+		Original: q.Terms,
+		Clusters: cl.Clusters,
+		Score:    res.Score,
+	}
+	for i, ce := range res.Expansions {
+		out.Queries = append(out.Queries, ExpandedQuery{
+			Terms:     ce.Expanded.Query.Terms,
+			Cluster:   i,
+			Precision: ce.Expanded.PRF.Precision,
+			Recall:    ce.Expanded.PRF.Recall,
+			F:         ce.Expanded.PRF.F,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package qec
+
+import (
+	"strings"
+	"testing"
+)
+
+func seedEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(WithSeed(7))
+	fruit := []string{
+		"apple fruit orchard juice harvest tree",
+		"apple fruit pie bake cider orchard",
+		"apple fruit tree grove picking season",
+		"apple fruit juice press cider mill",
+	}
+	tech := []string{
+		"apple iphone store launch event keynote",
+		"apple computer mac laptop software store",
+		"apple software developer mac xcode release",
+		"apple store retail flagship opening glass",
+		"apple iphone mac ipad lineup store",
+	}
+	for _, b := range fruit {
+		e.AddText("", b)
+	}
+	for _, b := range tech {
+		e.AddText("", b)
+	}
+	return e
+}
+
+func TestEngineSearch(t *testing.T) {
+	e := seedEngine(t)
+	res := e.Search("apple fruit", 0)
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	res = e.Search("apple", 3)
+	if len(res) != 3 {
+		t.Errorf("topK=3 returned %d", len(res))
+	}
+}
+
+func TestEngineExpandClassifiesSenses(t *testing.T) {
+	e := seedEngine(t)
+	exp, err := e.Expand("apple", ExpandOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Queries) != 2 {
+		t.Fatalf("got %d expanded queries, want 2", len(exp.Queries))
+	}
+	if exp.Score <= 0.5 {
+		t.Errorf("Eq.1 score = %v, want > 0.5 on separable senses", exp.Score)
+	}
+	for _, q := range exp.Queries {
+		if q.Terms[0] != "apple" {
+			t.Errorf("expanded query %v lost the seed term", q.Terms)
+		}
+		if q.F <= 0 {
+			t.Errorf("query %v has F = %v", q.Terms, q.F)
+		}
+	}
+	// The two queries must be different.
+	if strings.Join(exp.Queries[0].Terms, " ") == strings.Join(exp.Queries[1].Terms, " ") {
+		t.Error("both expanded queries are identical")
+	}
+}
+
+func TestEngineExpandMethods(t *testing.T) {
+	for _, m := range []Method{ISKR, PEBC, DeltaF} {
+		e := seedEngine(t)
+		exp, err := e.Expand("apple", ExpandOptions{K: 2, Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if exp.Score <= 0 {
+			t.Errorf("%v: score = %v", m, exp.Score)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if ISKR.String() != "ISKR" || PEBC.String() != "PEBC" || DeltaF.String() != "DeltaF" {
+		t.Error("Method.String wrong")
+	}
+}
+
+func TestEngineExpandErrors(t *testing.T) {
+	e := seedEngine(t)
+	if _, err := e.Expand("", ExpandOptions{}); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, err := e.Expand("zzznope", ExpandOptions{}); err == nil {
+		t.Error("no-result query should error")
+	}
+}
+
+func TestEngineAddProduct(t *testing.T) {
+	e := NewEngine()
+	id := e.AddProduct("Canon PowerShot", []Triplet{
+		{Entity: "canonproducts", Attribute: "category", Value: "camera"},
+	})
+	if e.Len() != 1 || e.Get(id) == nil {
+		t.Fatal("AddProduct failed")
+	}
+	res := e.Search("canonproducts:category:camera", 0)
+	if len(res) != 1 {
+		t.Errorf("composite search got %d results", len(res))
+	}
+}
+
+func TestEngineRebuildAfterAdd(t *testing.T) {
+	e := NewEngine()
+	e.AddText("", "alpha beta")
+	if len(e.Search("alpha", 0)) != 1 {
+		t.Fatal("first search")
+	}
+	e.AddText("", "alpha gamma")
+	if len(e.Search("alpha", 0)) != 2 {
+		t.Error("index not rebuilt after post-Build add")
+	}
+}
+
+func TestEngineWithStemming(t *testing.T) {
+	e := NewEngine(WithStemming())
+	e.AddText("", "the players were skating")
+	if len(e.Search("player", 0)) != 1 {
+		t.Error("stemming engine should match 'player' to 'players'")
+	}
+}
+
+func TestEngineUnweighted(t *testing.T) {
+	e := seedEngine(t)
+	exp, err := e.Expand("apple", ExpandOptions{K: 2, Unweighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Score <= 0 {
+		t.Errorf("unweighted score = %v", exp.Score)
+	}
+}
+
+func TestEngineExpandDeterministic(t *testing.T) {
+	a, _ := seedEngine(t).Expand("apple", ExpandOptions{K: 2})
+	b, _ := seedEngine(t).Expand("apple", ExpandOptions{K: 2})
+	if a.Score != b.Score || len(a.Queries) != len(b.Queries) {
+		t.Fatal("nondeterministic expansion")
+	}
+	for i := range a.Queries {
+		if strings.Join(a.Queries[i].Terms, " ") != strings.Join(b.Queries[i].Terms, " ") {
+			t.Fatal("nondeterministic query terms")
+		}
+	}
+}
