@@ -392,3 +392,76 @@ func BenchmarkEngineExpandEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving path: cold vs cached vs coalesced Expand ---------------------------
+
+// servingEngine is the Wikipedia corpus behind the serving benches.
+func servingEngine(b *testing.B, opts ...Option) *Engine {
+	b.Helper()
+	e := NewEngine(append([]Option{WithSeed(3)}, opts...)...)
+	d := dataset.Wikipedia(3, 1)
+	for _, doc := range d.Corpus.Docs() {
+		e.AddText(doc.Title, doc.Body)
+	}
+	e.Build()
+	return e
+}
+
+var servingOpts = ExpandOptions{K: 3, TopK: 30}
+
+// BenchmarkExpandServingCold is the no-cache baseline: every request pays the
+// full search + k-means + ISKR pipeline.
+func BenchmarkExpandServingCold(b *testing.B) {
+	e := servingEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Expand("java", servingOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpandServingCached measures a repeat request to a warm cache —
+// the steady state for popular ambiguous queries. The acceptance bar is a
+// >= 10x speedup over BenchmarkExpandServingCold.
+func BenchmarkExpandServingCached(b *testing.B) {
+	e := servingEngine(b, WithExpansionCache(64))
+	if _, err := e.Expand("java", servingOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Expand("java", servingOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpandServingCoalesced measures a 32-way thundering herd on a cold
+// key: each op purges the cache and fires 32 concurrent identical requests,
+// which the singleflight group collapses into one computation
+// (computations/op stays at ~1, not 32).
+func BenchmarkExpandServingCoalesced(b *testing.B) {
+	e := servingEngine(b, WithExpansionCache(64))
+	const fanout = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e.expCache.Purge()
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := e.Expand("java", servingOpts); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.computations.Load())/float64(b.N), "computations/op")
+	b.ReportMetric(fanout, "requests/op")
+}

@@ -1,0 +1,128 @@
+// Command qec-serve exposes the query expansion pipeline as a JSON HTTP
+// service: POST /search, POST /expand, GET /healthz and GET /stats.
+//
+// The corpus comes from either a persisted index snapshot (written by
+// Engine.Save / qec-serve -write-index) or one of the synthetic datasets:
+//
+//	qec-serve -dataset wikipedia -scale 2 -addr :8080
+//	qec-serve -index wiki.idx -stemming
+//	qec-serve -dataset shopping -write-index shop.idx   # build, save, serve
+//
+// Repeated expansions of popular queries are served from a sharded LRU cache
+// (-cache) and concurrent identical requests are coalesced into a single
+// computation, so a hot ambiguous query ("apple", "jaguar") costs one
+// k-means + ISKR run no matter how many users issue it at once.
+//
+// The server drains gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	qec "repro"
+	"repro/internal/dataset"
+	"repro/internal/document"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		indexPath  = flag.String("index", "", "load a persisted index snapshot instead of generating a dataset")
+		writeIndex = flag.String("write-index", "", "after building, save the index snapshot here")
+		ds         = flag.String("dataset", "wikipedia", "generated corpus when -index is unset: shopping or wikipedia")
+		seed       = flag.Int64("seed", 2011, "dataset generation seed")
+		scale      = flag.Int("scale", 1, "corpus scale multiplier")
+		stemming   = flag.Bool("stemming", false, "use the stemming analyzer (must match a loaded index)")
+		cacheSize  = flag.Int("cache", 1024, "expansion cache capacity in entries (0 disables)")
+		workers    = flag.Int("workers", 0, "max concurrent expansions (0 = 2x GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	)
+	flag.Parse()
+
+	var opts []qec.Option
+	if *stemming {
+		opts = append(opts, qec.WithStemming())
+	}
+	opts = append(opts, qec.WithSeed(*seed))
+	if *cacheSize > 0 {
+		opts = append(opts, qec.WithExpansionCache(*cacheSize))
+	}
+
+	eng, err := loadEngine(*indexPath, *ds, *seed, *scale, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	eng.Build()
+	log.Printf("corpus ready: %d documents, index built in %v", eng.Len(), time.Since(start))
+
+	if *writeIndex != "" {
+		f, err := os.Create(*writeIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("index snapshot written to %s", *writeIndex)
+	}
+
+	srv := server.New(eng, server.Options{
+		RequestTimeout: *timeout,
+		MaxConcurrent:  *workers,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on %s (cache %d entries, timeout %v)", *addr, *cacheSize, *timeout)
+	if err := srv.Run(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shutdown complete")
+}
+
+// loadEngine restores a snapshot when path is set, otherwise fills an engine
+// from a generated dataset.
+func loadEngine(path, ds string, seed int64, scale int, opts []qec.Option) (*qec.Engine, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		eng, err := qec.LoadEngine(f, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+
+	var d *dataset.Dataset
+	switch ds {
+	case "shopping":
+		d = dataset.Shopping(seed, scale)
+	case "wikipedia":
+		d = dataset.Wikipedia(seed+1, scale)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want shopping or wikipedia)", ds)
+	}
+	eng := qec.NewEngine(opts...)
+	for _, doc := range d.Corpus.Docs() {
+		if doc.Kind == document.Structured {
+			eng.AddProduct(doc.Title, doc.Triplets)
+		} else {
+			eng.AddText(doc.Title, doc.Body)
+		}
+	}
+	return eng, nil
+}

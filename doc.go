@@ -30,10 +30,31 @@
 //	    fmt.Println(q.Terms, q.F)
 //	}
 //
+// # Serving
+//
+// The library doubles as an online service. Constructing the engine with
+// WithExpansionCache memoizes Expand results in a sharded LRU cache and
+// coalesces concurrent identical calls into one computation, so a popular
+// ambiguous query costs one k-means + ISKR run regardless of how many
+// callers issue it at once:
+//
+//	e := qec.NewEngine(qec.WithExpansionCache(1024))
+//	// ... load corpus, Build ...
+//	exp, err := e.Expand("apple", qec.ExpandOptions{K: 3})   // computed
+//	exp, err = e.Expand("apple", qec.ExpandOptions{K: 3})    // cache hit
+//	fmt.Println(e.CacheStats().HitRate())
+//
+// Build is idempotent and safe for concurrent callers; see the concurrency
+// contract on Engine. The qec-serve command (cmd/qec-serve) wraps the engine
+// in a JSON HTTP API — POST /search, POST /expand, GET /healthz, GET /stats —
+// with per-request deadlines, a bounded expansion worker pool and graceful
+// shutdown; see README.md for a quick start.
+//
 // The internal packages implement the full substrate described in DESIGN.md:
 // analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,
 // eval, core (ISKR/PEBC), baseline (Data Clouds, TFICF cluster
 // summarization, query-log suggestion), dataset (synthetic shopping and
-// Wikipedia corpora), userstudy (simulated raters) and experiment (the
-// figure-regeneration harness).
+// Wikipedia corpora), userstudy (simulated raters), experiment (the
+// figure-regeneration harness), cache (sharded LRU + request coalescing) and
+// server (the HTTP API).
 package qec

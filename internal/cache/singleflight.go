@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Group coalesces concurrent duplicate computations: while one call for a key
+// is in flight, later Do calls for the same key wait for it and share its
+// result instead of recomputing. This is the singleflight pattern
+// (golang.org/x/sync/singleflight), reimplemented generically because the
+// container must not take new dependencies.
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+
+	executions atomic.Int64
+	coalesced  atomic.Int64
+}
+
+// call is one in-flight computation.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do runs fn for key, unless a call for the same key is already in flight, in
+// which case it waits and returns the in-flight call's result. shared reports
+// whether the result came from another caller's computation. If fn panics,
+// the original panic value propagates to the initiating caller and waiters
+// receive an error.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.executions.Add(1)
+	normal := false
+	defer func() {
+		if !normal {
+			// fn panicked: release waiters with an error, then re-panic
+			// with the original value so the caller's recover logic still
+			// sees what fn threw.
+			r := recover()
+			c.err = fmt.Errorf("cache: coalesced call panicked: %v", r)
+			g.finish(key, c)
+			panic(r)
+		}
+		g.finish(key, c)
+	}()
+	c.val, c.err = fn()
+	normal = true
+	return c.val, c.err, false
+}
+
+// finish publishes c's result and retires the key so the next Do recomputes.
+func (g *Group[K, V]) finish(key K, c *call[V]) {
+	c.wg.Done()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+}
+
+// Executions returns how many times Do actually ran a computation.
+func (g *Group[K, V]) Executions() int64 { return g.executions.Load() }
+
+// Coalesced returns how many Do calls were satisfied by waiting on another
+// caller's in-flight computation.
+func (g *Group[K, V]) Coalesced() int64 { return g.coalesced.Load() }

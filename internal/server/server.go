@@ -1,0 +1,346 @@
+// Package server exposes a qec.Engine as a JSON HTTP API — the serving
+// subsystem that turns the paper's one-shot pipeline into an online query
+// expansion service.
+//
+// Endpoints:
+//
+//	POST /search   {"query": "...", "top_k": N}        → ranked hits
+//	POST /expand   {"query": "...", "k": N, ...}       → expanded queries
+//	GET  /healthz                                       → liveness + doc count
+//	GET  /stats                                         → request + cache counters
+//
+// The server applies a per-request deadline, bounds concurrent expansions
+// with a worker pool (requests that cannot get a worker before their deadline
+// are rejected with 503), and shuts down gracefully when its context is
+// cancelled. Expansion results are cached/coalesced by the engine when it was
+// constructed with qec.WithExpansionCache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	qec "repro"
+)
+
+// Engine is the part of *qec.Engine the server needs. It is an interface so
+// tests can inject slow or failing engines; *qec.Engine satisfies it.
+type Engine interface {
+	Search(raw string, topK int) []qec.Result
+	Expand(raw string, opts qec.ExpandOptions) (*qec.Expansion, error)
+	Len() int
+	CacheStats() qec.CacheStats
+}
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// RequestTimeout is the per-request deadline, covering both the wait
+	// for a worker slot and the computation itself. Default 10s.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds concurrently executing expansions (the worker
+	// pool size). Search requests are not pooled — they are index lookups,
+	// orders of magnitude cheaper than clustering + ISKR.
+	// Default 2×GOMAXPROCS.
+	MaxConcurrent int
+	// ShutdownTimeout bounds graceful drain in Run. Default 5s.
+	ShutdownTimeout time.Duration
+	// MaxBodyBytes bounds request body size. Default 1MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.ShutdownTimeout <= 0 {
+		o.ShutdownTimeout = 5 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Server serves an Engine over HTTP. Construct with New; all methods are
+// safe for concurrent use.
+type Server struct {
+	eng     Engine
+	opts    Options
+	workers chan struct{}
+	mux     *http.ServeMux
+	started time.Time
+
+	total, searches, expands              atomic.Int64
+	errcount, timeouts, rejects, canceled atomic.Int64
+}
+
+// statusClientClosedRequest is nginx's non-standard 499, the conventional
+// status for "the client disconnected before we could respond"; it is only
+// ever written to an already-dead socket, but it keeps logs unambiguous.
+const statusClientClosedRequest = 499
+
+// New returns a Server for eng. The engine must already hold its corpus;
+// when it also exposes Build (as *qec.Engine does), New builds the index
+// eagerly so the first request does not pay the indexing cost.
+func New(eng Engine, opts Options) *Server {
+	if b, ok := eng.(interface{ Build() }); ok {
+		b.Build()
+	}
+	s := &Server{
+		eng:     eng,
+		opts:    opts.withDefaults(),
+		started: time.Now(),
+	}
+	s.workers = make(chan struct{}, s.opts.MaxConcurrent)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/expand", s.handleExpand)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run listens on addr and serves until ctx is cancelled, then drains
+// in-flight requests for up to Options.ShutdownTimeout. It returns nil after
+// a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run with a caller-provided listener (which Serve takes ownership
+// of), so callers and tests can bind port 0 and discover the address.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
+		defer cancel()
+		return srv.Shutdown(drain)
+	}
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.total.Add(1)
+	if !s.allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Docs: s.eng.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.total.Add(1)
+	if !s.allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	cs := s.eng.CacheStats()
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Docs:          s.eng.Len(),
+		Requests: RequestStats{
+			Total:    s.total.Load(),
+			Search:   s.searches.Load(),
+			Expand:   s.expands.Load(),
+			Errors:   s.errcount.Load(),
+			Timeouts: s.timeouts.Load(),
+			Rejected: s.rejects.Load(),
+			Canceled: s.canceled.Load(),
+		},
+		Cache: CacheStats{
+			Hits:         cs.Hits,
+			Misses:       cs.Misses,
+			Evictions:    cs.Evictions,
+			Entries:      cs.Entries,
+			Capacity:     cs.Capacity,
+			HitRate:      cs.HitRate(),
+			Computations: cs.Computations,
+			Coalesced:    cs.Coalesced,
+		},
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.total.Add(1)
+	s.searches.Add(1)
+	if !s.allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	start := time.Now()
+	results := s.eng.Search(req.Query, req.TopK)
+	resp := SearchResponse{
+		Count:  len(results),
+		Hits:   make([]SearchHit, 0, len(results)),
+		TookMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	getter, hasGetter := s.eng.(interface{ Get(qec.DocID) *qec.Document })
+	for _, res := range results {
+		hit := SearchHit{ID: int(res.Doc), Score: res.Score}
+		if hasGetter {
+			if doc := getter.Get(res.Doc); doc != nil {
+				hit.Title = doc.Title
+			}
+		}
+		resp.Hits = append(resp.Hits, hit)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	s.total.Add(1)
+	s.expands.Add(1)
+	if !s.allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ExpandRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+
+	// Acquire a worker slot, giving up at the request deadline.
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		if r.Context().Err() != nil {
+			// The client went away while queued — not server saturation.
+			s.canceled.Add(1)
+			s.writeError(w, statusClientClosedRequest, "client closed request")
+			return
+		}
+		s.rejects.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable,
+			"expansion workers saturated, try again")
+		return
+	}
+
+	start := time.Now()
+	type outcome struct {
+		exp *qec.Expansion
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// The engine has no context plumbing (yet), so a timed-out
+		// computation runs to completion in the background — it still
+		// populates the cache for the retry — and only then frees its
+		// worker slot, keeping the concurrency bound honest.
+		defer func() { <-s.workers }()
+		exp, err := s.eng.Expand(req.Query, opts)
+		done <- outcome{exp, err}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			status := http.StatusUnprocessableEntity
+			switch {
+			case errors.Is(out.err, qec.ErrNoResults):
+				status = http.StatusNotFound
+			case errors.Is(out.err, qec.ErrEmptyQuery):
+				status = http.StatusBadRequest
+			}
+			s.writeError(w, status, out.err.Error())
+			return
+		}
+		tookMS := float64(time.Since(start).Microseconds()) / 1000
+		s.writeJSON(w, http.StatusOK, newExpandResponse(out.exp, tookMS))
+	case <-ctx.Done():
+		if r.Context().Err() != nil {
+			// Client disconnect, not a slow expansion: keep the timeout
+			// counter honest for operators watching /stats.
+			s.canceled.Add(1)
+			s.writeError(w, statusClientClosedRequest, "client closed request")
+			return
+		}
+		s.timeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, "expansion timed out")
+	}
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+func (s *Server) allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	s.writeError(w, http.StatusMethodNotAllowed, "method not allowed, use "+method)
+	return false
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: trailing data")
+		return false
+	}
+	_, _ = io.Copy(io.Discard, body)
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.errcount.Add(1)
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+
+	qec "repro"
+)
+
+// SearchRequest is the body of POST /search.
+type SearchRequest struct {
+	// Query is the raw keyword query (required).
+	Query string `json:"query"`
+	// TopK limits the number of returned hits; 0 returns all.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// SearchHit is one ranked result.
+type SearchHit struct {
+	ID    int     `json:"id"`
+	Title string  `json:"title,omitempty"`
+	Score float64 `json:"score"`
+}
+
+// SearchResponse is the body of a successful POST /search.
+type SearchResponse struct {
+	Count  int         `json:"count"`
+	Hits   []SearchHit `json:"hits"`
+	TookMS float64     `json:"took_ms"`
+}
+
+// ExpandRequest is the body of POST /expand. It wire-maps every field of
+// qec.ExpandOptions.
+type ExpandRequest struct {
+	// Query is the raw keyword query (required).
+	Query string `json:"query"`
+	// K is the maximum number of clusters / expanded queries (0 = 3).
+	K int `json:"k,omitempty"`
+	// TopK considers only the top-ranked results (0 = all).
+	TopK int `json:"top_k,omitempty"`
+	// Method is "iskr" (default), "pebc", "deltaf" or "or".
+	Method string `json:"method,omitempty"`
+	// Unweighted disables rank-weighted precision/recall.
+	Unweighted bool `json:"unweighted,omitempty"`
+	// Parallel expands the clusters concurrently.
+	Parallel bool `json:"parallel,omitempty"`
+	// Interleave alternates expansion and re-clustering for up to this many
+	// rounds (0 = off).
+	Interleave int `json:"interleave,omitempty"`
+}
+
+// Options converts the wire request into qec.ExpandOptions.
+func (r *ExpandRequest) Options() (qec.ExpandOptions, error) {
+	method, ok := qec.ParseMethod(r.Method)
+	if !ok {
+		return qec.ExpandOptions{}, fmt.Errorf("unknown method %q", r.Method)
+	}
+	return qec.ExpandOptions{
+		K:          r.K,
+		TopK:       r.TopK,
+		Method:     method,
+		Unweighted: r.Unweighted,
+		Parallel:   r.Parallel,
+		Interleave: r.Interleave,
+	}, nil
+}
+
+// ExpandedQuery is one expanded query of an ExpandResponse.
+type ExpandedQuery struct {
+	Terms     []string `json:"terms"`
+	Cluster   int      `json:"cluster"`
+	Precision float64  `json:"precision"`
+	Recall    float64  `json:"recall"`
+	F         float64  `json:"f"`
+}
+
+// ExpandResponse is the body of a successful POST /expand.
+type ExpandResponse struct {
+	Original []string        `json:"original"`
+	Queries  []ExpandedQuery `json:"queries"`
+	// Clusters holds the document IDs of each cluster, aligned with Queries.
+	Clusters [][]int `json:"clusters"`
+	// Score is the harmonic mean of the queries' F-measures (Eq. 1).
+	Score  float64 `json:"score"`
+	TookMS float64 `json:"took_ms"`
+}
+
+// newExpandResponse converts a qec.Expansion to its wire form.
+func newExpandResponse(exp *qec.Expansion, tookMS float64) *ExpandResponse {
+	resp := &ExpandResponse{
+		Original: exp.Original,
+		Queries:  make([]ExpandedQuery, 0, len(exp.Queries)),
+		Clusters: make([][]int, 0, len(exp.Clusters)),
+		Score:    exp.Score,
+		TookMS:   tookMS,
+	}
+	for _, q := range exp.Queries {
+		resp.Queries = append(resp.Queries, ExpandedQuery{
+			Terms:     q.Terms,
+			Cluster:   q.Cluster,
+			Precision: q.Precision,
+			Recall:    q.Recall,
+			F:         q.F,
+		})
+	}
+	for _, cl := range exp.Clusters {
+		ids := make([]int, len(cl))
+		for i, id := range cl {
+			ids[i] = int(id)
+		}
+		resp.Clusters = append(resp.Clusters, ids)
+	}
+	return resp
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Docs   int    `json:"docs"`
+}
+
+// RequestStats are the server's request counters.
+type RequestStats struct {
+	Total    int64 `json:"total"`
+	Search   int64 `json:"search"`
+	Expand   int64 `json:"expand"`
+	Errors   int64 `json:"errors"`
+	Timeouts int64 `json:"timeouts"`
+	// Rejected counts requests turned away because the expansion worker
+	// pool stayed saturated for the whole request deadline.
+	Rejected int64 `json:"rejected"`
+	// Canceled counts requests whose client disconnected before a
+	// response; these are deliberately kept out of Timeouts/Rejected.
+	Canceled int64 `json:"canceled"`
+}
+
+// CacheStats is the wire form of qec.CacheStats.
+type CacheStats struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Evictions    int64   `json:"evictions"`
+	Entries      int     `json:"entries"`
+	Capacity     int     `json:"capacity"`
+	HitRate      float64 `json:"hit_rate"`
+	Computations int64   `json:"computations"`
+	Coalesced    int64   `json:"coalesced"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Docs          int          `json:"docs"`
+	Requests      RequestStats `json:"requests"`
+	Cache         CacheStats   `json:"cache"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

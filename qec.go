@@ -4,8 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/document"
@@ -29,6 +33,15 @@ type (
 	Query = search.Query
 )
 
+// Sentinel errors returned by Expand, for errors.Is classification (the HTTP
+// layer maps them to 400 and 404).
+var (
+	// ErrEmptyQuery means the query analyzed to zero terms.
+	ErrEmptyQuery = errors.New("qec: empty query")
+	// ErrNoResults means the query matched no documents.
+	ErrNoResults = errors.New("qec: no results")
+)
+
 // Method selects the expansion algorithm.
 type Method int
 
@@ -49,6 +62,24 @@ const (
 	ORExpansion
 )
 
+// ParseMethod maps a method name (as printed by Method.String, plus common
+// aliases like "fmeasure" and "or") back to a Method. Matching is
+// case-insensitive; ok is false for unknown names.
+func ParseMethod(s string) (Method, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "iskr":
+		return ISKR, true
+	case "pebc":
+		return PEBC, true
+	case "deltaf", "delta-f", "fmeasure", "f-measure":
+		return DeltaF, true
+	case "or", "oriskr", "or-iskr":
+		return ORExpansion, true
+	default:
+		return ISKR, false
+	}
+}
+
 // String names the method.
 func (m Method) String() string {
 	switch m {
@@ -64,14 +95,33 @@ func (m Method) String() string {
 }
 
 // Engine is the top-level façade: a corpus, its index, and the expansion
-// pipeline. Not safe for concurrent mutation; safe for concurrent reads
-// after Build.
+// pipeline.
+//
+// Concurrency contract: mutation (AddText, AddProduct) must not overlap with
+// any other Engine call — load the corpus first, from one goroutine. Once the
+// corpus is loaded, Build, Search, Expand, Save and CacheStats are all safe
+// for concurrent use from any number of goroutines; Build is idempotent (a
+// sync.Once guards indexing), so concurrent callers race-freely share the one
+// index build. AddText/AddProduct re-arm Build and invalidate the expansion
+// cache, returning the engine to the mutation phase.
 type Engine struct {
 	corpus   *document.Corpus
 	analyzer *analysis.Analyzer
 	idx      *index.Index
 	eng      *search.Engine
 	seed     int64
+
+	// buildOnce makes Build idempotent and safe for concurrent callers. It
+	// is swapped for a fresh Once when the corpus mutates.
+	buildOnce *sync.Once
+
+	// expCache, when non-nil, memoizes Expand results keyed by the
+	// normalized query plus all result-affecting options; flight coalesces
+	// concurrent identical computations so N callers compute once.
+	cacheCap     int
+	expCache     *cache.Cache[string, *Expansion]
+	flight       cache.Group[string, *Expansion]
+	computations atomic.Int64
 }
 
 // Option configures an Engine.
@@ -89,30 +139,55 @@ func WithSeed(seed int64) Option {
 	return func(e *Engine) { e.seed = seed }
 }
 
+// WithExpansionCache enables a sharded LRU cache of up to capacity Expand
+// results, plus request coalescing: concurrent Expand calls for the same
+// query and options compute once and share the result. Cached *Expansion
+// values are shared between callers and must be treated as immutable.
+// capacity <= 0 disables caching (the default).
+func WithExpansionCache(capacity int) Option {
+	return func(e *Engine) { e.cacheCap = capacity }
+}
+
 // NewEngine returns an empty engine.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		corpus:   document.NewCorpus(),
-		analyzer: analysis.Simple(),
-		seed:     1,
+		corpus:    document.NewCorpus(),
+		analyzer:  analysis.Simple(),
+		seed:      1,
+		buildOnce: new(sync.Once),
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.cacheCap > 0 {
+		e.expCache = cache.New[string, *Expansion](e.cacheCap, cache.StringHash)
+	}
 	return e
+}
+
+// resetBuild returns the engine to the mutation phase: the index is dropped,
+// Build is re-armed, and any cached expansions (now stale) are purged. Must
+// not race with other Engine calls — see the concurrency contract on Engine.
+func (e *Engine) resetBuild() {
+	e.idx = nil
+	e.eng = nil
+	e.buildOnce = new(sync.Once)
+	if e.expCache != nil {
+		e.expCache.Purge()
+	}
 }
 
 // AddText adds a prose document and returns its ID. Must be called before
 // Build.
 func (e *Engine) AddText(title, body string) DocID {
-	e.idx = nil
+	e.resetBuild()
 	return e.corpus.AddText(title, body)
 }
 
 // AddProduct adds a structured document with feature triplets and returns
 // its ID. Must be called before Build.
 func (e *Engine) AddProduct(title string, triplets []Triplet) DocID {
-	e.idx = nil
+	e.resetBuild()
 	return e.corpus.AddStructured(title, triplets)
 }
 
@@ -123,12 +198,14 @@ func (e *Engine) Len() int { return e.corpus.Len() }
 func (e *Engine) Get(id DocID) *Document { return e.corpus.Get(id) }
 
 // Build indexes the corpus. It is called implicitly by Search and Expand
-// when needed; call it explicitly to control when the cost is paid.
+// when needed; call it explicitly to control when the cost is paid. Build is
+// idempotent and safe for concurrent callers: exactly one caller indexes,
+// the rest wait for it, and every caller observes the finished index.
 func (e *Engine) Build() {
-	if e.idx == nil {
+	e.buildOnce.Do(func() {
 		e.idx = index.Build(e.corpus, e.analyzer)
 		e.eng = search.NewEngine(e.idx)
-	}
+	})
 }
 
 // Search runs a keyword query (AND semantics) and returns results ranked by
@@ -157,6 +234,9 @@ func LoadEngine(r io.Reader, opts ...Option) (*Engine, error) {
 	e.corpus = idx.Corpus()
 	e.idx = idx
 	e.eng = search.NewEngine(idx)
+	// The loaded index is the built state; burn the Once so a later Build
+	// does not re-index over it.
+	e.buildOnce.Do(func() {})
 	return e, nil
 }
 
@@ -205,17 +285,101 @@ type Expansion struct {
 	Score float64
 }
 
+// CacheStats is a snapshot of the expansion cache and coalescer counters.
+// Without WithExpansionCache all fields are zero except Computations, which
+// counts pipeline runs regardless of caching.
+type CacheStats struct {
+	// Hits, Misses and Evictions are the LRU cache counters.
+	Hits, Misses, Evictions int64
+	// Entries and Capacity are the cache's current and maximum sizes.
+	Entries, Capacity int
+	// Computations counts actual runs of the expansion pipeline.
+	Computations int64
+	// Coalesced counts Expand calls that shared another caller's in-flight
+	// computation instead of running their own.
+	Coalesced int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats reports the expansion cache and coalescer counters. Safe for
+// concurrent use.
+func (e *Engine) CacheStats() CacheStats {
+	st := CacheStats{Computations: e.computations.Load()}
+	if e.expCache == nil {
+		return st
+	}
+	cs := e.expCache.Stats()
+	st.Hits, st.Misses, st.Evictions = cs.Hits, cs.Misses, cs.Evictions
+	st.Entries, st.Capacity = cs.Entries, cs.Capacity
+	st.Coalesced = e.flight.Coalesced()
+	return st
+}
+
+// expandKey canonicalizes (raw, opts) into a cache key: the parsed query's
+// term list — produced by search.ParseQuery itself, so cache identity can
+// never drift from query identity — plus every result-affecting option.
+// Parallel is deliberately excluded — it changes scheduling, not results.
+func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
+	e.Build()
+	var sb strings.Builder
+	for _, term := range search.ParseQuery(e.idx, raw).Terms {
+		sb.WriteString(term)
+		sb.WriteByte(' ')
+	}
+	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%d|uw=%t|il=%d",
+		opts.K, opts.TopK, opts.Method, opts.Unweighted, opts.Interleave)
+	return sb.String()
+}
+
 // Expand runs the full pipeline of the paper on a user query: search,
-// cluster the results, and generate one expanded query per cluster.
+// cluster the results, and generate one expanded query per cluster. With
+// WithExpansionCache enabled, repeated calls are served from the LRU cache
+// and concurrent identical calls are coalesced into one computation; the
+// returned *Expansion is then shared and must be treated as immutable.
 func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
+	if e.expCache == nil {
+		return e.expand(raw, opts)
+	}
+	key := e.expandKey(raw, opts)
+	if exp, ok := e.expCache.Get(key); ok {
+		return exp, nil
+	}
+	exp, err, _ := e.flight.Do(key, func() (*Expansion, error) {
+		// Double-check under the flight: a concurrent computation may have
+		// landed between our Get miss and Do, and recomputing then would
+		// break the one-computation guarantee coalescing exists to give.
+		// Peek, not Get — the outer Get already counted this request.
+		if exp, ok := e.expCache.Peek(key); ok {
+			return exp, nil
+		}
+		exp, err := e.expand(raw, opts)
+		if err == nil {
+			e.expCache.Add(key, exp)
+		}
+		return exp, err
+	})
+	return exp, err
+}
+
+// expand is the uncached pipeline: search, cluster, expand per cluster.
+func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
+	e.computations.Add(1)
 	e.Build()
 	q := search.ParseQuery(e.idx, raw)
 	if q.Len() == 0 {
-		return nil, errors.New("qec: empty query")
+		return nil, ErrEmptyQuery
 	}
 	results := e.eng.Search(q, search.And, opts.TopK)
 	if len(results) == 0 {
-		return nil, fmt.Errorf("qec: no results for %q", raw)
+		return nil, fmt.Errorf("%w for %q", ErrNoResults, raw)
 	}
 	k := opts.K
 	if k <= 0 {

@@ -1,0 +1,182 @@
+package qec
+
+// Tests for the serving-path additions: concurrent-safe Build, the expansion
+// cache, and request coalescing at the Engine level. The HTTP layer on top is
+// tested in internal/server.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// ambiguousEngine builds a small corpus where "apple" has two senses, enough
+// for Expand to produce distinct per-cluster queries.
+func ambiguousEngine(t testing.TB, opts ...Option) *Engine {
+	t.Helper()
+	e := NewEngine(append([]Option{WithSeed(7)}, opts...)...)
+	fruit := []string{"orchard harvest", "pie cider", "tree juice", "crop farm"}
+	tech := []string{"iphone launch", "store retail", "laptop software", "stock shares"}
+	for i := 0; i < 4; i++ {
+		e.AddText("", "apple fruit "+fruit[i])
+		e.AddText("", "apple company "+tech[i])
+	}
+	return e
+}
+
+func TestBuildConcurrent(t *testing.T) {
+	e := ambiguousEngine(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Build()
+			if n := len(e.Search("apple", 0)); n != 8 {
+				t.Errorf("Search after concurrent Build: %d results, want 8", n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBuildRearmsAfterMutation(t *testing.T) {
+	e := ambiguousEngine(t)
+	e.Build()
+	before := len(e.Search("apple", 0))
+	e.AddText("", "apple banana smoothie")
+	if got := len(e.Search("apple", 0)); got != before+1 {
+		t.Fatalf("Search after AddText = %d results, want %d (Build did not re-arm)", got, before+1)
+	}
+}
+
+func TestExpansionCacheHitReturnsSharedResult(t *testing.T) {
+	e := ambiguousEngine(t, WithExpansionCache(8))
+	opts := ExpandOptions{K: 2}
+	first, err := e.Expand("apple", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Expand("apple", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("second Expand should return the cached *Expansion")
+	}
+	// Normalization: spacing and case differences share the entry.
+	third, err := e.Expand("  APPLE  ", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third != first {
+		t.Fatal("normalized query variants should share a cache entry")
+	}
+	st := e.CacheStats()
+	if st.Computations != 1 {
+		t.Fatalf("computations = %d; want 1", st.Computations)
+	}
+	if st.Hits < 2 || st.HitRate() <= 0 {
+		t.Fatalf("hits = %d, rate = %v; want >= 2 hits", st.Hits, st.HitRate())
+	}
+	// Different options must not share an entry.
+	if _, err := e.Expand("apple", ExpandOptions{K: 2, Unweighted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.CacheStats(); st.Computations != 2 {
+		t.Fatalf("computations after option change = %d; want 2", st.Computations)
+	}
+}
+
+func TestExpansionCacheInvalidatedByMutation(t *testing.T) {
+	e := ambiguousEngine(t, WithExpansionCache(8))
+	first, err := e.Expand("apple", ExpandOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddText("", "apple cider vinegar")
+	second, err := e.Expand("apple", ExpandOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("mutation must invalidate cached expansions")
+	}
+	if st := e.CacheStats(); st.Computations != 2 {
+		t.Fatalf("computations = %d; want 2 (recompute after mutation)", st.Computations)
+	}
+}
+
+func TestExpandCoalescingConcurrent(t *testing.T) {
+	e := ambiguousEngine(t, WithExpansionCache(8))
+	e.Build()
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([]*Expansion, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			exp, err := e.Expand("apple", ExpandOptions{K: 2})
+			if err != nil {
+				t.Errorf("Expand: %v", err)
+				return
+			}
+			results[i] = exp
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if st := e.CacheStats(); st.Computations != 1 {
+		t.Fatalf("computations = %d; want exactly 1 across %d concurrent callers", st.Computations, callers)
+	}
+	for i, r := range results {
+		if r == nil || r != results[0] {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+}
+
+func TestExpandErrorSentinels(t *testing.T) {
+	e := ambiguousEngine(t)
+	if _, err := e.Expand("zzznope", ExpandOptions{}); !errors.Is(err, ErrNoResults) {
+		t.Fatalf("err = %v; want ErrNoResults", err)
+	}
+	// "a" is a stopword-free single letter the Simple analyzer drops via its
+	// minimum-length filter, so the query parses to zero terms.
+	if _, err := e.Expand("a", ExpandOptions{}); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("err = %v; want ErrEmptyQuery", err)
+	}
+}
+
+func TestExpandErrorsNotCached(t *testing.T) {
+	e := ambiguousEngine(t, WithExpansionCache(8))
+	for i := 0; i < 2; i++ {
+		if _, err := e.Expand("zzznope", ExpandOptions{K: 2}); err == nil {
+			t.Fatal("want error for no-result query")
+		}
+	}
+	st := e.CacheStats()
+	if st.Entries != 0 {
+		t.Fatalf("entries = %d; errors must not be cached", st.Entries)
+	}
+	if st.Computations != 2 {
+		t.Fatalf("computations = %d; want 2 (error path recomputes)", st.Computations)
+	}
+}
+
+func TestCacheStatsZeroWithoutCache(t *testing.T) {
+	e := ambiguousEngine(t)
+	if _, err := e.Expand("apple", ExpandOptions{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	if st.Capacity != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("uncached engine should report empty cache stats, got %+v", st)
+	}
+	if st.Computations != 1 {
+		t.Fatalf("computations = %d; want 1 (counted even without cache)", st.Computations)
+	}
+}
