@@ -160,12 +160,16 @@ func benchFigure6Method(b *testing.B, ds string, method string) {
 	}
 }
 
-func BenchmarkFigure6aShoppingTimeISKR(b *testing.B)      { benchFigure6Method(b, "shopping", "ISKR") }
-func BenchmarkFigure6aShoppingTimePEBC(b *testing.B)      { benchFigure6Method(b, "shopping", "PEBC") }
-func BenchmarkFigure6aShoppingTimeFMeasure(b *testing.B)  { benchFigure6Method(b, "shopping", "F-measure") }
-func BenchmarkFigure6bWikipediaTimeISKR(b *testing.B)     { benchFigure6Method(b, "wikipedia", "ISKR") }
-func BenchmarkFigure6bWikipediaTimePEBC(b *testing.B)     { benchFigure6Method(b, "wikipedia", "PEBC") }
-func BenchmarkFigure6bWikipediaTimeFMeasure(b *testing.B) { benchFigure6Method(b, "wikipedia", "F-measure") }
+func BenchmarkFigure6aShoppingTimeISKR(b *testing.B) { benchFigure6Method(b, "shopping", "ISKR") }
+func BenchmarkFigure6aShoppingTimePEBC(b *testing.B) { benchFigure6Method(b, "shopping", "PEBC") }
+func BenchmarkFigure6aShoppingTimeFMeasure(b *testing.B) {
+	benchFigure6Method(b, "shopping", "F-measure")
+}
+func BenchmarkFigure6bWikipediaTimeISKR(b *testing.B) { benchFigure6Method(b, "wikipedia", "ISKR") }
+func BenchmarkFigure6bWikipediaTimePEBC(b *testing.B) { benchFigure6Method(b, "wikipedia", "PEBC") }
+func BenchmarkFigure6bWikipediaTimeFMeasure(b *testing.B) {
+	benchFigure6Method(b, "wikipedia", "F-measure")
+}
 
 // --- Figure 7: scalability ---------------------------------------------------
 
@@ -392,6 +396,31 @@ func BenchmarkEngineExpandEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- Cold expansion by corpus size ----------------------------------------------
+
+// benchColdExpansion runs the full uncached pipeline (search + k-means with
+// restarts + ISKR) over a Wikipedia corpus scaled by the given factor, with
+// no TopK cap so the clustered result set grows with the corpus (the
+// Figure 7 scalability axis).
+func benchColdExpansion(b *testing.B, scale int) {
+	e := NewEngine(WithSeed(3))
+	d := dataset.Wikipedia(3, scale)
+	for _, doc := range d.Corpus.Docs() {
+		e.AddText(doc.Title, doc.Body)
+	}
+	e.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Expand("java", ExpandOptions{K: 3, TopK: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdExpansionScale1(b *testing.B) { benchColdExpansion(b, 1) }
+func BenchmarkColdExpansionScale2(b *testing.B) { benchColdExpansion(b, 2) }
+func BenchmarkColdExpansionScale4(b *testing.B) { benchColdExpansion(b, 4) }
 
 // --- Serving path: cold vs cached vs coalesced Expand ---------------------------
 

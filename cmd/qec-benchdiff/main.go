@@ -1,0 +1,148 @@
+// qec-benchdiff compares a `go test -bench` output file against a checked-in
+// baseline (BENCH_BASELINE.json) and fails when a gated benchmark regressed
+// by more than the threshold. It is the CI benchmark-regression gate.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=200ms -count=5 -run='^$' ./... | tee bench.txt
+//	qec-benchdiff -bench bench.txt -baseline BENCH_BASELINE.json
+//
+// With -count > 1 each benchmark appears several times; the minimum ns/op is
+// used (the least-noise estimator of the true cost). -update rewrites the
+// baseline from the bench file instead of comparing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the checked-in benchmark reference.
+type baseline struct {
+	// Note describes how the numbers were produced (machine, flags).
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// minimum observed ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g. "BenchmarkVectorDot-8   4339328   55.12 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts min ns/op per benchmark name from go test -bench output.
+func parseBench(data string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(data, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		benchPath    = flag.String("bench", "bench.txt", "go test -bench output file")
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+		threshold    = flag.Float64("threshold", 0.20, "relative ns/op regression that fails the gate")
+		gate         = flag.String("gate", "ColdExpansion|ExpandServingCold|ExpandServingCached",
+			"regexp of benchmark names the gate enforces; others are reported only")
+		update = flag.Bool("update", false, "rewrite the baseline from the bench file and exit")
+		note   = flag.String("note", "", "provenance note stored with -update")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fatalf("read bench output: %v", err)
+	}
+	current := parseBench(string(data))
+	if len(current) == 0 {
+		fatalf("no benchmark lines found in %s", *benchPath)
+	}
+
+	if *update {
+		b := baseline{Note: *note, NsPerOp: current}
+		out, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatalf("encode baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("write baseline: %v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baselinePath, len(current))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline: %v", err)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fatalf("bad -gate regexp: %v", err)
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-44s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "gate")
+	for _, name := range names {
+		old := base.NsPerOp[name]
+		gated := gateRe.MatchString(name)
+		cur, ok := current[name]
+		if !ok {
+			if gated {
+				fmt.Printf("%-44s %14.1f %14s %8s  MISSING (gated benchmark not run)\n", name, old, "-", "-")
+				failed = true
+			}
+			continue
+		}
+		delta := (cur - old) / old
+		status := ""
+		if gated {
+			status = "ok"
+			if delta > *threshold {
+				status = fmt.Sprintf("FAIL (> +%.0f%%)", *threshold*100)
+				failed = true
+			}
+		}
+		fmt.Printf("%-44s %14.1f %14.1f %+7.1f%%  %s\n", name, old, cur, delta*100, status)
+	}
+	for name := range current {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("%-44s %14s %14.1f %8s  new (not in baseline)\n", name, "-", current[name], "-")
+		}
+	}
+	if failed {
+		fatalf("benchmark regression gate failed (threshold +%.0f%% on %q)", *threshold*100, *gate)
+	}
+	fmt.Println("benchmark gate passed")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qec-benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

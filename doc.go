@@ -50,6 +50,17 @@
 // with per-request deadlines, a bounded expansion worker pool and graceful
 // shutdown; see README.md for a quick start.
 //
+// # Clustering performance and determinism
+//
+// The clustering hot path runs on interned sparse vectors: each run builds
+// a term dictionary over the result set (IDs assigned in lexicographic
+// order), stores vectors as parallel sorted ID/weight slices, merge-joins
+// dot products, and caches each vector's norm at construction. K-means
+// assignment, the k-means++ D² scan and restarts execute concurrently
+// across GOMAXPROCS workers, while every floating-point reduction is
+// accumulated serially in index order — so expansion results are
+// bit-identical for a fixed engine seed no matter the core count.
+//
 // The internal packages implement the full substrate described in DESIGN.md:
 // analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,
 // eval, core (ISKR/PEBC), baseline (Data Clouds, TFICF cluster

@@ -58,13 +58,13 @@ func TestStemKnownWords(t *testing.T) {
 		"sensitiviti":    "sensit",
 		"sensibiliti":    "sensibl",
 		// step 3
-		"triplicate": "triplic",
-		"formative":  "form",
-		"formalize":  "formal",
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
 		"electriciti": "electr",
-		"electrical": "electr",
-		"hopeful":    "hope",
-		"goodness":   "good",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
 		// step 4
 		"revival":     "reviv",
 		"allowance":   "allow",
@@ -86,11 +86,11 @@ func TestStemKnownWords(t *testing.T) {
 		"effective":   "effect",
 		"bowdlerize":  "bowdler",
 		// step 5
-		"probate":    "probat",
-		"rate":       "rate",
-		"cease":      "ceas",
-		"controll":   "control",
-		"roll":       "roll",
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
 		// domain words used in the paper's examples
 		"players":   "player",
 		"locations": "locat",

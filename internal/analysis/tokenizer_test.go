@@ -36,9 +36,9 @@ func TestTokenizerPunctuationSeparates(t *testing.T) {
 func TestTokenizerKeepsInnerPunct(t *testing.T) {
 	tok := NewTokenizer()
 	cases := map[string][]string{
-		"canon wp-dc26 underwater":  {"canon", "wp-dc26", "underwater"},
-		"d-link dir-130 vpn":        {"d-link", "dir-130", "vpn"},
-		"version 2.5.1 released":    {"version", "2.5.1", "released"},
+		"canon wp-dc26 underwater": {"canon", "wp-dc26", "underwater"},
+		"d-link dir-130 vpn":       {"d-link", "dir-130", "vpn"},
+		"version 2.5.1 released":   {"version", "2.5.1", "released"},
 		"athlon x2 6000 processor": {"athlon", "x2", "6000", "processor"},
 	}
 	for in, want := range cases {

@@ -15,12 +15,12 @@ func fixture(t *testing.T) (*index.Index, *search.Engine, []document.DocID) {
 	t.Helper()
 	c := document.NewCorpus()
 	texts := []string{
-		"apple fruit orchard juice harvest",      // 0 fruit
-		"apple fruit tree pie",                   // 1 fruit
-		"apple computer store mac laptop",        // 2 tech
-		"apple iphone store launch event",        // 3 tech
-		"apple software mac developer",           // 4 tech
-		"apple store retail flagship",            // 5 tech
+		"apple fruit orchard juice harvest", // 0 fruit
+		"apple fruit tree pie",              // 1 fruit
+		"apple computer store mac laptop",   // 2 tech
+		"apple iphone store launch event",   // 3 tech
+		"apple software mac developer",      // 4 tech
+		"apple store retail flagship",       // 5 tech
 	}
 	var ids []document.DocID
 	for _, txt := range texts {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+
 	"repro/internal/document"
 	"repro/internal/index"
 )
@@ -35,19 +37,40 @@ func Agglomerative(idx *index.Index, docs []document.DocID, k int, linkage Linka
 	if k > n {
 		k = n
 	}
-	vecs := make([]Vector, n)
+	dict := DictForDocs(idx, docs)
+	vecs := make([]*Vector, n)
 	for i, id := range docs {
-		vecs[i] = VectorFromDoc(idx, id)
+		vecs[i] = dict.VectorFromDoc(idx, id)
 	}
-	// Pairwise similarity matrix.
+	// Pairwise similarity matrix; rows fill in parallel. Row i costs i dot
+	// products, so workers take strided rows (w, w+W, w+2W, …) to balance
+	// the triangular workload; each pair (i, j) with j < i is written only
+	// by the worker owning row i, so writes stay disjoint.
 	sim := make([][]float64, n)
 	for i := range sim {
 		sim[i] = make([]float64, n)
-		for j := 0; j < i; j++ {
-			s := vecs[i].Cosine(vecs[j])
-			sim[i][j] = s
-			sim[j][i] = s
+	}
+	fillRows := func(start, stride int) {
+		for i := start; i < n; i += stride {
+			for j := 0; j < i; j++ {
+				s := vecs[i].Cosine(vecs[j])
+				sim[i][j] = s
+				sim[j][i] = s
+			}
 		}
+	}
+	if workers := numWorkers(); workers > 1 && n >= minParallel {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fillRows(w, workers)
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		fillRows(0, 1)
 	}
 	// active clusters as member index lists
 	clusters := make([][]int, n)

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+// benchCorpus builds a deterministic multi-topic corpus of n documents with
+// ~40 distinct terms each, the shape of a paper-scale result set.
+func benchCorpus(n int) (*index.Index, []document.DocID) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := make([]string, 400)
+	for i := range vocab {
+		vocab[i] = "term" + strconv.Itoa(i)
+	}
+	c := document.NewCorpus()
+	ids := make([]document.DocID, n)
+	for i := 0; i < n; i++ {
+		topic := (i % 4) * 100 // four disjoint-ish vocab bands
+		text := ""
+		for j := 0; j < 40; j++ {
+			text += " " + vocab[topic+rng.Intn(100)]
+		}
+		ids[i] = c.AddText("", text)
+	}
+	return index.Build(c, analysis.Simple()), ids
+}
+
+// BenchmarkVectorDot measures one merge-join dot product between two ~40-term
+// interned vectors (the innermost operation of the assignment loop).
+func BenchmarkVectorDot(b *testing.B) {
+	idx, ids := benchCorpus(64)
+	dict := DictForDocs(idx, ids)
+	v := dict.VectorFromDoc(idx, ids[0])
+	u := dict.VectorFromDoc(idx, ids[1])
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += v.Dot(u)
+	}
+	_ = s
+}
+
+// BenchmarkVectorCosine includes the (cached) norms — the full per-pair cost
+// k-means pays.
+func BenchmarkVectorCosine(b *testing.B) {
+	idx, ids := benchCorpus(64)
+	dict := DictForDocs(idx, ids)
+	v := dict.VectorFromDoc(idx, ids[0])
+	u := dict.VectorFromDoc(idx, ids[1])
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += v.Cosine(u)
+	}
+	_ = s
+}
+
+// BenchmarkVectorFromDoc measures interned vector construction from the
+// index (aligned term/freq walk, no posting-list binary searches).
+func BenchmarkVectorFromDoc(b *testing.B) {
+	idx, ids := benchCorpus(64)
+	dict := DictForDocs(idx, ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dict.VectorFromDoc(idx, ids[i%len(ids)])
+	}
+}
+
+// BenchmarkKMeansAssign measures one parallel assignment step (n points × k
+// centroids) at the paper's top-30 result-set scale and at the Figure 7
+// sweep scale.
+func benchKMeansAssign(b *testing.B, n, k int) {
+	idx, ids := benchCorpus(n)
+	dict := DictForDocs(idx, ids)
+	vecs := make([]*Vector, n)
+	for i, id := range ids {
+		vecs[i] = dict.VectorFromDoc(idx, id)
+	}
+	rng := rand.New(rand.NewSource(1))
+	centroids := seedPlusPlus(vecs, k, rng)
+	assign := make([]int, n)
+	dists := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assignStep(vecs, centroids, assign, dists)
+	}
+}
+
+func BenchmarkKMeansAssignN30K3(b *testing.B)  { benchKMeansAssign(b, 30, 3) }
+func BenchmarkKMeansAssignN200K5(b *testing.B) { benchKMeansAssign(b, 200, 5) }
+func BenchmarkKMeansAssignN500K5(b *testing.B) { benchKMeansAssign(b, 500, 5) }
+
+// BenchmarkKMeansFull is the whole algorithm, restarts included, at serving
+// shape (top-30 results, k=3, 5 restarts — what Engine.Expand runs).
+func BenchmarkKMeansFull(b *testing.B) {
+	idx, ids := benchCorpus(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(idx, ids, Options{K: 3, Seed: 1, PlusPlus: true, Restarts: 5})
+	}
+}

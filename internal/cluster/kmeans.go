@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/document"
 	"repro/internal/index"
@@ -48,7 +51,9 @@ type Options struct {
 	PlusPlus bool
 	// Restarts runs the whole algorithm this many times with derived seeds
 	// and keeps the clustering with the lowest distortion. 0 or 1 means a
-	// single run.
+	// single run. Restarts share one interned vector set and run
+	// concurrently; the selection (first lowest distortion wins) is
+	// independent of scheduling.
 	Restarts int
 }
 
@@ -61,80 +66,151 @@ func (o *Options) defaults() {
 	}
 }
 
+// workerOverride pins the worker count for determinism tests; 0 means use
+// GOMAXPROCS.
+var workerOverride atomic.Int32
+
+func numWorkers() int {
+	if w := workerOverride.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minParallel is the slice size below which goroutine fan-out costs more
+// than it saves. Chunking only changes who computes which index, never the
+// values, so the threshold cannot affect results.
+const minParallel = 256
+
+// parallelFor runs fn over disjoint contiguous chunks of [0, n) on up to
+// numWorkers goroutines and waits for completion. fn must only write state
+// owned by its index range.
+func parallelFor(n int, fn func(lo, hi int)) {
+	w := numWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < minParallel {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // KMeans clusters the given documents' TF vectors by cosine distance.
-// Deterministic for a fixed seed. Empty input yields an empty clustering.
+// Deterministic for a fixed seed regardless of worker count: per-point work
+// is data-parallel, and every floating-point reduction (distortion, the D²
+// total) is accumulated serially in index order after the parallel phase,
+// preserving the sorted-accumulation guarantee of the scalar
+// implementation. Empty input yields an empty clustering.
 func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	opts.defaults()
-	if opts.Restarts > 1 {
-		restarts := opts.Restarts
-		single := opts
-		single.Restarts = 0
-		best := (*Clustering)(nil)
-		for r := 0; r < restarts; r++ {
-			single.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
-			cl := KMeans(idx, docs, single)
-			if best == nil || cl.Distortion < best.Distortion {
-				best = cl
-			}
-		}
-		return best
-	}
 	n := len(docs)
 	if n == 0 {
 		return &Clustering{Assign: map[document.DocID]int{}}
 	}
+	// Intern once: the dictionary and vectors are shared (read-only) by
+	// every restart instead of being rebuilt per run.
+	dict := DictForDocs(idx, docs)
+	vecs := make([]*Vector, n)
+	for i, id := range docs {
+		vecs[i] = dict.VectorFromDoc(idx, id)
+	}
+	if opts.Restarts > 1 {
+		return kmeansRestarts(dict, vecs, docs, opts)
+	}
+	return kmeansRun(dict, vecs, docs, opts)
+}
+
+// kmeansRestarts runs Restarts independent k-means runs concurrently over
+// the shared vectors and keeps the best. Results land in a slice indexed by
+// restart ordinal and the winner is chosen serially in that order with a
+// strict <, so the outcome matches a serial loop exactly.
+func kmeansRestarts(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
+	restarts := opts.Restarts
+	single := opts
+	single.Restarts = 0
+	results := make([]*Clustering, restarts)
+	sem := make(chan struct{}, numWorkers())
+	var wg sync.WaitGroup
+	for r := 0; r < restarts; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ro := single
+			ro.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
+			results[r] = kmeansRun(dict, vecs, docs, ro)
+		}(r)
+	}
+	wg.Wait()
+	best := results[0]
+	for _, cl := range results[1:] {
+		if cl.Distortion < best.Distortion {
+			best = cl
+		}
+	}
+	return best
+}
+
+// kmeansRun is a single k-means run over pre-interned vectors.
+func kmeansRun(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
+	n := len(vecs)
 	k := opts.K
 	if k > n {
 		k = n
 	}
-	vecs := make([]Vector, n)
-	for i, id := range docs {
-		vecs[i] = VectorFromDoc(idx, id)
-	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	var centroids []Vector
+	var centroids []*Vector
 	if opts.PlusPlus {
 		centroids = seedPlusPlus(vecs, k, rng)
 	} else {
 		perm := rng.Perm(n)
-		centroids = make([]Vector, k)
+		centroids = make([]*Vector, k)
 		for i := 0; i < k; i++ {
 			centroids[i] = vecs[perm[i]].Clone()
 		}
 	}
 
 	assign := make([]int, n)
+	dists := make([]float64, n)
 	var distortion float64
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
-		changed := false
+		changed := assignStep(vecs, centroids, assign, dists)
+		// Serial reduction in index order keeps the distortion bit-identical
+		// to the scalar loop's running sum.
 		distortion = 0
-		for i, v := range vecs {
-			best, bestD := 0, v.CosineDistance(centroids[0])
-			for c := 1; c < len(centroids); c++ {
-				if d := v.CosineDistance(centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-			distortion += bestD
+		for _, d := range dists {
+			distortion += d
 		}
 		if !changed && iter > 0 {
 			break
 		}
 		// Recompute centroids.
-		groups := make([][]Vector, len(centroids))
+		groups := make([][]*Vector, len(centroids))
 		for i, v := range vecs {
 			groups[assign[i]] = append(groups[assign[i]], v)
 		}
 		for c := range centroids {
 			if len(groups[c]) > 0 {
-				centroids[c] = Mean(groups[c])
+				centroids[c] = Mean(groups[c], dict.Len())
 			}
 			// Empty centroid: keep previous position; the cluster will be
 			// dropped at the end if it stays empty.
@@ -144,40 +220,93 @@ func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	return buildClustering(docs, assign, len(centroids), distortion, iters)
 }
 
-// seedPlusPlus implements k-means++ seeding under cosine distance.
-func seedPlusPlus(vecs []Vector, k int, rng *rand.Rand) []Vector {
+// assignStep reassigns every vector to its nearest centroid in parallel,
+// recording per-point distances for the caller's ordered reduction. Each
+// worker owns a disjoint index range (and reads the shared centroids, whose
+// norm caches are valid since construction), so the step is race-free and
+// its output independent of the worker count.
+func assignStep(vecs, centroids []*Vector, assign []int, dists []float64) bool {
+	var changed atomic.Bool
+	parallelFor(len(vecs), func(lo, hi int) {
+		ch := false
+		for i := lo; i < hi; i++ {
+			v := vecs[i]
+			best, bestD := 0, v.CosineDistance(centroids[0])
+			for c := 1; c < len(centroids); c++ {
+				if d := v.CosineDistance(centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				ch = true
+			}
+			dists[i] = bestD
+		}
+		if ch {
+			changed.Store(true)
+		}
+	})
+	return changed.Load()
+}
+
+// seedPlusPlus implements k-means++ seeding under cosine distance. The
+// nearest-centroid distance of every point is maintained incrementally (a
+// left-fold min, exactly the scan order of the full rescan it replaces) and
+// the per-round update against the newest centroid runs in parallel; the D²
+// total is then summed serially in index order, so the rng draw sequence —
+// and hence the seeding — matches the scalar implementation bit for bit.
+func seedPlusPlus(vecs []*Vector, k int, rng *rand.Rand) []*Vector {
 	n := len(vecs)
-	centroids := make([]Vector, 0, k)
-	centroids = append(centroids, vecs[rng.Intn(n)].Clone())
+	centroids := make([]*Vector, 0, k)
+	first := vecs[rng.Intn(n)].Clone()
+	centroids = append(centroids, first)
+	best := make([]float64, n)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best[i] = vecs[i].CosineDistance(first)
+		}
+	})
+	// fold merges a newly appended centroid into best. Appending in order
+	// keeps best equal to the scalar implementation's per-round left-fold
+	// over all centroids (min via strict <, no arithmetic), bit for bit.
+	fold := func(c *Vector) {
+		parallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := vecs[i].CosineDistance(c); d < best[i] {
+					best[i] = d
+				}
+			}
+		})
+	}
 	d2 := make([]float64, n)
 	for len(centroids) < k {
 		total := 0.0
-		for i, v := range vecs {
-			best := v.CosineDistance(centroids[0])
-			for _, c := range centroids[1:] {
-				if d := v.CosineDistance(c); d < best {
-					best = d
-				}
-			}
-			d2[i] = best * best
+		for i, b := range best {
+			d2[i] = b * b
 			total += d2[i]
 		}
+		var next *Vector
 		if total == 0 {
 			// All points coincide with existing centroids; duplicate one.
-			centroids = append(centroids, vecs[rng.Intn(n)].Clone())
-			continue
-		}
-		r := rng.Float64() * total
-		acc := 0.0
-		pick := n - 1
-		for i, d := range d2 {
-			acc += d
-			if acc >= r {
-				pick = i
-				break
+			next = vecs[rng.Intn(n)].Clone()
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick := n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
 			}
+			next = vecs[pick].Clone()
 		}
-		centroids = append(centroids, vecs[pick].Clone())
+		centroids = append(centroids, next)
+		if len(centroids) < k {
+			fold(next) // the last centroid seeds no further round
+		}
 	}
 	return centroids
 }

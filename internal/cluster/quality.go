@@ -43,9 +43,10 @@ func Silhouette(idx *index.Index, c *Clustering) float64 {
 	if len(all) < 2 || c.K() < 2 {
 		return 0
 	}
-	vecs := make(map[document.DocID]Vector, len(all))
+	dict := DictForDocs(idx, all)
+	vecs := make(map[document.DocID]*Vector, len(all))
 	for _, id := range all {
-		vecs[id] = VectorFromDoc(idx, id)
+		vecs[id] = dict.VectorFromDoc(idx, id)
 	}
 	meanDist := func(id document.DocID, ids []document.DocID) float64 {
 		total, n := 0.0, 0

@@ -145,9 +145,9 @@ func TestISKRPerfectSeparationFindsPerfectQuery(t *testing.T) {
 	c := document.NewDocSet(1, 2, 3)
 	u := document.NewDocSet(10, 11, 12, 13)
 	contain := map[string]document.DocSet{
-		"golden": c.Clone(),                      // exactly the cluster
-		"noise1": document.NewDocSet(1, 10, 11),  // partial
-		"noise2": document.NewDocSet(2, 3, 12),   // partial
+		"golden": c.Clone(),                     // exactly the cluster
+		"noise1": document.NewDocSet(1, 10, 11), // partial
+		"noise2": document.NewDocSet(2, 3, 12),  // partial
 	}
 	p := NewProblemFromSets(search.NewQuery("q"), c, u, nil, contain)
 	got := (&ISKR{}).Expand(p)

@@ -149,10 +149,10 @@ func paperExample42() *Problem {
 	c := document.NewDocSet(cIDs...)
 	universe := c.Union(u)
 	elim := map[string]document.DocSet{
-		"job":      document.NewDocSet(1, 2, 3, 4, 100, 101),                    // benefit 4, cost 2
+		"job":      document.NewDocSet(1, 2, 3, 4, 100, 101),                            // benefit 4, cost 2
 		"store":    document.NewDocSet(5, 6, 7, 8, 9, 10, 102, 103, 104, 105, 106, 107), // benefit 6, cost 6
-		"location": document.NewDocSet(3, 4, 8, 108),                            // benefit 3, cost 1
-		"fruit":    document.NewDocSet(4, 5, 6, 7, 109, 110, 111, 112),          // benefit 4, cost 4
+		"location": document.NewDocSet(3, 4, 8, 108),                                    // benefit 3, cost 1
+		"fruit":    document.NewDocSet(4, 5, 6, 7, 109, 110, 111, 112),                  // benefit 4, cost 4
 	}
 	contain := map[string]document.DocSet{}
 	for k, e := range elim {

@@ -150,7 +150,7 @@ func (a *PEBC) partialElimination(p *Problem, x float64, rng *rand.Rand) search.
 type elimState struct {
 	p          *Problem
 	q          search.Query
-	r          document.DocSet // R(q)
+	r          document.DocSet  // R(q)
 	remU       []document.DocID // not-yet-eliminated results of U, stable order
 	benefit    map[string]float64
 	cost       map[string]float64

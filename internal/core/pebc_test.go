@@ -52,10 +52,10 @@ func lumpyProblem(scale int) *Problem {
 		}
 		elim[name] = set
 	}
-	addElim("job", 0, 4, 0, 2)       // benefit 4s, cost 2s
-	addElim("store", 4, 10, 2, 8)    // benefit 6s, cost 6s
-	addElim("location", 2, 4, 8, 9)  // overlaps job's U range; cost 1s
-	addElim("fruit", 3, 7, 9, 13)    // spans both; cost 4s
+	addElim("job", 0, 4, 0, 2)      // benefit 4s, cost 2s
+	addElim("store", 4, 10, 2, 8)   // benefit 6s, cost 6s
+	addElim("location", 2, 4, 8, 9) // overlaps job's U range; cost 1s
+	addElim("fruit", 3, 7, 9, 13)   // spans both; cost 4s
 	contain := map[string]document.DocSet{}
 	for k, e := range elim {
 		contain[k] = universe.Subtract(e)

@@ -118,14 +118,24 @@ func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
 		score float64
 	}
 	// Accumulate in sorted document order so the sums (and hence the pool
-	// cut) are bit-identical across runs.
+	// cut) are bit-identical across runs. The aligned DocTermFreqs supplies
+	// each TF directly (no posting-list re-lookup per term) and the IDF of
+	// a term is computed once per problem rather than once per occurrence.
 	scores := make(map[string]float64)
+	idfs := make(map[string]float64)
 	for _, id := range p.Universe.IDs() {
-		for _, term := range idx.DocTerms(id) {
+		terms := idx.DocTerms(id)
+		freqs := idx.DocTermFreqs(id)
+		for i, term := range terms {
 			if userQuery.Contains(term) {
 				continue
 			}
-			scores[term] += idx.TFIDF(id, term)
+			idf, ok := idfs[term]
+			if !ok {
+				idf = idx.IDF(term)
+				idfs[term] = idf
+			}
+			scores[term] += float64(freqs[i]) * idf
 		}
 	}
 	ranked := make([]termScore, 0, len(scores))

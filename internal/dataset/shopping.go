@@ -16,14 +16,14 @@ import (
 // its title (so the Table 1 queries retrieve it) and a set of feature
 // triplets (so expanded queries can pin exact features, as in Figures 8–9).
 type productFamily struct {
-	label     string   // ground-truth label for clustering checks
-	entity    string   // triplet entity, e.g. "canonproducts"
-	titleWords string  // words every title contains, e.g. "canon products"
-	category  string   // category triplet value, e.g. "camera"
-	brands    []string
-	namePref  []string // model-name prefixes, e.g. "pixma"
-	features  []featureSpec
-	count     int // base number of products (scaled by the generator)
+	label      string // ground-truth label for clustering checks
+	entity     string // triplet entity, e.g. "canonproducts"
+	titleWords string // words every title contains, e.g. "canon products"
+	category   string // category triplet value, e.g. "camera"
+	brands     []string
+	namePref   []string // model-name prefixes, e.g. "pixma"
+	features   []featureSpec
+	count      int // base number of products (scaled by the generator)
 }
 
 type featureSpec struct {

@@ -59,6 +59,11 @@ type Index struct {
 	// the "document as a set of words" of Section 2. The QEC algorithms
 	// iterate these to enumerate candidate keywords.
 	docTerms map[document.DocID][]string
+	// docFreqs[id] holds the term frequencies aligned with docTerms[id], so
+	// hot paths that walk a document's terms (TF vectors, pool scoring) get
+	// each frequency without re-finding the document in the term's posting
+	// list.
+	docFreqs map[document.DocID][]int
 	// docLen[id] is the total token count (for TF normalization).
 	docLen map[document.DocID]int
 	// totalLen is the sum of docLen (for average document length).
@@ -75,6 +80,7 @@ func Build(corpus *document.Corpus, analyzer *analysis.Analyzer) *Index {
 		analyzer: analyzer,
 		postings: make(map[string]PostingList),
 		docTerms: make(map[document.DocID][]string),
+		docFreqs: make(map[document.DocID][]int),
 		docLen:   make(map[document.DocID]int),
 	}
 	for _, doc := range corpus.Docs() {
@@ -100,7 +106,12 @@ func (idx *Index) add(doc *document.Document) {
 		idx.postings[term] = append(idx.postings[term], Posting{Doc: doc.ID, Freq: n})
 	}
 	sort.Strings(terms)
+	freqs := make([]int, len(terms))
+	for i, term := range terms {
+		freqs[i] = counts[term]
+	}
 	idx.docTerms[doc.ID] = terms
+	idx.docFreqs[doc.ID] = freqs
 	idx.docLen[doc.ID] = total
 	idx.totalLen += total
 }
@@ -139,6 +150,10 @@ func (idx *Index) DocLen(id document.DocID) int { return idx.docLen[id] }
 // DocTerms returns the sorted distinct terms of a document. The returned
 // slice is shared and must not be mutated.
 func (idx *Index) DocTerms(id document.DocID) []string { return idx.docTerms[id] }
+
+// DocTermFreqs returns the term frequencies of a document, aligned with
+// DocTerms. The returned slice is shared and must not be mutated.
+func (idx *Index) DocTermFreqs(id document.DocID) []int { return idx.docFreqs[id] }
 
 // HasTerm reports whether document id contains term.
 func (idx *Index) HasTerm(id document.DocID, term string) bool {
@@ -204,9 +219,17 @@ func (idx *Index) Validate() error {
 		}
 	}
 	for id, terms := range idx.docTerms {
-		for _, term := range terms {
+		freqs := idx.docFreqs[id]
+		if len(freqs) != len(terms) {
+			return fmt.Errorf("docFreqs of doc %d has %d entries for %d terms", id, len(freqs), len(terms))
+		}
+		for i, term := range terms {
 			if !idx.postings[term].Contains(id) {
 				return fmt.Errorf("docTerm %q of doc %d missing from postings", term, id)
+			}
+			if freqs[i] != idx.postings[term].Freq(id) {
+				return fmt.Errorf("docFreqs misaligned for %q in doc %d: %d vs posting %d",
+					term, id, freqs[i], idx.postings[term].Freq(id))
 			}
 		}
 	}

@@ -82,6 +82,16 @@ func Load(r io.Reader, analyzer *analysis.Analyzer) (*Index, error) {
 	if idx.docLen == nil {
 		idx.docLen = map[document.DocID]int{}
 	}
+	// The snapshot format (version 1) does not carry the aligned frequency
+	// slices; rebuild them from the postings once at load time.
+	idx.docFreqs = make(map[document.DocID][]int, len(idx.docTerms))
+	for id, terms := range idx.docTerms {
+		freqs := make([]int, len(terms))
+		for i, term := range terms {
+			freqs[i] = idx.postings[term].Freq(id)
+		}
+		idx.docFreqs[id] = freqs
+	}
 	if err := idx.Validate(); err != nil {
 		return nil, fmt.Errorf("index: load: corrupt snapshot: %w", err)
 	}

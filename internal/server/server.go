@@ -276,6 +276,16 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case out := <-done:
+		if r.Context().Err() != nil {
+			// The client disconnected while the expansion ran and the
+			// completion beat the connection-close notification to this
+			// select: still a disconnect, not a served request. (Without
+			// this, the classification depends on which signal wins the
+			// race.)
+			s.canceled.Add(1)
+			s.writeError(w, statusClientClosedRequest, "client closed request")
+			return
+		}
 		if out.err != nil {
 			status := http.StatusUnprocessableEntity
 			switch {

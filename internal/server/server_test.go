@@ -323,10 +323,11 @@ func TestClientDisconnectNotCountedAsTimeout(t *testing.T) {
 	if err := <-errc; err == nil {
 		t.Fatal("client.Do should fail once its context is canceled")
 	}
-	close(gate.release)
 
-	// The handler observes the disconnect asynchronously; wait for the
-	// counter, then check the classification.
+	// The handler observes the disconnect asynchronously. Keep the gate
+	// held while waiting: with the expansion still blocked, the only event
+	// that can wake the handler is the connection-close cancellation, so
+	// the wait cannot race against a fast completion.
 	deadline := time.Now().Add(5 * time.Second)
 	for srv.canceled.Load() == 0 {
 		if time.Now().After(deadline) {
@@ -334,6 +335,7 @@ func TestClientDisconnectNotCountedAsTimeout(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	close(gate.release) // let the background expansion finish
 	if n := srv.timeouts.Load(); n != 0 {
 		t.Fatalf("timeouts = %d; client disconnect must not count as a timeout", n)
 	}

@@ -56,10 +56,10 @@ func NewPool(seed int64) *Pool { return &Pool{N: 45, Seed: seed} }
 // rater is one simulated participant: a leniency bias applied to every
 // score and personal thresholds for the option choice.
 type rater struct {
-	bias       float64 // additive score bias in [-0.5, +0.5]
-	jitter     *rand.Rand
-	optHigh    float64 // threshold for the favourable option
-	optLow     float64 // threshold below which the harsh option is chosen
+	bias    float64 // additive score bias in [-0.5, +0.5]
+	jitter  *rand.Rand
+	optHigh float64 // threshold for the favourable option
+	optLow  float64 // threshold below which the harsh option is chosen
 }
 
 func (p *Pool) raters() []rater {
