@@ -1,15 +1,24 @@
 // qec-benchdiff compares a `go test -bench` output file against a checked-in
 // baseline (BENCH_BASELINE.json) and fails when a gated benchmark regressed
-// by more than the threshold. It is the CI benchmark-regression gate.
+// by more than its threshold. It is the CI benchmark-regression gate.
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=200ms -count=5 -run='^$' ./... | tee bench.txt
+//	go test -bench=. -benchmem -benchtime=200ms -count=5 -run='^$' ./... | tee bench.txt
 //	qec-benchdiff -bench bench.txt -baseline BENCH_BASELINE.json
 //
-// With -count > 1 each benchmark appears several times; the minimum ns/op is
-// used (the least-noise estimator of the true cost). -update rewrites the
-// baseline from the bench file instead of comparing.
+// With -count > 1 each benchmark appears several times; the minimum ns/op
+// (and minimum allocs/op) is used — the least-noise estimator of the true
+// cost. -update rewrites the baseline from the bench file instead of
+// comparing.
+//
+// The gate is a comma-separated list of regexp entries, each optionally
+// carrying its own threshold ("pattern" or "pattern=0.30"); entries without
+// one use -threshold. Every gate entry must match at least one benchmark in
+// the current results — a gated benchmark that is missing (renamed, deleted,
+// or simply not run) fails the gate instead of silently passing. Allocation
+// regressions are gated the same way via -alloc-gate/-alloc-threshold using
+// allocs/op from -benchmem output.
 package main
 
 import (
@@ -30,14 +39,28 @@ type baseline struct {
 	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
 	// minimum observed ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp maps benchmark name to the minimum observed allocs/op
+	// (absent when the bench run lacked -benchmem).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
-// benchLine matches e.g. "BenchmarkVectorDot-8   4339328   55.12 ns/op ...".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// result is one parsed benchmark measurement.
+type result struct {
+	ns     float64
+	allocs float64
+	hasNs  bool
+	hasAl  bool
+}
 
-// parseBench extracts min ns/op per benchmark name from go test -bench output.
-func parseBench(data string) map[string]float64 {
-	out := map[string]float64{}
+// benchLine matches e.g.
+// "BenchmarkVectorDot-8   4339328   55.12 ns/op   16 B/op   2 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
+
+// parseBench extracts min ns/op and min allocs/op per benchmark name from
+// go test -bench output.
+func parseBench(data string) map[string]result {
+	out := map[string]result{}
 	for _, line := range strings.Split(data, "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -47,22 +70,81 @@ func parseBench(data string) map[string]float64 {
 		if err != nil {
 			continue
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		r := out[m[1]]
+		if !r.hasNs || ns < r.ns {
+			r.ns = ns
 		}
+		r.hasNs = true
+		if m[3] != "" {
+			if al, err := strconv.ParseFloat(m[3], 64); err == nil {
+				if !r.hasAl || al < r.allocs {
+					r.allocs = al
+				}
+				r.hasAl = true
+			}
+		}
+		out[m[1]] = r
 	}
 	return out
+}
+
+// gateEntry is one parsed gate pattern with its effective threshold.
+type gateEntry struct {
+	raw       string
+	re        *regexp.Regexp
+	threshold float64
+}
+
+// parseGates parses "pattern,pattern=0.30,..." using def as the fallback
+// threshold.
+func parseGates(spec string, def float64) ([]gateEntry, error) {
+	var out []gateEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pattern, threshold := part, def
+		if i := strings.LastIndex(part, "="); i >= 0 {
+			f, err := strconv.ParseFloat(part[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad threshold in gate entry %q: %v", part, err)
+			}
+			pattern, threshold = part[:i], f
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad gate pattern %q: %v", pattern, err)
+		}
+		out = append(out, gateEntry{raw: part, re: re, threshold: threshold})
+	}
+	return out, nil
+}
+
+// match returns the first gate entry matching name, or nil.
+func match(gates []gateEntry, name string) *gateEntry {
+	for i := range gates {
+		if gates[i].re.MatchString(name) {
+			return &gates[i]
+		}
+	}
+	return nil
 }
 
 func main() {
 	var (
 		benchPath    = flag.String("bench", "bench.txt", "go test -bench output file")
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
-		threshold    = flag.Float64("threshold", 0.20, "relative ns/op regression that fails the gate")
-		gate         = flag.String("gate", "ColdExpansion|ExpandServingCold|ExpandServingCached",
-			"regexp of benchmark names the gate enforces; others are reported only")
-		update = flag.Bool("update", false, "rewrite the baseline from the bench file and exit")
-		note   = flag.String("note", "", "provenance note stored with -update")
+		threshold    = flag.Float64("threshold", 0.20, "default relative ns/op regression that fails the gate")
+		gate         = flag.String("gate",
+			"ColdExpansion,ExpandServingCold,ExpandServingCached=0.35,AblationPEBC=0.30,Figure7Scalability=0.30,Figure1IndividualScores=0.30",
+			"comma-separated gate entries: regexp[=threshold]; every entry must match a benchmark in the bench output")
+		allocGate = flag.String("alloc-gate",
+			"ColdExpansion,ExpandServing,AblationPEBC,Figure6,EngineExpandEndToEnd",
+			"comma-separated gate entries for allocs/op regressions (requires -benchmem output)")
+		allocThreshold = flag.Float64("alloc-threshold", 0.30, "default relative allocs/op regression that fails the gate")
+		update         = flag.Bool("update", false, "rewrite the baseline from the bench file and exit")
+		note           = flag.String("note", "", "provenance note stored with -update")
 	)
 	flag.Parse()
 
@@ -76,7 +158,16 @@ func main() {
 	}
 
 	if *update {
-		b := baseline{Note: *note, NsPerOp: current}
+		b := baseline{Note: *note, NsPerOp: map[string]float64{}, AllocsPerOp: map[string]float64{}}
+		for name, r := range current {
+			b.NsPerOp[name] = r.ns
+			if r.hasAl {
+				b.AllocsPerOp[name] = r.allocs
+			}
+		}
+		if len(b.AllocsPerOp) == 0 {
+			b.AllocsPerOp = nil
+		}
 		out, err := json.MarshalIndent(&b, "", "  ")
 		if err != nil {
 			fatalf("encode baseline: %v", err)
@@ -84,7 +175,8 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatalf("write baseline: %v", err)
 		}
-		fmt.Printf("wrote %s (%d benchmarks)\n", *baselinePath, len(current))
+		fmt.Printf("wrote %s (%d benchmarks, %d with allocs)\n",
+			*baselinePath, len(b.NsPerOp), len(b.AllocsPerOp))
 		return
 	}
 
@@ -96,9 +188,13 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("parse baseline: %v", err)
 	}
-	gateRe, err := regexp.Compile(*gate)
+	gates, err := parseGates(*gate, *threshold)
 	if err != nil {
-		fatalf("bad -gate regexp: %v", err)
+		fatalf("-gate: %v", err)
+	}
+	allocGates, err := parseGates(*allocGate, *allocThreshold)
+	if err != nil {
+		fatalf("-alloc-gate: %v", err)
 	}
 
 	names := make([]string, 0, len(base.NsPerOp))
@@ -108,36 +204,76 @@ func main() {
 	sort.Strings(names)
 
 	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+
 	fmt.Printf("%-44s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "gate")
 	for _, name := range names {
 		old := base.NsPerOp[name]
-		gated := gateRe.MatchString(name)
+		g := match(gates, name)
 		cur, ok := current[name]
 		if !ok {
-			if gated {
-				fmt.Printf("%-44s %14.1f %14s %8s  MISSING (gated benchmark not run)\n", name, old, "-", "-")
-				failed = true
+			if g != nil {
+				fail("%s: gated benchmark missing from bench output", name)
 			}
 			continue
 		}
-		delta := (cur - old) / old
+		delta := (cur.ns - old) / old
 		status := ""
-		if gated {
+		if g != nil {
 			status = "ok"
-			if delta > *threshold {
-				status = fmt.Sprintf("FAIL (> +%.0f%%)", *threshold*100)
+			if delta > g.threshold {
+				status = fmt.Sprintf("FAIL (> +%.0f%%)", g.threshold*100)
 				failed = true
 			}
 		}
-		fmt.Printf("%-44s %14.1f %14.1f %+7.1f%%  %s\n", name, old, cur, delta*100, status)
+		fmt.Printf("%-44s %14.1f %14.1f %+7.1f%%  %s\n", name, old, cur.ns, delta*100, status)
+
+		// Allocation gate: compares allocs/op when the baseline recorded it.
+		if ag := match(allocGates, name); ag != nil {
+			baseAl, hasBase := base.AllocsPerOp[name]
+			switch {
+			case !hasBase:
+				// Baseline predates -benchmem for this benchmark; nothing to
+				// compare against (the next -update records it).
+			case !cur.hasAl:
+				fail("%s: alloc-gated benchmark has no allocs/op in bench output (run with -benchmem)", name)
+			case baseAl == 0:
+				if cur.allocs > 0 {
+					fail("%s: allocs/op regressed from 0 to %.1f", name, cur.allocs)
+				}
+			case (cur.allocs-baseAl)/baseAl > ag.threshold:
+				fail("%s: allocs/op %.1f vs baseline %.1f (> +%.0f%%)",
+					name, cur.allocs, baseAl, ag.threshold*100)
+			}
+		}
 	}
 	for name := range current {
 		if _, ok := base.NsPerOp[name]; !ok {
-			fmt.Printf("%-44s %14s %14.1f %8s  new (not in baseline)\n", name, "-", current[name], "-")
+			fmt.Printf("%-44s %14s %14.1f %8s  new (not in baseline)\n", name, "-", current[name].ns, "-")
+		}
+	}
+	// Every gate entry must have matched something that actually ran: a gate
+	// over a renamed or never-run benchmark must fail loudly, not pass
+	// vacuously.
+	for _, gs := range [][]gateEntry{gates, allocGates} {
+		for _, g := range gs {
+			matched := false
+			for name := range current {
+				if g.re.MatchString(name) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				fail("gate entry %q matches no benchmark in the bench output", g.raw)
+			}
 		}
 	}
 	if failed {
-		fatalf("benchmark regression gate failed (threshold +%.0f%% on %q)", *threshold*100, *gate)
+		fatalf("benchmark regression gate failed")
 	}
 	fmt.Println("benchmark gate passed")
 }

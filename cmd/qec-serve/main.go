@@ -13,6 +13,12 @@
 // computation, so a hot ambiguous query ("apple", "jaguar") costs one
 // k-means + ISKR run no matter how many users issue it at once.
 //
+// With -pprof-addr a net/http/pprof debug listener starts on a separate
+// address (off by default), so serving hot paths can be profiled in place:
+//
+//	qec-serve -dataset wikipedia -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//
 // The server drains gracefully on SIGINT/SIGTERM.
 package main
 
@@ -21,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,8 +52,13 @@ func main() {
 		cacheSize  = flag.Int("cache", 1024, "expansion cache capacity in entries (0 disables)")
 		workers    = flag.Int("workers", 0, "max concurrent expansions (0 = 2x GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof debug listener address (empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	var opts []qec.Option
 	if *stemming {
@@ -89,6 +102,21 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shutdown complete")
+}
+
+// servePprof runs the pprof debug mux on its own listener, kept off the
+// serving mux so profiling endpoints are never exposed on the public
+// address. Failure to bind is fatal: an operator who asked for profiling
+// should not silently run without it.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof debug listener on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
 }
 
 // loadEngine restores a snapshot when path is set, otherwise fills an engine

@@ -50,7 +50,7 @@
 // with per-request deadlines, a bounded expansion worker pool and graceful
 // shutdown; see README.md for a quick start.
 //
-// # Clustering performance and determinism
+// # Performance and determinism
 //
 // The clustering hot path runs on interned sparse vectors: each run builds
 // a term dictionary over the result set (IDs assigned in lexicographic
@@ -60,6 +60,27 @@
 // across GOMAXPROCS workers, while every floating-point reduction is
 // accumulated serially in index order — so expansion results are
 // bit-identical for a fixed engine seed no matter the core count.
+//
+// The expansion core works in a problem-local dense ID space: universe
+// documents map to 0..n-1 in ascending DocID order, pool keywords intern to
+// int32 IDs in lexicographic order, and keyword→document incidence is
+// packed into bitsets, so ISKR elimination and PEBC's incremental
+// benefit/cost maintenance are word-wise And/AndNot/popcount operations.
+// The dense-ID determinism contract has three legs. First, bitset iteration
+// is ascending, and a dense ID ascends exactly when its DocID does, so
+// visiting members of any set reproduces the sorted-DocID order of the
+// original map-backed implementation. Second, every floating-point
+// accumulation over a set is a flat left-fold in that ascending order —
+// weighted sums never form per-word partial sums, because float addition is
+// not associative and regrouping would perturb the low bits that argmax
+// tie-breaking epsilons are calibrated against (unweighted sums are exact
+// integers and may shortcut to popcounts). Third, argmax scans run in
+// keyword-ID (= lexicographic pool) order with the historical tie-break
+// rules, and all parallel fan-outs (per-cluster Expand calls, the
+// experiment runner) collect results by index. Together these make
+// expansion output bit-identical for fixed seeds across representations and
+// worker counts — pinned by golden tests captured from the pre-refactor
+// implementations and by map-vs-bitset property tests.
 //
 // The internal packages implement the full substrate described in DESIGN.md:
 // analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,

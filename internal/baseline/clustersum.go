@@ -97,8 +97,22 @@ func (c *CS) Suggest(idx *index.Index, cl *cluster.Clustering, uq search.Query) 
 // RetrieveWithin evaluates an arbitrary query against the index under AND
 // semantics and restricts the result to the universe — used to score
 // baseline queries (whose terms need not come from any candidate pool) with
-// the Section 2 measures.
+// the Section 2 measures. Universes are small (top-K result sets), so the
+// membership test runs per universe document against the doc's sorted term
+// set instead of intersecting full-corpus postings.
 func RetrieveWithin(idx *index.Index, q search.Query, universe document.DocSet) document.DocSet {
-	eng := search.NewEngine(idx)
-	return eng.Eval(q, search.And).Intersect(universe)
+	out := document.DocSet{}
+	for id := range universe {
+		all := true
+		for _, t := range q.Terms {
+			if !idx.HasTerm(id, t) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.Add(id)
+		}
+	}
+	return out
 }

@@ -13,11 +13,14 @@ import (
 	"repro/internal/search"
 )
 
-// randomProblem builds a random Definition 2.2 instance with nc cluster
-// results, nu other results and a keyword vocabulary of size nk.
-func randomProblem(seed int64, nc, nu, nk int, weighted bool) *Problem {
+// randomInstance builds the raw material of a random Definition 2.2
+// instance with nc cluster results, nu other results and a keyword
+// vocabulary of size nk.
+func randomInstance(seed int64, nc, nu, nk int, weighted bool) (c, u document.DocSet,
+	contain map[string]document.DocSet, w eval.Weights) {
+
 	rng := rand.New(rand.NewSource(seed))
-	c, u := document.DocSet{}, document.DocSet{}
+	c, u = document.DocSet{}, document.DocSet{}
 	for i := 0; i < nc; i++ {
 		c.Add(document.DocID(i))
 	}
@@ -26,7 +29,7 @@ func randomProblem(seed int64, nc, nu, nk int, weighted bool) *Problem {
 	}
 	universe := c.Union(u)
 	ids := universe.IDs() // iterate deterministically while consuming rng
-	contain := map[string]document.DocSet{}
+	contain = map[string]document.DocSet{}
 	for k := 0; k < nk; k++ {
 		name := string(rune('a'+k%26)) + string(rune('0'+k/26))
 		set := document.DocSet{}
@@ -42,13 +45,18 @@ func randomProblem(seed int64, nc, nu, nk int, weighted bool) *Problem {
 		}
 		contain[name] = set
 	}
-	var w eval.Weights
 	if weighted {
 		w = eval.Weights{}
 		for _, id := range ids {
 			w[id] = 0.5 + rng.Float64()*4
 		}
 	}
+	return c, u, contain, w
+}
+
+// randomProblem assembles a random Definition 2.2 problem.
+func randomProblem(seed int64, nc, nu, nk int, weighted bool) *Problem {
+	c, u, contain, w := randomInstance(seed, nc, nu, nk, weighted)
 	return NewProblemFromSets(search.NewQuery("seed"), c, u, w, contain)
 }
 
@@ -108,7 +116,7 @@ func TestISKRTerminatesAndOutputsValidQuery(t *testing.T) {
 			if term == "seed" {
 				continue
 			}
-			if _, ok := p.contain[term]; !ok {
+			if _, ok := p.kwIdx[term]; !ok {
 				t.Fatalf("seed %d: expanded term %q not in pool", seed, term)
 			}
 		}
@@ -270,10 +278,9 @@ func TestFMeasureVariantRescansEveryKeywordPerStep(t *testing.T) {
 	// ISKR: a keyword contained in every document is never affected by any
 	// delta, so after the initial scan it must never be re-evaluated.
 	// Verify by comparing against the full-recompute upper bound.
-	p2 := randomProblem(42, 40, 60, 60, false)
-	all := p2.Universe.Clone()
-	p2.Pool = append(p2.Pool, "ubiquitous")
-	p2.contain["ubiquitous"] = all
+	c2, u2, contain2, _ := randomInstance(42, 40, 60, 60, false)
+	contain2["ubiquitous"] = c2.Union(u2)
+	p2 := NewProblemFromSets(search.NewQuery("seed"), c2, u2, nil, contain2)
 	is := (&ISKR{}).Expand(p2)
 	fullRecompute := len(p2.Pool) + is.Iterations*(len(p2.Pool)+8)
 	if is.Evaluations >= fullRecompute {

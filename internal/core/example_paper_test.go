@@ -37,7 +37,7 @@ func paperExample() *Problem {
 
 func TestExample31InitialValues(t *testing.T) {
 	p := paperExample()
-	st := &iskrState{p: p, q: p.UserQuery, r: p.Universe.Clone()}
+	st := &iskrState{p: p, q: p.UserQuery, r: p.allB.Clone()}
 	// Paper's initial table: job 8/6, store 5/4, location 5/4, fruit 3/3.
 	want := map[string][2]float64{
 		"job":      {8, 6},
@@ -46,7 +46,7 @@ func TestExample31InitialValues(t *testing.T) {
 		"fruit":    {3, 3},
 	}
 	for k, bc := range want {
-		b, c := st.addDeltas(k)
+		b, c := st.addDeltas(int(p.kwIdx[k]))
 		if b != bc[0] || c != bc[1] {
 			t.Errorf("%s: benefit/cost = %v/%v, want %v/%v", k, b, c, bc[0], bc[1])
 		}
@@ -58,28 +58,35 @@ func TestExample31InitialValues(t *testing.T) {
 
 func TestExample31ValuesAfterAddingJob(t *testing.T) {
 	p := paperExample()
+	nk := len(p.Pool)
 	st := &iskrState{
-		p: p, q: p.UserQuery, r: p.Universe.Clone(),
-		addBenefit: map[string]float64{}, addCost: map[string]float64{},
+		p: p, q: p.UserQuery, r: p.allB.Clone(),
+		addBenefit: make([]float64, nk), addCost: make([]float64, nk),
+		active: make([]bool, nk),
 	}
-	for _, k := range p.Pool {
-		b, c := st.addDeltas(k)
-		st.addBenefit[k], st.addCost[k] = b, c
+	for ki := range p.Pool {
+		b, c := st.addDeltas(ki)
+		st.addBenefit[ki], st.addCost[ki] = b, c
+		st.active[ki] = true
 	}
-	st.apply("job", true)
+	st.apply(int(p.kwIdx["job"]), true)
 
+	bc := func(k string) (float64, float64) {
+		ki := p.kwIdx[k]
+		return st.addBenefit[ki], st.addCost[ki]
+	}
 	// Paper's updated table: store 1/0, location 1/0, fruit 0/0.
 	// (The printed table lists store's value as "1"; under the benefit/cost
 	// definition 1/0 is unbounded — treated as +Inf here, which is what
 	// makes the example's continuation consistent with the ≤1 stop rule.)
-	if st.addBenefit["store"] != 1 || st.addCost["store"] != 0 {
-		t.Errorf("store = %v/%v, want 1/0", st.addBenefit["store"], st.addCost["store"])
+	if b, c := bc("store"); b != 1 || c != 0 {
+		t.Errorf("store = %v/%v, want 1/0", b, c)
 	}
-	if st.addBenefit["location"] != 1 || st.addCost["location"] != 0 {
-		t.Errorf("location = %v/%v, want 1/0", st.addBenefit["location"], st.addCost["location"])
+	if b, c := bc("location"); b != 1 || c != 0 {
+		t.Errorf("location = %v/%v, want 1/0", b, c)
 	}
-	if st.addBenefit["fruit"] != 0 || st.addCost["fruit"] != 0 {
-		t.Errorf("fruit = %v/%v, want 0/0", st.addBenefit["fruit"], st.addCost["fruit"])
+	if b, c := bc("fruit"); b != 0 || c != 0 {
+		t.Errorf("fruit = %v/%v, want 0/0", b, c)
 	}
 	// Removal row for job: benefit 6, cost 8 (value 0.75).
 	b, c, _ := st.removeDeltas("job")
@@ -88,8 +95,8 @@ func TestExample31ValuesAfterAddingJob(t *testing.T) {
 	}
 	// R(q) now retrieves R7, R8 in C and R9', R10' in U.
 	wantR := document.NewDocSet(7, 8, 109, 110)
-	if !st.r.Equal(wantR) {
-		t.Errorf("R(q) = %v, want %v", st.r.IDs(), wantR.IDs())
+	if !p.bitsToDocSet(st.r).Equal(wantR) {
+		t.Errorf("R(q) = %v, want %v", p.bitsToDocSet(st.r).IDs(), wantR.IDs())
 	}
 }
 

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/cluster"
-	"repro/internal/document"
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/search"
@@ -50,6 +53,63 @@ func (r *QECResult) TotalEvaluations() int {
 	return n
 }
 
+// fanSlots is the process-wide budget of extra fan-out workers, sized to
+// the core count at startup. Every ParallelFor acquires its helpers from
+// this budget non-blockingly, so nested fans (Solve inside an experiment
+// fan) and concurrent fans (one per in-flight server request, where the
+// serving layer already runs 2x GOMAXPROCS expansions) degrade gracefully
+// to serial execution instead of oversubscribing the CPU with up to
+// requests x GOMAXPROCS runnable goroutines.
+var fanSlots = make(chan struct{}, runtime.GOMAXPROCS(0)-1)
+
+// ParallelFor runs fn(0..n-1) across up to min(GOMAXPROCS, n) workers —
+// the calling goroutine plus however many helpers the process-wide budget
+// can spare — and waits. With no spare budget (single core, nested fan, or
+// a saturated server) it degenerates to an inline serial loop. Callers
+// write into index-addressed slots, so the assembled output is identical
+// to a serial run regardless of how many helpers were granted. Shared by
+// the per-cluster solving fan-out here and the experiment runner's
+// per-query fan-out.
+func ParallelFor(n int, fn func(i int)) {
+	extra := 0
+	for extra < n-1 {
+		select {
+		case fanSlots <- struct{}{}:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var idx atomic.Int64
+	work := func() {
+		for {
+			i := int(idx.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() { <-fanSlots }()
+			work()
+		}()
+	}
+	work() // the caller participates
+	wg.Wait()
+}
+
 // BuildProblems constructs one Definition 2.2 problem per cluster from a
 // clustering of the user query's results. Since maximizing Eq. 1 decomposes
 // into maximizing each query's F-measure independently (Section 2), solving
@@ -57,53 +117,27 @@ func (r *QECResult) TotalEvaluations() int {
 func BuildProblems(idx *index.Index, userQuery search.Query, cl *cluster.Clustering,
 	weights eval.Weights, opts PoolOptions) []*Problem {
 
-	sets := cl.Sets()
-	problems := make([]*Problem, len(sets))
-	for i, c := range sets {
-		u := document.DocSet{}
-		for j, other := range sets {
-			if j != i {
-				u = u.Union(other)
-			}
-		}
-		problems[i] = NewProblem(idx, userQuery, c, u, weights, opts)
-	}
-	return problems
+	return problemsFromSets(idx, userQuery, cl.Sets(), weights, opts)
 }
 
 // Solve runs the expander over every cluster and assembles the QEC result.
+// The per-cluster Expand calls fan out across GOMAXPROCS workers (clusters
+// are independent subproblems); results are collected by cluster index, so
+// the output is bit-identical to a serial run for deterministic expanders.
 func Solve(expander Expander, problems []*Problem) *QECResult {
-	res := &QECResult{Method: expander.Name()}
-	fs := make([]float64, 0, len(problems))
-	for i, p := range problems {
-		exp := expander.Expand(p)
-		res.Expansions = append(res.Expansions, ClusterExpansion{Cluster: i, Expanded: exp})
-		fs = append(fs, exp.PRF.F)
-	}
-	res.Score = eval.Score(fs)
-	return res
-}
-
-// SolveParallel is Solve with one goroutine per cluster. Since Section 2
-// shows Eq. 1 decomposes into independent per-cluster maximizations, the
-// clusters embarrassingly parallelize; the result is identical to Solve's
-// for deterministic expanders.
-func SolveParallel(expander Expander, problems []*Problem) *QECResult {
 	res := &QECResult{
 		Method:     expander.Name(),
 		Expansions: make([]ClusterExpansion, len(problems)),
 	}
-	done := make(chan int, len(problems))
-	for i, p := range problems {
-		go func(i int, p *Problem) {
-			exp := expander.Expand(p)
-			res.Expansions[i] = ClusterExpansion{Cluster: i, Expanded: exp}
-			done <- i
-		}(i, p)
-	}
-	for range problems {
-		<-done
-	}
+	ParallelFor(len(problems), func(i int) {
+		res.Expansions[i] = ClusterExpansion{Cluster: i, Expanded: expander.Expand(problems[i])}
+	})
 	res.Score = eval.Score(res.FMeasures())
 	return res
+}
+
+// SolveParallel is retained for API compatibility: Solve itself now expands
+// the clusters concurrently, so this simply delegates.
+func SolveParallel(expander Expander, problems []*Problem) *QECResult {
+	return Solve(expander, problems)
 }

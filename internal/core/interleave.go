@@ -118,20 +118,22 @@ func (it *Interleave) Run(idx *index.Index, userQuery search.Query,
 	return &InterleaveResult{Result: best, Clusters: bestSets, Rounds: rounds}
 }
 
-// problemsFromSets builds one Definition 2.2 problem per cluster set.
+// problemsFromSets builds one Definition 2.2 problem per cluster set. The
+// per-cluster constructions are independent and fan out across GOMAXPROCS
+// workers, each writing its index-addressed slot.
 func problemsFromSets(idx *index.Index, userQuery search.Query,
 	sets []document.DocSet, weights eval.Weights, opts PoolOptions) []*Problem {
 
 	problems := make([]*Problem, len(sets))
-	for i, c := range sets {
+	ParallelFor(len(sets), func(i int) {
 		u := document.DocSet{}
 		for j, other := range sets {
 			if j != i {
 				u = u.Union(other)
 			}
 		}
-		problems[i] = NewProblem(idx, userQuery, c, u, weights, opts)
-	}
+		problems[i] = NewProblem(idx, userQuery, sets[i], u, weights, opts)
+	})
 	return problems
 }
 

@@ -49,11 +49,12 @@ func value(benefit, cost float64) float64 {
 	return benefit / cost
 }
 
-// approxEqual compares two keyword values with a relative epsilon. Rank
-// weights are accumulated in map-iteration order, so mathematically equal
-// values can differ in their last bits between runs; argmax sites must
-// treat those as ties (resolved lexicographically) or runs would be
-// nondeterministic.
+// approxEqual compares two keyword values with a relative epsilon.
+// Historically rank weights were accumulated in map-iteration order, so
+// mathematically equal values could differ in their last bits; argmax sites
+// treat those as ties (resolved by keyword ID, i.e. lexicographically). The
+// dense representation accumulates deterministically, but the epsilon is
+// kept so refinement trajectories match the map-era golden outputs.
 func approxEqual(a, b float64) bool {
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {
 		return a == b
@@ -68,34 +69,40 @@ func approxGreater(a, b float64) bool {
 	return !approxEqual(a, b) && a > b
 }
 
-// iskrState carries the mutable state of one run.
+// iskrState carries the mutable state of one run, entirely in the problem's
+// dense ID space.
 type iskrState struct {
 	p *Problem
 	q search.Query
-	r document.DocSet // R(q) within the universe
+	r document.BitSet // R(q) within the universe
 
-	// addBenefit/addCost for every pool keyword not currently in q.
-	addBenefit map[string]float64
-	addCost    map[string]float64
+	// addBenefit/addCost for every pool keyword, indexed by keyword ID;
+	// active marks the addition candidates (keywords not currently in q).
+	addBenefit []float64
+	addCost    []float64
+	active     []bool
 
 	evaluations int
 }
 
 // Expand implements Expander.
 func (a *ISKR) Expand(p *Problem) Expanded {
+	nk := len(p.Pool)
 	st := &iskrState{
 		p:          p,
 		q:          p.UserQuery,
-		r:          p.Universe.Clone(),
-		addBenefit: make(map[string]float64, len(p.Pool)),
-		addCost:    make(map[string]float64, len(p.Pool)),
+		r:          p.allB.Clone(),
+		addBenefit: make([]float64, nk),
+		addCost:    make([]float64, nk),
+		active:     make([]bool, nk),
 	}
 	// Initial benefit/cost per keyword (Refine lines 2-8):
 	// benefit(k) = S(R(q) ∩ U ∩ E(k)), cost(k) = S(R(q) ∩ C ∩ E(k)).
-	for _, k := range p.Pool {
-		b, c := st.addDeltas(k)
-		st.addBenefit[k] = b
-		st.addCost[k] = c
+	for ki := 0; ki < nk; ki++ {
+		b, c := st.addDeltas(ki)
+		st.addBenefit[ki] = b
+		st.addCost[ki] = c
+		st.active[ki] = true
 		st.evaluations++
 	}
 
@@ -108,15 +115,15 @@ func (a *ISKR) Expand(p *Problem) Expanded {
 	bestF := p.FMeasure(st.q)
 	iterations := 0
 	for iterations < maxIter {
-		kind, k, v := st.bestMove(a.DisableRemoval)
+		kind, ki, v := st.bestMove(a.DisableRemoval)
 		if !(v > 1) { // stop when value(k) <= 1 (Algorithm 1, line 16)
 			break
 		}
 		iterations++
 		if kind == moveAdd {
-			st.apply(k, true)
+			st.apply(ki, true)
 		} else {
-			st.apply(k, false)
+			st.apply(ki, false)
 		}
 		if f := p.FMeasure(st.q); f > bestF {
 			bestF = f
@@ -142,20 +149,20 @@ const (
 	moveRemove
 )
 
-// addDeltas computes from scratch the benefit and cost of adding k to the
-// current query: the weights of the results k eliminates from U and from C.
-func (st *iskrState) addDeltas(k string) (benefit, cost float64) {
-	contain := st.p.ContainSet(k)
-	for id := range st.r {
-		if contain.Contains(id) {
-			continue // k does not eliminate this result
+// addDeltas computes from scratch the benefit and cost of adding keyword ki
+// to the current query: the weights of the results ki eliminates from U and
+// from C. Word-wise: the eliminated set is R(q) &^ contain(ki), split by U
+// membership, folded in ascending dense-ID order.
+func (st *iskrState) addDeltas(ki int) (benefit, cost float64) {
+	cw := st.p.containB[ki].Words()
+	uw := st.p.uB.Words()
+	for wi, rw := range st.r.Words() {
+		x := rw &^ cw[wi]
+		if x == 0 {
+			continue // ki eliminates nothing in this word
 		}
-		w := st.weight(id)
-		if st.p.U.Contains(id) {
-			benefit += w
-		} else {
-			cost += w
-		}
+		benefit = st.p.accum(benefit, wi, x&uw[wi])
+		cost = st.p.accum(cost, wi, x&^uw[wi])
 	}
 	return benefit, cost
 }
@@ -163,47 +170,45 @@ func (st *iskrState) addDeltas(k string) (benefit, cost float64) {
 // removeDeltas computes the benefit and cost of removing k from the current
 // query. D(k) = R(q\k) \ R(q) are the results that come back; benefit is
 // their weight in C, cost their weight in U.
-func (st *iskrState) removeDeltas(k string) (benefit, cost float64, delta document.DocSet) {
-	without := st.q.Without(k)
-	rWithout := st.p.Retrieve(without)
-	delta = rWithout.Subtract(st.r)
-	for id := range delta {
-		w := st.weight(id)
-		if st.p.C.Contains(id) {
-			benefit += w
-		} else {
-			cost += w
+func (st *iskrState) removeDeltas(k string) (benefit, cost float64, delta document.BitSet) {
+	delta = st.p.retrieveBits(st.q.Without(k))
+	delta.AndNot(st.r)
+	cw := st.p.cB.Words()
+	for wi, dw := range delta.Words() {
+		if dw == 0 {
+			continue
 		}
+		benefit = st.p.accum(benefit, wi, dw&cw[wi])
+		cost = st.p.accum(cost, wi, dw&^cw[wi])
 	}
 	return benefit, cost, delta
-}
-
-func (st *iskrState) weight(id document.DocID) float64 {
-	if st.p.Weights == nil {
-		return 1
-	}
-	if w, ok := st.p.Weights[id]; ok && w > 0 {
-		return w
-	}
-	return 1
 }
 
 // bestMove scans the maintained addition values and the (recomputed)
 // removal values and returns the best move. Add-moves that would eliminate
 // every remaining cluster result are excluded: such a move zeroes recall and
 // hence F, so it can never "improve the query" (the paper's stated stopping
-// intent), even though its raw benefit/cost ratio may exceed 1.
-func (st *iskrState) bestMove(noRemoval bool) (moveKind, string, float64) {
-	remainingC := st.p.S(st.r.Intersect(st.p.C))
-	bestKind, bestK, bestV := moveAdd, "", math.Inf(-1)
-	for k, b := range st.addBenefit {
-		if c := st.addCost[k]; remainingC > 0 && c >= remainingC-1e-9 {
+// intent), even though its raw benefit/cost ratio may exceed 1. Candidates
+// are scanned in keyword-ID (lexicographic) order so approx-tie resolution
+// is reproducible.
+func (st *iskrState) bestMove(noRemoval bool) (moveKind, int, float64) {
+	remainingC := 0.0
+	cw := st.p.cB.Words()
+	for wi, rw := range st.r.Words() {
+		remainingC = st.p.accum(remainingC, wi, rw&cw[wi])
+	}
+	bestKind, bestKi, bestV := moveAdd, -1, math.Inf(-1)
+	for ki := range st.p.Pool {
+		if !st.active[ki] {
+			continue // already in the query
+		}
+		if c := st.addCost[ki]; remainingC > 0 && c >= remainingC-1e-9 {
 			continue // would empty R(q) ∩ C
 		}
-		v := value(b, st.addCost[k])
+		v := value(st.addBenefit[ki], st.addCost[ki])
 		if approxGreater(v, bestV) ||
-			(approxEqual(v, bestV) && bestKind == moveAdd && k < bestK) {
-			bestKind, bestK, bestV = moveAdd, k, v
+			(approxEqual(v, bestV) && bestKind == moveAdd && bestKi >= 0 && ki < bestKi) {
+			bestKind, bestKi, bestV = moveAdd, ki, v
 		}
 	}
 	if !noRemoval {
@@ -214,46 +219,38 @@ func (st *iskrState) bestMove(noRemoval bool) (moveKind, string, float64) {
 			b, c, _ := st.removeDeltas(k)
 			st.evaluations++
 			if v := value(b, c); approxGreater(v, bestV) {
-				bestKind, bestK, bestV = moveRemove, k, v
+				bestKind, bestKi, bestV = moveRemove, int(st.p.kwIdx[k]), v
 			}
 		}
 	}
-	return bestKind, bestK, bestV
+	return bestKind, bestKi, bestV
 }
 
 // apply performs an add or remove move and incrementally updates the
 // maintained addition values: only keywords absent from at least one delta
 // result are affected (the Section 3 observation), and for those the delta
 // is exactly the weight of the delta results they do not contain.
-func (st *iskrState) apply(k string, add bool) {
+func (st *iskrState) apply(ki int, add bool) {
+	k := st.p.Pool[ki]
 	if add {
 		// Delta results: D = R(q) ∩ E(k) — results eliminated by k.
-		contain := st.p.ContainSet(k)
-		delta := document.DocSet{}
-		for id := range st.r {
-			if !contain.Contains(id) {
-				delta.Add(id)
-			}
-		}
+		delta := st.r.Clone()
+		delta.AndNot(st.p.containB[ki])
 		st.q = st.q.With(k)
-		for id := range delta {
-			st.r.Remove(id)
-		}
+		st.r.And(st.p.containB[ki])
 		st.updateAddValues(delta, -1)
 		// k is no longer an addition candidate.
-		delete(st.addBenefit, k)
-		delete(st.addCost, k)
+		st.active[ki] = false
 	} else {
 		_, _, delta := st.removeDeltas(k)
 		st.q = st.q.Without(k)
-		for id := range delta {
-			st.r.Add(id)
-		}
+		st.r.Or(delta)
 		st.updateAddValues(delta, +1)
 		// k becomes an addition candidate again.
-		b, c := st.addDeltas(k)
-		st.addBenefit[k] = b
-		st.addCost[k] = c
+		b, c := st.addDeltas(ki)
+		st.addBenefit[ki] = b
+		st.addCost[ki] = c
+		st.active[ki] = true
 		st.evaluations++
 	}
 }
@@ -262,27 +259,29 @@ func (st *iskrState) apply(k string, add bool) {
 // results entering (sign=+1) or leaving (sign=-1) R(q). A keyword k' is
 // affected iff it is absent from at least one delta result; the adjustment
 // is the weight of exactly those results.
-func (st *iskrState) updateAddValues(delta document.DocSet, sign float64) {
-	if delta.Len() == 0 {
+func (st *iskrState) updateAddValues(delta document.BitSet, sign float64) {
+	if delta.Empty() {
 		return
 	}
-	for k := range st.addBenefit {
-		contain := st.p.ContainSet(k)
+	dw := delta.Words()
+	uw := st.p.uB.Words()
+	for ki := range st.p.Pool {
+		if !st.active[ki] {
+			continue
+		}
+		cw := st.p.containB[ki].Words()
 		var db, dc float64
-		for id := range delta {
-			if contain.Contains(id) {
+		for wi, d := range dw {
+			x := d &^ cw[wi]
+			if x == 0 {
 				continue
 			}
-			w := st.weight(id)
-			if st.p.U.Contains(id) {
-				db += w
-			} else {
-				dc += w
-			}
+			db = st.p.accum(db, wi, x&uw[wi])
+			dc = st.p.accum(dc, wi, x&^uw[wi])
 		}
 		if db != 0 || dc != 0 {
-			st.addBenefit[k] += sign * db
-			st.addCost[k] += sign * dc
+			st.addBenefit[ki] += sign * db
+			st.addCost[ki] += sign * dc
 			st.evaluations++
 		}
 	}

@@ -27,93 +27,84 @@ type ORISKR struct {
 func (a *ORISKR) Name() string { return "OR-ISKR" }
 
 // Expand implements Expander. The result's PRF is computed under OR
-// retrieval within the universe.
+// retrieval within the universe. All coverage arithmetic is word-wise over
+// the problem's dense ID space.
 func (a *ORISKR) Expand(p *Problem) Expanded {
 	q := search.NewQuery()
-	covered := document.DocSet{} // R(q) under OR
+	covered := document.NewBitSet(p.nDocs()) // R(q) under OR
 	maxIter := a.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 4*len(p.Pool) + 16
 	}
+	cbw := p.cB.Words()
+	ubw := p.uB.Words()
 	evals := 0
 	iterations := 0
 	for iterations < maxIter {
-		bestK, bestV, bestAdd := "", math.Inf(-1), true
+		bestKi, bestK, bestV, bestAdd := -1, "", math.Inf(-1), true
 		// Additions: benefit = newly covered C mass, cost = newly covered
 		// U mass.
-		for _, k := range p.Pool {
+		for ki, k := range p.Pool {
 			if q.Contains(k) {
 				continue
 			}
 			var b, c float64
-			for id := range p.ContainSet(k) {
-				if covered.Contains(id) {
+			for wi, kw := range p.containB[ki].Words() {
+				x := kw &^ covered.Words()[wi]
+				if x == 0 {
 					continue
 				}
-				w := weightOf(p, id)
-				if p.C.Contains(id) {
-					b += w
-				} else {
-					c += w
-				}
+				b = p.accum(b, wi, x&cbw[wi])
+				c = p.accum(c, wi, x&^cbw[wi])
 			}
 			evals++
 			if b == 0 {
 				continue
 			}
 			if v := value(b, c); approxGreater(v, bestV) ||
-				(approxEqual(v, bestV) && bestAdd && (bestK == "" || k < bestK)) {
-				bestK, bestV, bestAdd = k, v, true
+				(approxEqual(v, bestV) && bestAdd && (bestKi < 0 || ki < bestKi)) {
+				bestKi, bestK, bestV, bestAdd = ki, k, v, true
 			}
 		}
 		// Removals: benefit = uncovered U mass, cost = uncovered C mass —
 		// where "uncovered" means covered only by this keyword.
 		for _, k := range q.Terms {
-			var b, c float64
-			for id := range p.ContainSet(k) {
-				if a.coveredByOther(p, q, k, id) {
+			other := document.NewBitSet(p.nDocs())
+			for _, t := range q.Terms {
+				if t == k {
 					continue
 				}
-				w := weightOf(p, id)
-				if p.U.Contains(id) {
-					b += w
-				} else {
-					c += w
+				if ti, ok := p.kwIdx[t]; ok {
+					other.Or(p.containB[ti])
 				}
+			}
+			ki := int(p.kwIdx[k])
+			var b, c float64
+			for wi, kw := range p.containB[ki].Words() {
+				x := kw &^ other.Words()[wi]
+				if x == 0 {
+					continue
+				}
+				b = p.accum(b, wi, x&ubw[wi])
+				c = p.accum(c, wi, x&^ubw[wi])
 			}
 			evals++
 			if v := value(b, c); approxGreater(v, bestV) {
-				bestK, bestV, bestAdd = k, v, false
+				bestKi, bestK, bestV, bestAdd = ki, k, v, false
 			}
 		}
-		if !(bestV > 1) || bestK == "" {
+		if !(bestV > 1) || bestKi < 0 {
 			break
 		}
 		iterations++
 		if bestAdd {
 			q = q.With(bestK)
-			for id := range p.ContainSet(bestK) {
-				covered.Add(id)
-			}
+			covered.Or(p.containB[bestKi])
 		} else {
 			q = q.Without(bestK)
-			covered = p.RetrieveOR(q)
+			covered = p.retrieveORBits(q)
 		}
 	}
 	prf := p.MeasureOR(q)
 	return Expanded{Query: q, PRF: prf, Iterations: iterations, Evaluations: evals}
-}
-
-// coveredByOther reports whether universe doc id is covered by a term of q
-// other than k.
-func (a *ORISKR) coveredByOther(p *Problem, q search.Query, k string, id document.DocID) bool {
-	for _, t := range q.Terms {
-		if t == k {
-			continue
-		}
-		if p.ContainSet(t).Contains(id) {
-			return true
-		}
-	}
-	return false
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -143,106 +144,94 @@ func (a *PEBC) partialElimination(p *Problem, x float64, rng *rand.Rand) search.
 	}
 }
 
-// elimState tracks a partial-elimination run. Benefit/cost/count tables are
-// maintained incrementally (cloned from the Problem's shared base tables and
-// adjusted only for delta results on each add), which is what keeps PEBC's
-// per-sample cost low — the efficiency property Figure 6 turns on.
+// elimState tracks a partial-elimination run in the problem's dense ID
+// space. Benefit/cost/count tables are maintained incrementally (copied from
+// the Problem's shared base tables and adjusted only for delta results on
+// each add), which is what keeps PEBC's per-sample cost low — the efficiency
+// property Figure 6 turns on.
 type elimState struct {
 	p          *Problem
 	q          search.Query
-	r          document.DocSet  // R(q)
-	remU       []document.DocID // not-yet-eliminated results of U, stable order
-	benefit    map[string]float64
-	cost       map[string]float64
-	count      map[string]int
+	r          document.BitSet // R(q)
+	remU       []int32         // not-yet-eliminated results of U, ascending dense IDs
+	benefit    []float64       // indexed by keyword ID
+	cost       []float64
+	count      []int
 	target     float64 // score of U to eliminate
 	eliminated float64 // score of U eliminated so far
 	totalU     float64
 }
 
 func newElimState(p *Problem, x float64) *elimState {
-	st := &elimState{p: p, q: p.UserQuery, r: p.Universe.Clone()}
-	st.remU = p.U.IDs()
+	st := &elimState{p: p, q: p.UserQuery, r: p.allB.Clone()}
+	st.remU = make([]int32, 0, p.uB.Len())
+	p.uB.ForEach(func(di int) { st.remU = append(st.remU, int32(di)) })
 	b, c, n := p.baseTables()
-	st.benefit = make(map[string]float64, len(b))
-	st.cost = make(map[string]float64, len(c))
-	st.count = make(map[string]int, len(n))
-	for k := range b {
-		st.benefit[k], st.cost[k], st.count[k] = b[k], c[k], n[k]
-	}
-	st.totalU = p.S(p.U)
+	st.benefit = append([]float64(nil), b...)
+	st.cost = append([]float64(nil), c...)
+	st.count = append([]int(nil), n...)
+	st.totalU = p.sU
 	st.target = x / 100 * st.totalU
 	return st
 }
 
 // uRemaining returns the not-yet-eliminated results of U in a stable order
 // (maintained incrementally; no per-pick sorting).
-func (st *elimState) uRemaining() []document.DocID {
+func (st *elimState) uRemaining() []int32 {
 	return st.remU
 }
 
 // keywordEffect returns the maintained benefit (score eliminated from U),
-// cost (score eliminated from C) and eliminated-result count of keyword k
+// cost (score eliminated from C) and eliminated-result count of keyword ki
 // against the current R(q).
-func (st *elimState) keywordEffect(k string) (benefit, cost float64, count int) {
-	return st.benefit[k], st.cost[k], st.count[k]
+func (st *elimState) keywordEffect(ki int) (benefit, cost float64, count int) {
+	return st.benefit[ki], st.cost[ki], st.count[ki]
 }
 
-// add applies keyword k, updates the maintained tables for the delta
-// results, and returns the U-score it eliminated.
-func (st *elimState) add(k string) float64 {
-	contain := st.p.ContainSet(k)
-	delta := document.DocSet{}
+// add applies keyword ki, updates the maintained tables for the delta
+// results, and returns the U-score it eliminated. All set algebra is
+// word-wise; float accumulation folds in ascending dense-ID order.
+func (st *elimState) add(ki int) float64 {
+	delta := st.r.Clone()
+	delta.AndNot(st.p.containB[ki])
+	dw := delta.Words()
+	uw := st.p.uB.Words()
 	var gone float64
-	for id := range st.r {
-		if contain.Contains(id) {
-			continue
-		}
-		delta.Add(id)
-		if st.p.U.Contains(id) {
-			gone += weightOf(st.p, id)
-		}
+	for wi, d := range dw {
+		gone = st.p.accum(gone, wi, d&uw[wi])
 	}
-	st.q = st.q.With(k)
-	for id := range delta {
-		st.r.Remove(id)
-	}
+	st.q = st.q.With(st.p.Pool[ki])
+	st.r.AndNot(delta)
 	// Compact the remaining-U list in place, preserving order.
 	keep := st.remU[:0]
-	for _, id := range st.remU {
-		if !delta.Contains(id) {
-			keep = append(keep, id)
+	for _, di := range st.remU {
+		if !delta.Contains(int(di)) {
+			keep = append(keep, di)
 		}
 	}
 	st.remU = keep
 	// Only keywords absent from at least one delta result change value.
 	for k2 := range st.benefit {
-		c2 := st.p.ContainSet(k2)
-		for id := range delta {
-			if c2.Contains(id) {
+		cw := st.p.containB[k2].Words()
+		var db, dc float64
+		n := 0
+		for wi, d := range dw {
+			x := d &^ cw[wi]
+			if x == 0 {
 				continue
 			}
-			w := weightOf(st.p, id)
-			if st.p.U.Contains(id) {
-				st.benefit[k2] -= w
-			} else {
-				st.cost[k2] -= w
-			}
-			st.count[k2]--
+			n += bits.OnesCount64(x)
+			db = st.p.accum(db, wi, x&uw[wi])
+			dc = st.p.accum(dc, wi, x&^uw[wi])
+		}
+		if n != 0 {
+			st.benefit[k2] -= db
+			st.cost[k2] -= dc
+			st.count[k2] -= n
 		}
 	}
 	st.eliminated += gone
 	return gone
-}
-
-func weightOf(p *Problem, id document.DocID) float64 {
-	if p.Weights == nil {
-		return 1
-	}
-	if w, ok := p.Weights[id]; ok && w > 0 {
-		return w
-	}
-	return 1
 }
 
 // closerWithout reports whether stopping before the last keyword leaves the
@@ -261,25 +250,26 @@ func (a *PEBC) eliminateSingleResult(p *Problem, x float64, rng *rand.Rand) sear
 	}
 	// Results found to be uneliminable by the current candidate pool; they
 	// are skipped rather than aborting the whole procedure.
-	stuck := document.DocSet{}
+	stuck := document.NewBitSet(p.nDocs())
+	candidates := make([]int32, 0, len(st.remU))
 	for st.eliminated < st.target {
-		var candidates []document.DocID
-		for _, id := range st.uRemaining() {
-			if !stuck.Contains(id) {
-				candidates = append(candidates, id)
+		candidates = candidates[:0]
+		for _, di := range st.uRemaining() {
+			if !stuck.Contains(int(di)) {
+				candidates = append(candidates, di)
 			}
 		}
 		if len(candidates) == 0 {
 			break
 		}
-		r := candidates[rng.Intn(len(candidates))]
+		r := int(candidates[rng.Intn(len(candidates))])
 		// Keywords that eliminate r: pool keywords not contained in r.
-		bestK, bestV, bestCount := "", math.Inf(-1), 0
-		for _, k := range p.Pool {
-			if p.Contains(r, k) || st.q.Contains(k) {
+		bestKi, bestV, bestCount := -1, math.Inf(-1), 0
+		for ki := range p.Pool {
+			if p.containB[ki].Contains(r) || st.q.Contains(p.Pool[ki]) {
 				continue
 			}
-			b, c, count := st.keywordEffect(k)
+			b, c, count := st.keywordEffect(ki)
 			if b == 0 {
 				continue
 			}
@@ -288,21 +278,21 @@ func (a *PEBC) eliminateSingleResult(p *Problem, x float64, rng *rand.Rand) sear
 			// the risk that we eliminate too many"), then the smaller name.
 			if approxGreater(v, bestV) ||
 				(approxEqual(v, bestV) && (count < bestCount ||
-					(count == bestCount && (bestK == "" || k < bestK)))) {
-				bestK, bestV, bestCount = k, v, count
+					(count == bestCount && (bestKi < 0 || ki < bestKi)))) {
+				bestKi, bestV, bestCount = ki, v, count
 			}
 		}
-		if bestK == "" {
+		if bestKi < 0 {
 			stuck.Add(r) // r cannot be eliminated; try another result
 			continue
 		}
 		before := st.eliminated
-		st.add(bestK)
+		st.add(bestKi)
 		if st.eliminated >= st.target && closerWithout(before, st.eliminated, st.target) && before > 0 {
 			// Undo: rebuild without the last keyword (cheaper than a full
 			// union-restore given how small these queries are).
-			st.q = st.q.Without(bestK)
-			st.r = p.Retrieve(st.q)
+			st.q = st.q.Without(p.Pool[bestKi])
+			st.r = p.retrieveBits(st.q)
 			st.eliminated = before
 			break
 		}
@@ -318,28 +308,28 @@ func (a *PEBC) eliminateFixedOrder(p *Problem, x float64) search.Query {
 		return st.q
 	}
 	for st.eliminated < st.target {
-		bestK, bestV := "", math.Inf(-1)
-		for _, k := range p.Pool {
-			if st.q.Contains(k) {
+		bestKi, bestV := -1, math.Inf(-1)
+		for ki := range p.Pool {
+			if st.q.Contains(p.Pool[ki]) {
 				continue
 			}
-			b, c, _ := st.keywordEffect(k)
+			b, c, _ := st.keywordEffect(ki)
 			if b == 0 {
 				continue
 			}
 			if v := value(b, c); approxGreater(v, bestV) ||
-				(approxEqual(v, bestV) && (bestK == "" || k < bestK)) {
-				bestK, bestV = k, v
+				(approxEqual(v, bestV) && (bestKi < 0 || ki < bestKi)) {
+				bestKi, bestV = ki, v
 			}
 		}
-		if bestK == "" {
+		if bestKi < 0 {
 			break
 		}
 		before := st.eliminated
-		st.add(bestK)
+		st.add(bestKi)
 		if st.eliminated >= st.target && closerWithout(before, st.eliminated, st.target) && before > 0 {
-			st.q = st.q.Without(bestK)
-			st.r = p.Retrieve(st.q)
+			st.q = st.q.Without(p.Pool[bestKi])
+			st.r = p.retrieveBits(st.q)
 			st.eliminated = before
 			break
 		}
@@ -355,56 +345,56 @@ func (a *PEBC) eliminateSubset(p *Problem, x float64, rng *rand.Rand) search.Que
 	if st.target <= 0 || st.totalU == 0 {
 		return st.q
 	}
-	// Randomly select S.
+	// Randomly select S. The shuffle consumes the rng over DocIDs exactly as
+	// the map-era implementation did (U.IDs() is ascending DocID order).
 	ids := p.U.IDs()
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	selected := document.DocSet{}
+	selected := document.NewBitSet(p.nDocs())
 	var got float64
 	for _, id := range ids {
 		if got >= st.target {
 			break
 		}
-		selected.Add(id)
-		got += weightOf(p, id)
+		di := int(p.docIdx[id])
+		selected.Add(di)
+		got += p.weightAt(di)
 	}
 	// Greedy cover of S: keyword covering the most remaining S-score with
 	// the best adjusted benefit/cost.
+	sw := selected.Words()
 	for {
-		uncovered := st.r.Intersect(selected)
-		if uncovered.Len() == 0 {
-			break
+		if st.r.AndLen(selected) == 0 {
+			break // S fully covered
 		}
-		bestK, bestV := "", math.Inf(-1)
-		for _, k := range p.Pool {
-			if st.q.Contains(k) {
+		bestKi, bestV := -1, math.Inf(-1)
+		for ki := range p.Pool {
+			if st.q.Contains(p.Pool[ki]) {
 				continue
 			}
-			contain := p.ContainSet(k)
+			cw := p.containB[ki].Words()
 			var b, c float64
-			for id := range st.r {
-				if contain.Contains(id) {
+			for wi, rw := range st.r.Words() {
+				x := rw &^ cw[wi]
+				if x == 0 {
 					continue
 				}
-				w := weightOf(p, id)
-				switch {
-				case selected.Contains(id):
-					b += w // eliminating a selected result is the benefit
-				default:
-					c += w // eliminating C or unselected U results is cost
-				}
+				// Eliminating a selected result is the benefit; eliminating
+				// C or unselected U results is cost.
+				b = st.p.accum(b, wi, x&sw[wi])
+				c = st.p.accum(c, wi, x&^sw[wi])
 			}
 			if b == 0 {
 				continue
 			}
 			if v := value(b, c); approxGreater(v, bestV) ||
-				(approxEqual(v, bestV) && (bestK == "" || k < bestK)) {
-				bestK, bestV = k, v
+				(approxEqual(v, bestV) && (bestKi < 0 || ki < bestKi)) {
+				bestKi, bestV = ki, v
 			}
 		}
-		if bestK == "" {
+		if bestKi < 0 {
 			break
 		}
-		st.add(bestK)
+		st.add(bestKi)
 	}
 	return st.q
 }

@@ -6,10 +6,22 @@
 // PEBC (Section 4) — are implemented here, along with the F-measure ISKR
 // variant and the rejected PEBC keyword-selection strategies (§4.1, §4.2)
 // used for ablation.
+//
+// Internally every Problem works in a problem-local dense ID space: the
+// universe documents are mapped to 0..n-1 in ascending DocID order, pool
+// keywords are interned to int32 IDs in lexicographic (= Pool slice) order,
+// keyword→document incidence is stored as per-keyword bitmaps, and the
+// benefit/cost/count tables are flat slices indexed by keyword ID. Set
+// algebra in the algorithms is therefore word-wise bitset arithmetic, and
+// every floating-point accumulation folds members in ascending dense-ID
+// order — exactly the sorted-DocID order the map-backed implementation used
+// — so outputs are bit-identical for fixed seeds (pinned by the expansion
+// golden test in internal/experiment).
 package core
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -32,50 +44,134 @@ type Problem struct {
 
 	// Pool is the candidate keyword vocabulary (the paper's setup: the
 	// top-20% of result words by tfidf), excluding the user query's own
-	// terms. Sorted for determinism.
+	// terms. Sorted for determinism; the position of a keyword in Pool is
+	// its dense keyword ID.
 	Pool []string
 
-	// contain[k] is the set of universe documents containing keyword k.
-	// E(k) ∩ Universe (the documents k eliminates) is its complement.
-	contain map[string]document.DocSet
+	// Dense ID space: docs lists the universe in ascending DocID order (the
+	// dense doc ID is the position), docIdx inverts it, and w holds the
+	// per-document ranking weight (nil when unranked; missing or
+	// non-positive Weights entries already resolved to 1).
+	docs   []document.DocID
+	docIdx map[document.DocID]int32
+	w      []float64
 
-	// docTerms enumerates the distinct terms of a universe document that
-	// are in Pool (used by PEBC: "each distinct keyword k ∉ r").
-	docTerms map[document.DocID][]string
+	// kwIdx interns pool keywords; containB[k] is the bitmap of universe
+	// documents containing pool keyword k. E(k) ∩ Universe (the documents k
+	// eliminates) is its complement.
+	kwIdx    map[string]int32
+	containB []document.BitSet
+
+	// cB/uB/allB are the dense C, U and universe memberships; sC and sU
+	// cache S(C) and S(U), constant per problem.
+	cB, uB, allB document.BitSet
+	sC, sU       float64
 
 	// Cached benefit/cost/elimination-count of every pool keyword against
-	// the *unrefined* query (R(q) = Universe), computed once and cloned by
+	// the *unrefined* query (R(q) = Universe), computed once and copied by
 	// each PEBC partial-elimination run.
 	baseOnce    sync.Once
-	baseBenefit map[string]float64
-	baseCost    map[string]float64
-	baseCount   map[string]int
+	baseBenefit []float64
+	baseCost    []float64
+	baseCount   []int
 }
 
-// baseTables lazily computes the initial benefit/cost/count tables.
-func (p *Problem) baseTables() (map[string]float64, map[string]float64, map[string]int) {
+// initDense builds the dense doc space and empty incidence bitmaps; callers
+// fill containB afterwards. Pool must already be sorted.
+func (p *Problem) initDense() {
+	ids := p.Universe.IDs() // ascending: dense ID order = DocID order
+	p.docs = ids
+	n := len(ids)
+	p.docIdx = make(map[document.DocID]int32, n)
+	for i, id := range ids {
+		p.docIdx[id] = int32(i)
+	}
+	if p.Weights != nil {
+		p.w = make([]float64, n)
+		for i, id := range ids {
+			if wv, ok := p.Weights[id]; ok && wv > 0 {
+				p.w[i] = wv
+			} else {
+				p.w[i] = 1
+			}
+		}
+	}
+	p.cB, p.uB, p.allB = document.NewBitSet(n), document.NewBitSet(n), document.FullBitSet(n)
+	for i, id := range ids {
+		if p.C.Contains(id) {
+			p.cB.Add(i)
+		}
+		if p.U.Contains(id) {
+			p.uB.Add(i)
+		}
+	}
+	p.sC, p.sU = p.sumBits(p.cB), p.sumBits(p.uB)
+	p.kwIdx = make(map[string]int32, len(p.Pool))
+	p.containB = make([]document.BitSet, len(p.Pool))
+	for ki, k := range p.Pool {
+		p.kwIdx[k] = int32(ki)
+		p.containB[ki] = document.NewBitSet(n)
+	}
+}
+
+// nDocs returns the universe size (the dense doc ID bound).
+func (p *Problem) nDocs() int { return len(p.docs) }
+
+// accum adds the weights of the set bits of one bitset word to acc, folding
+// in ascending dense-ID order. It delegates to eval.AccumWord — the single
+// fold implementation both packages must share for bit-identical sums.
+func (p *Problem) accum(acc float64, wi int, word uint64) float64 {
+	return eval.AccumWord(acc, wi, word, p.w)
+}
+
+// sumBits returns the total ranking score of a dense set.
+func (p *Problem) sumBits(b document.BitSet) float64 {
+	total := 0.0
+	for wi, word := range b.Words() {
+		total = p.accum(total, wi, word)
+	}
+	return total
+}
+
+// weightAt returns the ranking weight of dense doc di.
+func (p *Problem) weightAt(di int) float64 {
+	if p.w == nil {
+		return 1
+	}
+	return p.w[di]
+}
+
+// bitsToDocSet converts a dense set back to the public DocSet form.
+func (p *Problem) bitsToDocSet(b document.BitSet) document.DocSet {
+	out := make(document.DocSet, b.Len())
+	b.ForEach(func(di int) { out.Add(p.docs[di]) })
+	return out
+}
+
+// baseTables lazily computes the initial benefit/cost/count tables, indexed
+// by dense keyword ID.
+func (p *Problem) baseTables() ([]float64, []float64, []int) {
 	p.baseOnce.Do(func() {
-		p.baseBenefit = make(map[string]float64, len(p.Pool))
-		p.baseCost = make(map[string]float64, len(p.Pool))
-		p.baseCount = make(map[string]int, len(p.Pool))
-		universe := p.Universe.IDs() // sorted: deterministic accumulation
-		for _, k := range p.Pool {
-			contain := p.contain[k]
+		nk := len(p.Pool)
+		p.baseBenefit = make([]float64, nk)
+		p.baseCost = make([]float64, nk)
+		p.baseCount = make([]int, nk)
+		uw := p.uB.Words()
+		allw := p.allB.Words()
+		for ki := 0; ki < nk; ki++ {
+			cw := p.containB[ki].Words()
 			var b, c float64
 			n := 0
-			for _, id := range universe {
-				if contain.Contains(id) {
+			for wi := range allw {
+				x := allw[wi] &^ cw[wi] // universe docs k eliminates
+				if x == 0 {
 					continue
 				}
-				n++
-				w := weightOf(p, id)
-				if p.U.Contains(id) {
-					b += w
-				} else {
-					c += w
-				}
+				n += bits.OnesCount64(x)
+				b = p.accum(b, wi, x&uw[wi])
+				c = p.accum(c, wi, x&^uw[wi])
 			}
-			p.baseBenefit[k], p.baseCost[k], p.baseCount[k] = b, c, n
+			p.baseBenefit[ki], p.baseCost[ki], p.baseCount[ki] = b, c, n
 		}
 	})
 	return p.baseBenefit, p.baseCost, p.baseCount
@@ -108,8 +204,6 @@ func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
 		U:         u,
 		Universe:  c.Union(u),
 		Weights:   weights,
-		contain:   make(map[string]document.DocSet),
-		docTerms:  make(map[document.DocID][]string),
 	}
 
 	// Score every distinct term of the universe by summed tfidf.
@@ -123,7 +217,8 @@ func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
 	// a term is computed once per problem rather than once per occurrence.
 	scores := make(map[string]float64)
 	idfs := make(map[string]float64)
-	for _, id := range p.Universe.IDs() {
+	universeIDs := p.Universe.IDs()
+	for _, id := range universeIDs {
 		terms := idx.DocTerms(id)
 		freqs := idx.DocTermFreqs(id)
 		for i, term := range terms {
@@ -165,22 +260,13 @@ func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
 	}
 	sort.Strings(p.Pool)
 
-	inPool := make(map[string]struct{}, len(p.Pool))
-	for _, term := range p.Pool {
-		inPool[term] = struct{}{}
-	}
-	for _, term := range p.Pool {
-		p.contain[term] = document.DocSet{}
-	}
-	for id := range p.Universe {
-		var mine []string
+	p.initDense()
+	for di, id := range p.docs {
 		for _, term := range idx.DocTerms(id) {
-			if _, ok := inPool[term]; ok {
-				p.contain[term].Add(id)
-				mine = append(mine, term)
+			if ki, ok := p.kwIdx[term]; ok {
+				p.containB[ki].Add(di)
 			}
 		}
-		p.docTerms[id] = mine
 	}
 	return p
 }
@@ -200,23 +286,20 @@ func NewProblemFromSets(userQuery search.Query, c, u document.DocSet,
 		U:         u,
 		Universe:  c.Union(u),
 		Weights:   weights,
-		contain:   make(map[string]document.DocSet, len(contain)),
-		docTerms:  make(map[document.DocID][]string),
 	}
 	p.Pool = make([]string, 0, len(contain))
-	for k, set := range contain {
+	for k := range contain {
 		p.Pool = append(p.Pool, k)
-		p.contain[k] = set.Intersect(p.Universe)
 	}
 	sort.Strings(p.Pool)
-	for id := range p.Universe {
-		var mine []string
-		for _, k := range p.Pool {
-			if p.contain[k].Contains(id) {
-				mine = append(mine, k)
+	p.initDense()
+	for k, set := range contain {
+		ki := p.kwIdx[k]
+		for id := range set {
+			if di, ok := p.docIdx[id]; ok {
+				p.containB[ki].Add(int(di))
 			}
 		}
-		p.docTerms[id] = mine
 	}
 	return p
 }
@@ -224,66 +307,87 @@ func NewProblemFromSets(userQuery search.Query, c, u document.DocSet,
 // Contains reports whether universe document id contains keyword k. Keywords
 // outside the pool are reported as not contained (they are never candidates).
 func (p *Problem) Contains(id document.DocID, k string) bool {
-	set, ok := p.contain[k]
-	return ok && set.Contains(id)
+	ki, ok := p.kwIdx[k]
+	if !ok {
+		return false
+	}
+	di, ok := p.docIdx[id]
+	return ok && p.containB[ki].Contains(int(di))
 }
 
-// ContainSet returns the universe documents containing pool keyword k.
-func (p *Problem) ContainSet(k string) document.DocSet { return p.contain[k] }
+// ContainSet returns the universe documents containing pool keyword k, as a
+// freshly materialized DocSet (the incidence itself is stored as bitmaps).
+func (p *Problem) ContainSet(k string) document.DocSet {
+	ki, ok := p.kwIdx[k]
+	if !ok {
+		return nil
+	}
+	return p.bitsToDocSet(p.containB[ki])
+}
 
-// DocPoolTerms returns the pool keywords present in universe document id.
-func (p *Problem) DocPoolTerms(id document.DocID) []string { return p.docTerms[id] }
-
-// Retrieve computes R(q) restricted to the universe: the universe documents
-// containing every expansion term of q. The user query's own terms are
+// retrieveBits computes R(q) restricted to the universe in dense space: the
+// universe documents containing every expansion term of q, as word-wise
+// intersections of the term bitmaps. The user query's own terms are
 // satisfied by construction (every universe document is a result of the user
 // query), so only terms beyond the user query filter.
-func (p *Problem) Retrieve(q search.Query) document.DocSet {
-	r := p.Universe.Clone()
+func (p *Problem) retrieveBits(q search.Query) document.BitSet {
+	r := p.allB.Clone()
 	for _, term := range q.Terms {
 		if p.UserQuery.Contains(term) {
 			continue
 		}
-		set, ok := p.contain[term]
+		ki, ok := p.kwIdx[term]
 		if !ok {
 			// A term outside the pool retrieves nothing (we only expand
 			// with pool keywords; this branch guards foreign queries).
-			return document.DocSet{}
+			r.Clear()
+			return r
 		}
-		for id := range r {
-			if !set.Contains(id) {
-				r.Remove(id)
-			}
-		}
+		r.And(p.containB[ki])
 	}
 	return r
 }
 
+// Retrieve computes R(q) restricted to the universe as a DocSet.
+func (p *Problem) Retrieve(q search.Query) document.DocSet {
+	return p.bitsToDocSet(p.retrieveBits(q))
+}
+
+// measureBits evaluates a dense retrieved set against the cluster.
+func (p *Problem) measureBits(r document.BitSet) eval.PRF {
+	return eval.MeasureBits(r, p.cB, p.w, p.sC)
+}
+
 // FMeasure evaluates a candidate expanded query against the cluster.
 func (p *Problem) FMeasure(q search.Query) float64 {
-	return eval.Measure(p.Retrieve(q), p.C, p.Weights).F
+	return p.measureBits(p.retrieveBits(q)).F
 }
 
 // Measure returns full precision/recall/F of a candidate expanded query.
 func (p *Problem) Measure(q search.Query) eval.PRF {
-	return eval.Measure(p.Retrieve(q), p.C, p.Weights)
+	return p.measureBits(p.retrieveBits(q))
 }
 
-// RetrieveOR computes R(q) under OR semantics restricted to the universe:
-// the universe documents containing at least one of q's terms.
-func (p *Problem) RetrieveOR(q search.Query) document.DocSet {
-	out := document.DocSet{}
+// retrieveORBits computes R(q) under OR semantics restricted to the
+// universe: the universe documents containing at least one of q's terms.
+func (p *Problem) retrieveORBits(q search.Query) document.BitSet {
+	out := document.NewBitSet(p.nDocs())
 	for _, t := range q.Terms {
-		for id := range p.contain[t] {
-			out.Add(id)
+		if ki, ok := p.kwIdx[t]; ok {
+			out.Or(p.containB[ki])
 		}
 	}
 	return out
 }
 
+// RetrieveOR computes R(q) under OR semantics restricted to the universe.
+func (p *Problem) RetrieveOR(q search.Query) document.DocSet {
+	return p.bitsToDocSet(p.retrieveORBits(q))
+}
+
 // MeasureOR evaluates a candidate query under OR semantics.
 func (p *Problem) MeasureOR(q search.Query) eval.PRF {
-	return eval.Measure(p.RetrieveOR(q), p.C, p.Weights)
+	return p.measureBits(p.retrieveORBits(q))
 }
 
 // S is the total ranking score of a set (Section 2's S(·)).

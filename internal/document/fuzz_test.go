@@ -1,0 +1,55 @@
+package document
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseComposite checks the composite-term round-trip invariants on
+// arbitrary input: any term ParseComposite accepts must re-render via
+// Composite() to a string that parses back to the identical triplet, and the
+// accept/reject decision must match the documented grammar (three non-empty
+// ':'-separated parts, colons allowed inside the value).
+func FuzzParseComposite(f *testing.F) {
+	for _, seed := range []string{
+		"product:name:iPad",
+		"tv:brand:toshiba",
+		"routers:wireless:802.11g",
+		"a:b:c:d",        // extra colon belongs to the value
+		"a::c",           // empty attribute: rejected
+		":b:c",           // empty entity: rejected
+		"a:b:",           // empty value: rejected
+		"plainword",      // no colons
+		"two:parts",      // only two parts
+		"entity:attr:va", // minimal valid
+		"",               // empty input
+		"::",             // all parts empty
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, term string) {
+		trip, ok := ParseComposite(term)
+		parts := strings.SplitN(term, ":", 3)
+		wantOK := len(parts) == 3 && parts[0] != "" && parts[1] != "" && parts[2] != ""
+		if ok != wantOK {
+			t.Fatalf("ParseComposite(%q) ok=%t, grammar says %t", term, ok, wantOK)
+		}
+		if !ok {
+			if trip != (Triplet{}) {
+				t.Fatalf("rejected input %q returned non-zero triplet %+v", term, trip)
+			}
+			return
+		}
+		if trip.Entity == "" || trip.Attribute == "" || trip.Value == "" {
+			t.Fatalf("accepted triplet has empty part: %+v", trip)
+		}
+		rendered := trip.Composite()
+		if rendered != term {
+			t.Fatalf("Composite() = %q, want round-trip of %q", rendered, term)
+		}
+		again, ok2 := ParseComposite(rendered)
+		if !ok2 || again != trip {
+			t.Fatalf("re-parse of %q = %+v (ok=%t), want %+v", rendered, again, ok2, trip)
+		}
+	})
+}

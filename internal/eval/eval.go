@@ -6,6 +6,8 @@
 package eval
 
 import (
+	"math/bits"
+
 	"repro/internal/document"
 )
 
@@ -35,6 +37,42 @@ func (w Weights) S(set document.DocSet) float64 {
 	return total
 }
 
+// AccumWord adds the weights of the set bits of one bitset word to acc as a
+// flat left-fold in ascending bit order; wi is the word's index in the set
+// and w the dense weight table (nil = every member counts 1). The fold shape
+// matters: the dense paths must produce bit-identical sums to the historical
+// sorted-ID map iteration, and float addition is not associative, so per-word
+// partial sums may NOT be formed in the weighted case. Unweighted (w nil)
+// sums are exact integers, where a popcount shortcut is associative and
+// therefore safe. This single implementation backs both eval's measures and
+// core's benefit/cost accumulation — the bit-identical-output contract
+// depends on them folding identically.
+func AccumWord(acc float64, wi int, word uint64, w []float64) float64 {
+	if word == 0 {
+		return acc
+	}
+	if w == nil {
+		return acc + float64(bits.OnesCount64(word))
+	}
+	base := wi << 6
+	for word != 0 {
+		acc += w[base+bits.TrailingZeros64(word)]
+		word &= word - 1
+	}
+	return acc
+}
+
+// SBits is S(·) over a dense-ID bitset: the cardinality when w is nil, else
+// the sum of w[id] over the members in ascending ID order. w is indexed by
+// dense ID and must already resolve the "missing weights count 1" rule.
+func SBits(set document.BitSet, w []float64) float64 {
+	total := 0.0
+	for wi, word := range set.Words() {
+		total = AccumWord(total, wi, word, w)
+	}
+	return total
+}
+
 // PRF holds the three measures of one expanded query.
 type PRF struct {
 	Precision float64
@@ -57,6 +95,29 @@ func Measure(retrieved, cluster document.DocSet, w Weights) PRF {
 	inter := w.S(retrieved.Intersect(cluster))
 	p := inter / w.S(retrieved)
 	r := inter / w.S(cluster)
+	return PRF{Precision: p, Recall: r, F: FMeasure(p, r)}
+}
+
+// MeasureBits is Measure over dense-ID bitsets — the expansion core's hot
+// path. retrieved and cluster share a universe; w is the dense weight table
+// (nil = unranked); sCluster is S(cluster), which callers cache because the
+// cluster is fixed across the many candidate queries of one problem.
+// Both sums accumulate in ascending dense-ID order (= ascending DocID order),
+// so the result is bit-identical to Measure over the equivalent DocSets.
+func MeasureBits(retrieved, cluster document.BitSet, w []float64, sCluster float64) PRF {
+	inter, sR := 0.0, 0.0
+	cw := cluster.Words()
+	for wi, word := range retrieved.Words() {
+		inter = AccumWord(inter, wi, word&cw[wi], w)
+		sR = AccumWord(sR, wi, word, w)
+	}
+	// Weights are strictly positive, so a zero sum ⟺ an empty set — the same
+	// empty-set conventions as Measure.
+	if sR == 0 || sCluster == 0 {
+		return PRF{}
+	}
+	p := inter / sR
+	r := inter / sCluster
 	return PRF{Precision: p, Recall: r, F: FMeasure(p, r)}
 }
 

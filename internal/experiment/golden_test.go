@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The golden file pins the ISKR and PEBC expansions of every test query of
+// both datasets as produced by the pre-bitset, map-backed expansion core.
+// The dense-ID/bitset implementation must reproduce every expanded query
+// term-for-term and every precision/recall/F bit-for-bit (floats are compared
+// via Float64bits): bitsets iterate documents in ascending dense-ID order,
+// which is exactly the sorted-DocID order the old code used at every
+// accumulation site, and the candidate pool keeps its lexicographic order, so
+// argmax tie-breaks resolve identically.
+//
+// Regenerate with QEC_UPDATE_GOLDEN=1 go test ./internal/experiment -run Expansion
+// (only legitimate when the expansion semantics intentionally change).
+
+const expansionGoldenPath = "testdata/expansion_golden.json"
+
+type goldenExpansion struct {
+	Terms       []string  `json:"terms"`
+	PRFBits     [3]uint64 `json:"prf_bits"`
+	Iterations  int       `json:"iterations"`
+	Evaluations int       `json:"evaluations"`
+}
+
+type goldenQuery struct {
+	Dataset string            `json:"dataset"`
+	QueryID string            `json:"query_id"`
+	ISKR    []goldenExpansion `json:"iskr"`
+	PEBC    []goldenExpansion `json:"pebc"`
+}
+
+func captureExpansion(e core.Expanded) goldenExpansion {
+	return goldenExpansion{
+		Terms: append([]string{}, e.Query.Terms...),
+		PRFBits: [3]uint64{
+			math.Float64bits(e.PRF.Precision),
+			math.Float64bits(e.PRF.Recall),
+			math.Float64bits(e.PRF.F),
+		},
+		Iterations:  e.Iterations,
+		Evaluations: e.Evaluations,
+	}
+}
+
+func runExpansionGolden(t *testing.T) []goldenQuery {
+	t.Helper()
+	r := NewRunner(DefaultConfig())
+	var out []goldenQuery
+	for _, qr := range r.AllQueryRuns() {
+		gq := goldenQuery{Dataset: qr.Dataset.Name, QueryID: qr.TQ.ID}
+		iskr := &core.ISKR{}
+		pebc := &core.PEBC{Segments: r.Config.PEBCSegments,
+			Iterations: r.Config.PEBCIterations, Seed: r.Config.Seed}
+		for _, p := range qr.Problems {
+			gq.ISKR = append(gq.ISKR, captureExpansion(iskr.Expand(p)))
+			gq.PEBC = append(gq.PEBC, captureExpansion(pebc.Expand(p)))
+		}
+		out = append(out, gq)
+	}
+	return out
+}
+
+func TestExpansionMatchesPrePRGolden(t *testing.T) {
+	got := runExpansionGolden(t)
+	if os.Getenv("QEC_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(expansionGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(expansionGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d queries)", expansionGoldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(expansionGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with QEC_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want []goldenQuery
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d golden queries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		compareGoldenQuery(t, got[i], want[i])
+	}
+}
+
+func compareGoldenQuery(t *testing.T, got, want goldenQuery) {
+	t.Helper()
+	if got.Dataset != want.Dataset || got.QueryID != want.QueryID {
+		t.Fatalf("query order drifted: got %s/%s want %s/%s",
+			got.Dataset, got.QueryID, want.Dataset, want.QueryID)
+	}
+	for _, m := range []struct {
+		name      string
+		got, want []goldenExpansion
+	}{{"ISKR", got.ISKR, want.ISKR}, {"PEBC", got.PEBC, want.PEBC}} {
+		if len(m.got) != len(m.want) {
+			t.Errorf("%s/%s %s: %d clusters, want %d",
+				got.Dataset, got.QueryID, m.name, len(m.got), len(m.want))
+			continue
+		}
+		for ci := range m.want {
+			g, w := m.got[ci], m.want[ci]
+			label := fmt.Sprintf("%s/%s %s cluster %d", got.Dataset, got.QueryID, m.name, ci)
+			if len(g.Terms) != len(w.Terms) {
+				t.Errorf("%s: query %v, want %v", label, g.Terms, w.Terms)
+				continue
+			}
+			for ti := range w.Terms {
+				if g.Terms[ti] != w.Terms[ti] {
+					t.Errorf("%s: query %v, want %v", label, g.Terms, w.Terms)
+					break
+				}
+			}
+			if g.PRFBits != w.PRFBits {
+				t.Errorf("%s: PRF bits %v, want %v", label, g.PRFBits, w.PRFBits)
+			}
+			if g.Iterations != w.Iterations || g.Evaluations != w.Evaluations {
+				t.Errorf("%s: iterations/evaluations %d/%d, want %d/%d",
+					label, g.Iterations, g.Evaluations, w.Iterations, w.Evaluations)
+			}
+		}
+	}
+}

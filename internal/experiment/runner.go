@@ -124,12 +124,27 @@ func (r *Runner) Prepare(d *dataset.Dataset, tq dataset.TestQuery) *QueryRun {
 		weights[res.Doc] = res.Score
 	}
 
-	// k: the user-specified granularity. We derive it from the number of
-	// distinct ground-truth categories/senses among the results, capped by
-	// MaxExpanded — standing in for "an upper bound specified by the user".
-	// When the results are label-homogeneous (e.g. QS3: all routers), the
-	// user would still want subgroups (the paper's QS3 clusters by product
-	// line), so we pick k by silhouette over 2..4.
+	cl, clusterTime := r.clusterResults(d, universe)
+	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
+	return &QueryRun{
+		Dataset: d, TQ: tq, Query: q, Results: results, Universe: universe,
+		Weights: weights, Clustering: cl, Problems: problems,
+		ClusterTime: clusterTime,
+	}
+}
+
+// clusterResults picks the granularity k and runs k-means for one query's
+// result universe, returning the clustering and its wall time. Also used by
+// the Study's serial re-timing pass, so the §5.3 clustering-time prose is
+// measured without CPU contention from the parallel study fan-out.
+//
+// k: the user-specified granularity. We derive it from the number of
+// distinct ground-truth categories/senses among the results, capped by
+// MaxExpanded — standing in for "an upper bound specified by the user".
+// When the results are label-homogeneous (e.g. QS3: all routers), the
+// user would still want subgroups (the paper's QS3 clusters by product
+// line), so we pick k by silhouette over 2..4.
+func (r *Runner) clusterResults(d *dataset.Dataset, universe document.DocSet) (*cluster.Clustering, time.Duration) {
 	distinct := map[string]struct{}{}
 	for id := range universe {
 		distinct[d.Labels[id]] = struct{}{}
@@ -156,14 +171,7 @@ func (r *Runner) Prepare(d *dataset.Dataset, tq dataset.TestQuery) *QueryRun {
 			}
 		}
 	}
-	clusterTime := time.Since(start)
-
-	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
-	return &QueryRun{
-		Dataset: d, TQ: tq, Query: q, Results: results, Universe: universe,
-		Weights: weights, Clustering: cl, Problems: problems,
-		ClusterTime: clusterTime,
-	}
+	return cl, time.Since(start)
 }
 
 // expanders returns the cluster-based methods, configured per the paper.
@@ -342,14 +350,24 @@ func (r *Runner) helpfulness(qr *QueryRun, q search.Query) float64 {
 }
 
 // AllQueryRuns prepares every test query of both datasets, in Table 1
-// order.
+// order. The per-query pipelines are independent and fan out across
+// GOMAXPROCS workers; results are collected by index, so the returned slice
+// is identical to a serial run's.
 func (r *Runner) AllQueryRuns() []*QueryRun {
-	var out []*QueryRun
+	type job struct {
+		d  *dataset.Dataset
+		tq dataset.TestQuery
+	}
+	var jobs []job
 	for _, d := range []*dataset.Dataset{r.Shopping, r.Wiki} {
 		for _, tq := range d.Queries {
-			out = append(out, r.Prepare(d, tq))
+			jobs = append(jobs, job{d, tq})
 		}
 	}
+	out := make([]*QueryRun, len(jobs))
+	core.ParallelFor(len(jobs), func(i int) {
+		out[i] = r.Prepare(jobs[i].d, jobs[i].tq)
+	})
 	return out
 }
 

@@ -132,36 +132,54 @@ func (e *Engine) Eval(q Query, sem Semantics) document.DocSet {
 	return e.evalAnd(q)
 }
 
-func (e *Engine) evalAnd(q Query) document.DocSet {
+// evalAndIDs returns the AND result as ascending document IDs, via a
+// sorted-postings merge: postings are intersected smallest-first, each round
+// advancing through the longer list with a galloping search from the current
+// merge position, so no intermediate map is allocated or deleted from.
+func (e *Engine) evalAndIDs(q Query) []document.DocID {
 	if len(q.Terms) == 0 {
-		all := make(document.DocSet, e.idx.NumDocs())
-		for _, d := range e.idx.Corpus().Docs() {
-			all.Add(d.ID)
+		all := make([]document.DocID, e.idx.NumDocs())
+		for i := range all {
+			all[i] = document.DocID(i)
 		}
 		return all
 	}
-	// Intersect postings smallest-first to keep intermediate sets small.
 	lists := make([]index.PostingList, len(q.Terms))
 	for i, t := range q.Terms {
 		lists[i] = e.idx.Postings(t)
 		if len(lists[i]) == 0 {
-			return document.DocSet{}
+			return nil
 		}
 	}
 	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	out := make(document.DocSet, len(lists[0]))
-	for _, p := range lists[0] {
-		out.Add(p.Doc)
+	cands := make([]document.DocID, len(lists[0]))
+	for i, p := range lists[0] {
+		cands[i] = p.Doc
 	}
 	for _, plist := range lists[1:] {
-		for id := range out {
-			if !plist.Contains(id) {
-				out.Remove(id)
+		out := cands[:0]
+		j := 0
+		for _, id := range cands {
+			k := sort.Search(len(plist)-j, func(i int) bool { return plist[j+i].Doc >= id })
+			j += k
+			if j < len(plist) && plist[j].Doc == id {
+				out = append(out, id)
+				j++
 			}
 		}
-		if out.Len() == 0 {
-			return out
+		cands = out
+		if len(cands) == 0 {
+			return nil
 		}
+	}
+	return cands
+}
+
+func (e *Engine) evalAnd(q Query) document.DocSet {
+	ids := e.evalAndIDs(q)
+	out := make(document.DocSet, len(ids))
+	for _, id := range ids {
+		out.Add(id)
 	}
 	return out
 }
@@ -193,11 +211,22 @@ func (e *Engine) Score(id document.DocID, q Query) float64 {
 
 // Search evaluates q and returns results ranked by descending TF-IDF score
 // (ties broken by ascending DocID for determinism). topK <= 0 returns all.
+// The AND path scores straight off the merged posting IDs — no intermediate
+// set is materialized.
 func (e *Engine) Search(q Query, sem Semantics, topK int) []Result {
-	set := e.Eval(q, sem)
-	results := make([]Result, 0, set.Len())
-	for id := range set {
-		results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+	var results []Result
+	if sem == And {
+		ids := e.evalAndIDs(q)
+		results = make([]Result, 0, len(ids))
+		for _, id := range ids {
+			results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+		}
+	} else {
+		set := e.evalOr(q)
+		results = make([]Result, 0, set.Len())
+		for id := range set {
+			results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+		}
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {

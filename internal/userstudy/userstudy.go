@@ -14,6 +14,7 @@ package userstudy
 
 import (
 	"math/rand"
+	"sync"
 )
 
 // Option is a rater's multiple-choice justification.
@@ -48,6 +49,18 @@ type Pool struct {
 	N int
 	// Seed drives all rater randomness.
 	Seed int64
+
+	// memo caches the derived rater population. Historically raters() built
+	// N fresh rand.Rands per judgment call, and each jitter source was
+	// consulted exactly once before being rebuilt — so seeding the
+	// generators (a 607-word state initialization apiece) dominated the
+	// whole simulated study (~84% of the Figure 1 benchmark). The first
+	// jitter draw per rater is therefore a constant, precomputed here;
+	// outputs are bit-identical to the rebuild-per-call behaviour.
+	memoMu   sync.Mutex
+	memo     []rater
+	memoN    int
+	memoSeed int64
 }
 
 // NewPool returns the paper's 45-rater pool.
@@ -57,22 +70,28 @@ func NewPool(seed int64) *Pool { return &Pool{N: 45, Seed: seed} }
 // score and personal thresholds for the option choice.
 type rater struct {
 	bias    float64 // additive score bias in [-0.5, +0.5]
-	jitter  *rand.Rand
+	jitter  float64 // the rater's per-judgment jitter draw
 	optHigh float64 // threshold for the favourable option
 	optLow  float64 // threshold below which the harsh option is chosen
 }
 
 func (p *Pool) raters() []rater {
+	p.memoMu.Lock()
+	defer p.memoMu.Unlock()
+	if p.memo != nil && p.memoN == p.N && p.memoSeed == p.Seed {
+		return p.memo
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	out := make([]rater, p.N)
 	for i := range out {
 		out[i] = rater{
 			bias:    (rng.Float64() - 0.5),
-			jitter:  rand.New(rand.NewSource(rng.Int63())),
+			jitter:  rand.New(rand.NewSource(rng.Int63())).Float64(),
 			optHigh: 0.68 + 0.12*(rng.Float64()-0.5),
 			optLow:  0.30 + 0.12*(rng.Float64()-0.5),
 		}
 	}
+	p.memo, p.memoN, p.memoSeed = out, p.N, p.Seed
 	return out
 }
 
@@ -99,7 +118,7 @@ func (p *Pool) JudgeIndividual(relatedness, helpfulness float64) []Judgment {
 	quality := 0.45*relatedness + 0.55*helpfulness
 	out := make([]Judgment, 0, p.N)
 	for _, r := range p.raters() {
-		perceived := quality + r.bias*0.2 + (r.jitter.Float64()-0.5)*0.25
+		perceived := quality + r.bias*0.2 + (r.jitter-0.5)*0.25
 		score := clampScore(1 + 4*perceived)
 		var opt Option
 		switch {
@@ -131,7 +150,7 @@ func (p *Pool) JudgeCollective(comprehensiveness, diversity float64) []Judgment 
 	quality := 0.55*comprehensiveness + 0.45*diversity
 	out := make([]Judgment, 0, p.N)
 	for _, r := range p.raters() {
-		perceived := quality + r.bias*0.2 + (r.jitter.Float64()-0.5)*0.25
+		perceived := quality + r.bias*0.2 + (r.jitter-0.5)*0.25
 		score := clampScore(1 + 4*perceived)
 		compOK := comprehensiveness+r.bias*0.1 >= r.optHigh*0.85
 		divOK := diversity+r.bias*0.1 >= r.optHigh*0.85

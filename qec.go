@@ -252,8 +252,11 @@ type ExpandOptions struct {
 	Method Method
 	// Unweighted disables rank-weighted precision/recall.
 	Unweighted bool
-	// Parallel expands the clusters concurrently (one goroutine each).
-	// Results are identical to the sequential run.
+	// Parallel is retained for API compatibility: per-cluster expansion now
+	// always fans out across a process-wide GOMAXPROCS worker budget
+	// (degrading to serial under load) with index-order collection, so this
+	// flag no longer changes behaviour (results were and remain identical
+	// either way).
 	Parallel bool
 	// Interleave alternates expansion and cluster re-assignment (the
 	// paper's future-work "interweaving" idea) for up to this many rounds;
@@ -410,14 +413,12 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 	}
 
 	var res *core.QECResult
-	switch {
-	case opts.Interleave > 0:
+	if opts.Interleave > 0 {
 		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave}
 		res = it.Run(e.idx, q, cl, weights).Result
-	case opts.Parallel:
-		res = core.SolveParallel(expander,
-			core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions()))
-	default:
+	} else {
+		// Solve fans per-cluster work across the process-wide worker budget
+		// (serial under contention), so the Parallel flag needs no branch.
 		res = core.Solve(expander,
 			core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions()))
 	}
