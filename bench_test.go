@@ -422,6 +422,69 @@ func BenchmarkColdExpansionScale1(b *testing.B) { benchColdExpansion(b, 1) }
 func BenchmarkColdExpansionScale2(b *testing.B) { benchColdExpansion(b, 2) }
 func BenchmarkColdExpansionScale4(b *testing.B) { benchColdExpansion(b, 4) }
 
+// --- Index substrate: term dictionary, postings arena, pool scoring -------------
+
+// BenchmarkTermDictLookup measures one string→TermID resolution against the
+// Wikipedia corpus dictionary — the once-per-query cost search pays to leave
+// string space.
+func BenchmarkTermDictLookup(b *testing.B) {
+	r, _ := sharedBench(b)
+	dict := r.Wiki.Index.Dict()
+	terms := dict.Terms()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if _, ok := dict.Lookup(terms[i%len(terms)]); ok {
+			hits++
+		}
+	}
+	if hits != b.N {
+		b.Fatal("dictionary lost terms")
+	}
+}
+
+// BenchmarkPostingsIter sweeps the entire postings arena (every term's raw
+// []int32 doc slice and aligned freqs) once per op — the substrate cost
+// under the AND merge and the relatedness probes.
+func BenchmarkPostingsIter(b *testing.B) {
+	r, _ := sharedBench(b)
+	idx := r.Wiki.Index
+	nt := idx.NumTerms()
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < nt; t++ {
+			docs := idx.PostingsDocs(int32(t))
+			freqs := idx.PostingsFreqs(int32(t))
+			for j := range docs {
+				total += int(docs[j]) + int(freqs[j])
+			}
+		}
+	}
+	if total == 0 {
+		b.Fatal("empty postings")
+	}
+}
+
+// BenchmarkPoolScoring measures candidate-pool selection (NewProblem's
+// scoring phase) on QW2 "columbia": a flat TF-IDF accumulation over global
+// TermIDs. The allocs/op ceiling pinned by the benchdiff gate guards the
+// "zero map allocations" property — reintroducing a string map here would
+// blow the gate.
+func BenchmarkPoolScoring(b *testing.B) {
+	r, _ := sharedBench(b)
+	d := r.Wiki
+	eng := search.NewEngine(d.Index)
+	q := search.ParseQuery(d.Index, "columbia")
+	universe := search.ResultSet(eng.Search(q, search.And, 30)).IDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pool := core.ScorePool(d.Index, q, universe, core.DefaultPoolOptions()); len(pool) == 0 {
+			b.Fatal("empty pool")
+		}
+	}
+}
+
 // --- Serving path: cold vs cached vs coalesced Expand ---------------------------
 
 // servingEngine is the Wikipedia corpus behind the serving benches.

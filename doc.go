@@ -52,21 +52,32 @@
 //
 // # Performance and determinism
 //
-// The clustering hot path runs on interned sparse vectors: each run builds
-// a term dictionary over the result set (IDs assigned in lexicographic
-// order), stores vectors as parallel sorted ID/weight slices, merge-joins
-// dot products, and caches each vector's norm at construction. K-means
-// assignment, the k-means++ D² scan and restarts execute concurrently
-// across GOMAXPROCS workers, while every floating-point reduction is
-// accumulated serially in index order — so expansion results are
-// bit-identical for a fixed engine seed no matter the core count.
+// The index is built on a corpus-global term dictionary
+// (internal/termdict): every distinct term gets a dense int32 TermID
+// assigned in lexicographic order, postings are flat []int32 doc slices
+// with aligned []uint16 frequencies in a shared arena keyed by TermID,
+// each document's term set is a sorted TermID slice in a second arena, and
+// per-term IDF is precomputed at Build. Search resolves query strings to
+// TermIDs once per evaluation and intersects raw posting slices with a
+// galloping merge; candidate-pool scoring accumulates TF-IDF in a flat
+// []float64 indexed by TermID (no string map anywhere on the hot path).
+//
+// The clustering hot path runs on sparse vectors whose ID space is the
+// global TermID space — a document's vector shares the index's term arena
+// slice directly, with no per-run dictionary interning. Dot products
+// merge-join the sorted ID slices and each vector's norm is cached at
+// construction. K-means assignment, the k-means++ D² scan and restarts
+// execute concurrently across GOMAXPROCS workers, while every
+// floating-point reduction is accumulated serially in index order — so
+// expansion results are bit-identical for a fixed engine seed no matter
+// the core count.
 //
 // The expansion core works in a problem-local dense ID space: universe
 // documents map to 0..n-1 in ascending DocID order, pool keywords intern to
 // int32 IDs in lexicographic order, and keyword→document incidence is
 // packed into bitsets, so ISKR elimination and PEBC's incremental
 // benefit/cost maintenance are word-wise And/AndNot/popcount operations.
-// The dense-ID determinism contract has three legs. First, bitset iteration
+// The dense-ID determinism contract has four legs. First, bitset iteration
 // is ascending, and a dense ID ascends exactly when its DocID does, so
 // visiting members of any set reproduces the sorted-DocID order of the
 // original map-backed implementation. Second, every floating-point
@@ -77,10 +88,27 @@
 // integers and may shortcut to popcounts). Third, argmax scans run in
 // keyword-ID (= lexicographic pool) order with the historical tie-break
 // rules, and all parallel fan-outs (per-cluster Expand calls, the
-// experiment runner) collect results by index. Together these make
-// expansion output bit-identical for fixed seeds across representations and
-// worker counts — pinned by golden tests captured from the pre-refactor
-// implementations and by map-vs-bitset property tests.
+// experiment runner) collect results by index. Fourth, global TermIDs are
+// assigned in lexicographic order, so iterating a term table in ascending
+// TermID order is exactly the sorted-string iteration the historical code
+// performed — which makes pool scoring, clustering dot products and
+// baseline label sums bit-identical even though no strings are compared.
+// Together these make expansion output bit-identical for fixed seeds
+// across representations and worker counts — pinned by golden tests
+// captured from the pre-refactor implementations and by map-vs-bitset
+// property tests.
+//
+// # Snapshot versioning
+//
+// Engine.Save persists the index as a versioned binary snapshot: format
+// v2 stores the term dictionary and the postings/doc-term arenas verbatim
+// (IDF is recomputed at load — it is a pure function of the stored
+// document frequencies). LoadEngine reads v2 directly, migrates legacy v1
+// (map-format) snapshots in memory, and fails with a versioned error for
+// anything else; every loaded index passes the full Index.Validate
+// cross-check (dictionary sorted, offsets monotone, postings and doc
+// arenas mutually consistent) before it is used. The decode path is fuzzed
+// in CI.
 //
 // The internal packages implement the full substrate described in DESIGN.md:
 // analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,

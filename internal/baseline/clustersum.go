@@ -8,6 +8,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/index"
 	"repro/internal/search"
+	"repro/internal/termdict"
 )
 
 // CS reproduces the cluster-summarization comparison system: it labels each
@@ -25,68 +26,130 @@ type CS struct {
 // Name identifies the method in reports.
 func (c *CS) Name() string { return "CS" }
 
+// clusterFrequencies counts, per TermID, the number of clusters whose
+// documents contain the term — the "cluster frequency" of TFICF. One flat
+// pass over the clustering; per-cluster dedup is an epoch stamp, not a map.
+func clusterFrequencies(idx *index.Index, cl *cluster.Clustering) []int32 {
+	cf := make([]int32, idx.NumTerms())
+	seen := make([]int32, idx.NumTerms())
+	for ci, ids := range cl.Clusters {
+		stamp := int32(ci + 1)
+		for _, id := range ids {
+			for _, tid := range idx.DocTermIDs(id) {
+				if seen[tid] != stamp {
+					seen[tid] = stamp
+					cf[tid]++
+				}
+			}
+		}
+	}
+	return cf
+}
+
+// csScratch holds the vocabulary-sized TF buffer the label computation
+// accumulates into, reused across the per-cluster labels of one Suggest
+// (epoch-stamped resets, like cluster's centroid scratch — first touch of a
+// cell in a new epoch zero-initializes it, so totals match a fresh buffer).
+type csScratch struct {
+	tf      []float64
+	stamp   []uint32
+	epoch   uint32
+	touched []termdict.TermID
+}
+
+// reset prepares the scratch for one cluster over a v-term vocabulary.
+func (s *csScratch) reset(v int) {
+	if len(s.tf) < v {
+		s.tf = make([]float64, v)
+		s.stamp = make([]uint32, v)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, clear them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
 // Label returns the top TFICF words of cluster ci within the clustering.
 func (c *CS) Label(idx *index.Index, cl *cluster.Clustering, ci int, uq search.Query) []string {
+	return c.labelWithCF(idx, cl, ci, uq, clusterFrequencies(idx, cl), new(csScratch))
+}
+
+// labelWithCF is Label with the cluster frequencies precomputed and the TF
+// scratch shared, so Suggest pays the all-clusters scan and the vocabulary-
+// sized allocation once instead of once per cluster (the old per-Label
+// recomputation was O(k²) document scans).
+func (c *CS) labelWithCF(idx *index.Index, cl *cluster.Clustering, ci int,
+	uq search.Query, cf []int32, s *csScratch) []string {
+
 	n := c.LabelSize
 	if n <= 0 {
 		n = 3
 	}
-	// Cluster frequency: number of clusters whose documents contain a term.
-	cf := make(map[string]int)
-	for _, ids := range cl.Clusters {
-		seen := map[string]struct{}{}
-		for _, id := range ids {
-			for _, term := range idx.DocTerms(id) {
-				seen[term] = struct{}{}
+	k := float64(cl.K())
+	// Term frequency within the target cluster, in a flat TermID table —
+	// documents in ascending order, terms ascending within each document,
+	// the same summation order as the old sorted-term map walk.
+	s.reset(idx.NumTerms())
+	for _, id := range cl.Clusters[ci] {
+		tids := idx.DocTermIDs(id)
+		freqs := idx.DocTermFreqs(id)
+		for i, tid := range tids {
+			if s.stamp[tid] != s.epoch {
+				s.stamp[tid] = s.epoch
+				s.tf[tid] = 0
+				s.touched = append(s.touched, tid)
+			}
+			s.tf[tid] += float64(freqs[i])
+		}
+	}
+	qt := queryTermIDs(idx, uq)
+	ranked := make([]termdict.TermID, 0, len(s.touched))
+	for _, tid := range s.touched {
+		skip := false
+		for _, q := range qt {
+			if q == tid {
+				skip = true
+				break
 			}
 		}
-		for term := range seen {
-			cf[term]++
+		if !skip {
+			// tf is dead after ranking, so the TFICF score overwrites it in
+			// place — no second vocabulary-sized buffer.
+			s.tf[tid] *= math.Log(1 + k/float64(cf[tid]))
+			ranked = append(ranked, tid)
 		}
-	}
-	k := float64(cl.K())
-	// Term frequency within the target cluster.
-	tf := make(map[string]float64)
-	for _, id := range cl.Clusters[ci] {
-		for _, term := range idx.DocTerms(id) {
-			tf[term] += float64(idx.TermFreq(id, term))
-		}
-	}
-	type ws struct {
-		word  string
-		score float64
-	}
-	ranked := make([]ws, 0, len(tf))
-	for term, f := range tf {
-		if uq.Contains(term) {
-			continue
-		}
-		icf := math.Log(1 + k/float64(cf[term]))
-		ranked = append(ranked, ws{term, f * icf})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
+		if s.tf[ranked[i]] != s.tf[ranked[j]] {
+			return s.tf[ranked[i]] > s.tf[ranked[j]]
 		}
-		return ranked[i].word < ranked[j].word
+		return ranked[i] < ranked[j] // TermID order = lexicographic order
 	})
 	if n > len(ranked) {
 		n = len(ranked)
 	}
 	out := make([]string, n)
 	for i := 0; i < n; i++ {
-		out[i] = ranked[i].word
+		out[i] = idx.TermByID(ranked[i])
 	}
 	return out
 }
 
 // Suggest returns one expanded query per cluster: the user query plus the
-// cluster's TFICF label words.
+// cluster's TFICF label words. Cluster frequencies are computed once and the
+// TF scratch reused across every cluster's label.
 func (c *CS) Suggest(idx *index.Index, cl *cluster.Clustering, uq search.Query) []search.Query {
+	cf := clusterFrequencies(idx, cl)
+	scratch := new(csScratch)
 	out := make([]search.Query, 0, cl.K())
 	for ci := range cl.Clusters {
 		q := uq
-		for _, w := range c.Label(idx, cl, ci, uq) {
+		for _, w := range c.labelWithCF(idx, cl, ci, uq, cf, scratch) {
 			q = q.With(w)
 		}
 		out = append(out, q)
@@ -98,14 +161,22 @@ func (c *CS) Suggest(idx *index.Index, cl *cluster.Clustering, uq search.Query) 
 // semantics and restricts the result to the universe — used to score
 // baseline queries (whose terms need not come from any candidate pool) with
 // the Section 2 measures. Universes are small (top-K result sets), so the
-// membership test runs per universe document against the doc's sorted term
-// set instead of intersecting full-corpus postings.
+// membership test runs per universe document against the doc's sorted
+// TermID set; query strings resolve through the dictionary once per call.
 func RetrieveWithin(idx *index.Index, q search.Query, universe document.DocSet) document.DocSet {
+	tids := make([]termdict.TermID, len(q.Terms))
+	for i, t := range q.Terms {
+		tid, ok := idx.LookupTerm(t)
+		if !ok {
+			return document.DocSet{} // out-of-corpus term: AND matches nothing
+		}
+		tids[i] = tid
+	}
 	out := document.DocSet{}
 	for id := range universe {
 		all := true
-		for _, t := range q.Terms {
-			if !idx.HasTerm(id, t) {
+		for _, tid := range tids {
+			if !idx.HasTermID(id, tid) {
 				all = false
 				break
 			}

@@ -2,15 +2,36 @@
 // Data Clouds [15] (popular words over ranked results), CS (cluster
 // summarization by TFICF [6]), and a query-log suggester standing in for
 // Google's related-queries feature.
+//
+// Both corpus-backed baselines score terms in flat tables indexed by the
+// index's global TermIDs — the per-call string maps the original
+// implementation rebuilt are gone, and accumulation visits documents in
+// input order with terms ascending by TermID (= lexicographic order), the
+// exact order the map-backed code summed in, so all scores and labels are
+// unchanged.
 package baseline
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/document"
 	"repro/internal/index"
 	"repro/internal/search"
+	"repro/internal/termdict"
 )
+
+// queryTermIDs resolves a query's terms through the index dictionary,
+// dropping out-of-corpus terms, sorted ascending for merge-style skips.
+func queryTermIDs(idx *index.Index, q search.Query) []termdict.TermID {
+	out := make([]termdict.TermID, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		if tid, ok := idx.LookupTerm(t); ok {
+			out = append(out, tid)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
 
 // DataClouds reproduces Koutrika et al. (EDBT 2009) as described by the
 // paper: it "takes a set of ranked results, and returns the top-k important
@@ -33,40 +54,51 @@ func (d *DataClouds) Suggest(idx *index.Index, results []search.Result, uq searc
 	if topK <= 0 {
 		topK = 3
 	}
-	type ws struct {
-		word  string
-		score float64
-	}
-	scores := make(map[string]float64)
+	qt := queryTermIDs(idx, uq)
+	scores := make([]float64, idx.NumTerms())
+	var touched []termdict.TermID
 	for _, res := range results {
 		rank := res.Score
 		if rank <= 0 {
 			rank = 1
 		}
-		for _, term := range idx.DocTerms(res.Doc) {
-			if uq.Contains(term) {
-				continue
+		tids := idx.DocTermIDs(res.Doc)
+		freqs := idx.DocTermFreqs(res.Doc)
+		qi := 0
+		for i, tid := range tids {
+			for qi < len(qt) && qt[qi] < tid {
+				qi++
 			}
-			tf := float64(idx.TermFreq(res.Doc, term))
-			scores[term] += tf * idx.IDF(term) * rank
+			if qi < len(qt) && qt[qi] == tid {
+				continue // the user query's own terms never expand it
+			}
+			// Contributions are strictly positive (tf ≥ 1, IDF > 0, rank > 0),
+			// so a zero score marks first touch.
+			if scores[tid] == 0 {
+				touched = append(touched, tid)
+			}
+			scores[tid] += float64(freqs[i]) * idx.IDFByID(tid) * rank
 		}
 	}
-	ranked := make([]ws, 0, len(scores))
-	for w, s := range scores {
-		ranked = append(ranked, ws{w, s})
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
+	ranked := touched
+	slices.SortFunc(ranked, func(a, b termdict.TermID) int {
+		switch {
+		case scores[a] > scores[b]:
+			return -1
+		case scores[a] < scores[b]:
+			return 1
+		case a < b: // TermID order = lexicographic order
+			return -1
+		default:
+			return 1
 		}
-		return ranked[i].word < ranked[j].word
 	})
 	if topK > len(ranked) {
 		topK = len(ranked)
 	}
 	out := make([]search.Query, 0, topK)
 	for i := 0; i < topK; i++ {
-		out = append(out, uq.With(ranked[i].word))
+		out = append(out, uq.With(idx.TermByID(ranked[i])))
 	}
 	return out
 }

@@ -37,10 +37,11 @@ func Agglomerative(idx *index.Index, docs []document.DocID, k int, linkage Linka
 	if k > n {
 		k = n
 	}
-	dict := DictForDocs(idx, docs)
+	// Corpus-global TermID vectors — identical similarities to the per-run
+	// Dict projection they replace, without the interning pass.
 	vecs := make([]*Vector, n)
 	for i, id := range docs {
-		vecs[i] = dict.VectorFromDoc(idx, id)
+		vecs[i] = VectorFromDocGlobal(idx, id)
 	}
 	// Pairwise similarity matrix; rows fill in parallel. Row i costs i dot
 	// products, so workers take strided rows (w, w+W, w+2W, …) to balance

@@ -116,30 +116,35 @@ func parallelFor(n int, fn func(lo, hi int)) {
 // total) is accumulated serially in index order after the parallel phase,
 // preserving the sorted-accumulation guarantee of the scalar
 // implementation. Empty input yields an empty clustering.
+//
+// Vectors come straight off the index's corpus-global TermID arenas — no
+// per-run dictionary is interned. Global TermIDs ascend in lexicographic
+// order exactly like the per-run Dict IDs they replace, so every merge-join
+// dot product and norm accumulates in the same sorted-term order and the
+// clustering is bit-identical to the Dict-backed implementation (pinned by
+// the kmeans golden file).
 func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	opts.defaults()
 	n := len(docs)
 	if n == 0 {
 		return &Clustering{Assign: map[document.DocID]int{}}
 	}
-	// Intern once: the dictionary and vectors are shared (read-only) by
-	// every restart instead of being rebuilt per run.
-	dict := DictForDocs(idx, docs)
 	vecs := make([]*Vector, n)
 	for i, id := range docs {
-		vecs[i] = dict.VectorFromDoc(idx, id)
+		vecs[i] = VectorFromDocGlobal(idx, id)
 	}
+	dim := idx.NumTerms()
 	if opts.Restarts > 1 {
-		return kmeansRestarts(dict, vecs, docs, opts)
+		return kmeansRestarts(dim, vecs, docs, opts)
 	}
-	return kmeansRun(dict, vecs, docs, opts)
+	return kmeansRun(dim, vecs, docs, opts)
 }
 
 // kmeansRestarts runs Restarts independent k-means runs concurrently over
 // the shared vectors and keeps the best. Results land in a slice indexed by
 // restart ordinal and the winner is chosen serially in that order with a
 // strict <, so the outcome matches a serial loop exactly.
-func kmeansRestarts(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
+func kmeansRestarts(dim int, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
 	restarts := opts.Restarts
 	single := opts
 	single.Restarts = 0
@@ -154,7 +159,7 @@ func kmeansRestarts(dict *Dict, vecs []*Vector, docs []document.DocID, opts Opti
 			defer func() { <-sem }()
 			ro := single
 			ro.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
-			results[r] = kmeansRun(dict, vecs, docs, ro)
+			results[r] = kmeansRun(dim, vecs, docs, ro)
 		}(r)
 	}
 	wg.Wait()
@@ -167,8 +172,9 @@ func kmeansRestarts(dict *Dict, vecs []*Vector, docs []document.DocID, opts Opti
 	return best
 }
 
-// kmeansRun is a single k-means run over pre-interned vectors.
-func kmeansRun(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
+// kmeansRun is a single k-means run over pre-built vectors in a
+// dim-dimensional ID space.
+func kmeansRun(dim int, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
 	n := len(vecs)
 	k := opts.K
 	if k > n {
@@ -189,6 +195,7 @@ func kmeansRun(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) 
 
 	assign := make([]int, n)
 	dists := make([]float64, n)
+	var scratch meanScratch
 	var distortion float64
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
@@ -210,7 +217,7 @@ func kmeansRun(dict *Dict, vecs []*Vector, docs []document.DocID, opts Options) 
 		}
 		for c := range centroids {
 			if len(groups[c]) > 0 {
-				centroids[c] = Mean(groups[c], dict.Len())
+				centroids[c] = scratch.mean(groups[c], dim)
 			}
 			// Empty centroid: keep previous position; the cluster will be
 			// dropped at the end if it stays empty.

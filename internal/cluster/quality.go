@@ -43,10 +43,11 @@ func Silhouette(idx *index.Index, c *Clustering) float64 {
 	if len(all) < 2 || c.K() < 2 {
 		return 0
 	}
-	dict := DictForDocs(idx, all)
+	// Corpus-global TermID vectors: same distances as the per-run Dict this
+	// used to intern (both ID orders are lexicographic), no string work.
 	vecs := make(map[document.DocID]*Vector, len(all))
 	for _, id := range all {
-		vecs[id] = dict.VectorFromDoc(idx, id)
+		vecs[id] = VectorFromDocGlobal(idx, id)
 	}
 	meanDist := func(id document.DocID, ids []document.DocID) float64 {
 		total, n := 0.0, 0

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/document"
@@ -121,10 +122,12 @@ func (d *Dict) Vector(weights map[string]float64) *Vector {
 	return newVectorSorted(ids, ws)
 }
 
-// VectorFromDoc builds the TF vector of a document from the index. Because
-// the index keeps DocTerms sorted and ID order is lexicographic, the output
-// slices come out sorted without a per-vector sort, and the aligned
-// DocTermFreqs avoids the old per-term posting-list binary search.
+// VectorFromDoc builds the TF vector of a document from the index, projected
+// onto this dictionary's local ID space. Because the index keeps DocTermIDs
+// sorted and both ID orders are lexicographic, the output slices come out
+// sorted without a per-vector sort. Corpus-backed clustering no longer
+// interns a per-run Dict — see VectorFromDocGlobal — so this path serves
+// standalone dictionaries and tests.
 func (d *Dict) VectorFromDoc(idx *index.Index, id document.DocID) *Vector {
 	terms := idx.DocTerms(id)
 	freqs := idx.DocTermFreqs(id)
@@ -137,6 +140,21 @@ func (d *Dict) VectorFromDoc(idx *index.Index, id document.DocID) *Vector {
 		}
 	}
 	return newVectorSorted(ids, ws)
+}
+
+// VectorFromDocGlobal builds the TF vector of a document over the index's
+// corpus-global TermID space: the ID slice is the document's arena slice
+// itself (shared, read-only — Vector never mutates its ids in place) and only
+// the weights are materialized. No dictionary, no string, no per-run
+// interning. Global TermIDs are lexicographic like Dict IDs, so dot products
+// and norms accumulate in the identical order.
+func VectorFromDocGlobal(idx *index.Index, id document.DocID) *Vector {
+	freqs := idx.DocTermFreqs(id)
+	ws := make([]float64, len(freqs))
+	for i, f := range freqs {
+		ws[i] = float64(f)
+	}
+	return newVectorSorted(idx.DocTermIDs(id), ws)
 }
 
 // Len returns the number of non-zero components.
@@ -268,29 +286,61 @@ func (v *Vector) ToMap(d *Dict) map[string]float64 {
 // dense buffer — the same per-term summation order as the old map-backed
 // Add loop — then scales by 1/len(vs).
 func Mean(vs []*Vector, dim int) *Vector {
+	var s meanScratch
+	return s.mean(vs, dim)
+}
+
+// meanScratch reuses the dense accumulation buffers of centroid computation.
+// With corpus-global TermIDs the buffers span the whole vocabulary, so
+// k-means reallocating them per centroid per iteration would dominate; a
+// run-local scratch amortizes them. Cells are invalidated by epoch stamping
+// instead of clearing, so resets are O(1).
+type meanScratch struct {
+	acc     []float64
+	stamp   []uint32
+	epoch   uint32
+	touched []int32
+}
+
+// mean computes the same centroid as a freshly-buffered Mean, bit for bit:
+// components accumulate in input order (first touch zero-initializes,
+// exactly like a zeroed buffer) and emit in ascending ID order scaled by
+// 1/len(vs). The touched-ID list keeps the emit cost proportional to the
+// centroid's support, not the vocabulary.
+func (s *meanScratch) mean(vs []*Vector, dim int) *Vector {
 	if len(vs) == 0 {
 		return newVectorSorted(nil, nil)
 	}
-	acc := make([]float64, dim)
-	touched := make([]bool, dim)
-	nnz := 0
+	if len(s.acc) < dim {
+		s.acc = make([]float64, dim)
+		s.stamp = make([]uint32, dim)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, clear them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
 	for _, v := range vs {
 		for i, id := range v.ids {
-			if !touched[id] {
-				touched[id] = true
-				nnz++
+			if s.stamp[id] != s.epoch {
+				s.stamp[id] = s.epoch
+				s.acc[id] = 0
+				s.touched = append(s.touched, id)
 			}
-			acc[id] += v.ws[i]
+			s.acc[id] += v.ws[i]
 		}
 	}
+	slices.Sort(s.touched)
 	f := 1 / float64(len(vs))
-	ids := make([]int32, 0, nnz)
-	ws := make([]float64, 0, nnz)
-	for id := 0; id < dim; id++ {
-		if touched[id] {
-			ids = append(ids, int32(id))
-			ws = append(ws, acc[id]*f)
-		}
+	ids := make([]int32, len(s.touched))
+	ws := make([]float64, len(s.touched))
+	for i, id := range s.touched {
+		ids[i] = id
+		ws[i] = s.acc[id] * f
 	}
 	return newVectorSorted(ids, ws)
 }

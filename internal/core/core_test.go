@@ -116,7 +116,7 @@ func TestISKRTerminatesAndOutputsValidQuery(t *testing.T) {
 			if term == "seed" {
 				continue
 			}
-			if _, ok := p.kwIdx[term]; !ok {
+			if _, ok := p.kwID(term); !ok {
 				t.Fatalf("seed %d: expanded term %q not in pool", seed, term)
 			}
 		}

@@ -46,7 +46,8 @@ func TestExample31InitialValues(t *testing.T) {
 		"fruit":    {3, 3},
 	}
 	for k, bc := range want {
-		b, c := st.addDeltas(int(p.kwIdx[k]))
+		kid, _ := p.kwID(k)
+		b, c := st.addDeltas(int(kid))
 		if b != bc[0] || c != bc[1] {
 			t.Errorf("%s: benefit/cost = %v/%v, want %v/%v", k, b, c, bc[0], bc[1])
 		}
@@ -69,10 +70,11 @@ func TestExample31ValuesAfterAddingJob(t *testing.T) {
 		st.addBenefit[ki], st.addCost[ki] = b, c
 		st.active[ki] = true
 	}
-	st.apply(int(p.kwIdx["job"]), true)
+	jobID, _ := p.kwID("job")
+	st.apply(int(jobID), true)
 
 	bc := func(k string) (float64, float64) {
-		ki := p.kwIdx[k]
+		ki, _ := p.kwID(k)
 		return st.addBenefit[ki], st.addCost[ki]
 	}
 	// Paper's updated table: store 1/0, location 1/0, fruit 0/0.

@@ -219,7 +219,8 @@ func (st *iskrState) bestMove(noRemoval bool) (moveKind, int, float64) {
 			b, c, _ := st.removeDeltas(k)
 			st.evaluations++
 			if v := value(b, c); approxGreater(v, bestV) {
-				bestKind, bestKi, bestV = moveRemove, int(st.p.kwIdx[k]), v
+				ki, _ := st.p.kwID(k)
+				bestKind, bestKi, bestV = moveRemove, int(ki), v
 			}
 		}
 	}

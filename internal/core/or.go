@@ -74,11 +74,12 @@ func (a *ORISKR) Expand(p *Problem) Expanded {
 				if t == k {
 					continue
 				}
-				if ti, ok := p.kwIdx[t]; ok {
+				if ti, ok := p.kwID(t); ok {
 					other.Or(p.containB[ti])
 				}
 			}
-			ki := int(p.kwIdx[k])
+			kid, _ := p.kwID(k)
+			ki := int(kid)
 			var b, c float64
 			for wi, kw := range p.containB[ki].Words() {
 				x := kw &^ other.Words()[wi]

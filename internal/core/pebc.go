@@ -149,6 +149,12 @@ func (a *PEBC) partialElimination(p *Problem, x float64, rng *rand.Rand) search.
 // the Problem's shared base tables and adjusted only for delta results on
 // each add), which is what keeps PEBC's per-sample cost low — the efficiency
 // property Figure 6 turns on.
+//
+// States are recycled through the owning Problem's elimPool: one Expand
+// generates (nseg+1)·nit sample queries, and without pooling each paid for
+// two universe-sized bitsets, three keyword tables and the remaining-U list.
+// newElimState fully overwrites every field, so a recycled state is
+// indistinguishable from a fresh one and results stay bit-identical.
 type elimState struct {
 	p          *Problem
 	q          search.Query
@@ -160,19 +166,50 @@ type elimState struct {
 	target     float64 // score of U to eliminate
 	eliminated float64 // score of U eliminated so far
 	totalU     float64
+
+	// Scratch reused across calls: delta backs add()'s eliminated-results
+	// set, aux the per-strategy working set (stuck results / selected
+	// subset), cand the candidate list of the single-result strategy.
+	delta document.BitSet
+	aux   document.BitSet
+	cand  []int32
 }
 
 func newElimState(p *Problem, x float64) *elimState {
-	st := &elimState{p: p, q: p.UserQuery, r: p.allB.Clone()}
-	st.remU = make([]int32, 0, p.uB.Len())
+	st, _ := p.elimPool.Get().(*elimState)
+	if st == nil {
+		n := p.nDocs()
+		st = &elimState{
+			r:       document.NewBitSet(n),
+			delta:   document.NewBitSet(n),
+			aux:     document.NewBitSet(n),
+			benefit: make([]float64, len(p.Pool)),
+			cost:    make([]float64, len(p.Pool)),
+			count:   make([]int, len(p.Pool)),
+		}
+	}
+	st.p = p
+	st.q = p.UserQuery
+	st.r.CopyFrom(p.allB)
+	st.aux.Clear()
+	st.remU = st.remU[:0]
 	p.uB.ForEach(func(di int) { st.remU = append(st.remU, int32(di)) })
 	b, c, n := p.baseTables()
-	st.benefit = append([]float64(nil), b...)
-	st.cost = append([]float64(nil), c...)
-	st.count = append([]int(nil), n...)
+	copy(st.benefit, b)
+	copy(st.cost, c)
+	copy(st.count, n)
 	st.totalU = p.sU
+	st.eliminated = 0
 	st.target = x / 100 * st.totalU
 	return st
+}
+
+// release returns the state to its problem's pool, dropping references that
+// would pin caller data.
+func (st *elimState) release() {
+	p := st.p
+	st.p, st.q = nil, search.Query{}
+	p.elimPool.Put(st)
 }
 
 // uRemaining returns the not-yet-eliminated results of U in a stable order
@@ -192,7 +229,8 @@ func (st *elimState) keywordEffect(ki int) (benefit, cost float64, count int) {
 // results, and returns the U-score it eliminated. All set algebra is
 // word-wise; float accumulation folds in ascending dense-ID order.
 func (st *elimState) add(ki int) float64 {
-	delta := st.r.Clone()
+	delta := st.delta
+	delta.CopyFrom(st.r)
 	delta.AndNot(st.p.containB[ki])
 	dw := delta.Words()
 	uw := st.p.uB.Words()
@@ -245,24 +283,24 @@ func closerWithout(before, after, target float64) bool {
 // eliminateSingleResult is the published §4.3 procedure.
 func (a *PEBC) eliminateSingleResult(p *Problem, x float64, rng *rand.Rand) search.Query {
 	st := newElimState(p, x)
+	defer st.release()
 	if st.target <= 0 || st.totalU == 0 {
 		return st.q
 	}
 	// Results found to be uneliminable by the current candidate pool; they
 	// are skipped rather than aborting the whole procedure.
-	stuck := document.NewBitSet(p.nDocs())
-	candidates := make([]int32, 0, len(st.remU))
+	stuck := st.aux
 	for st.eliminated < st.target {
-		candidates = candidates[:0]
+		st.cand = st.cand[:0]
 		for _, di := range st.uRemaining() {
 			if !stuck.Contains(int(di)) {
-				candidates = append(candidates, di)
+				st.cand = append(st.cand, di)
 			}
 		}
-		if len(candidates) == 0 {
+		if len(st.cand) == 0 {
 			break
 		}
-		r := int(candidates[rng.Intn(len(candidates))])
+		r := int(st.cand[rng.Intn(len(st.cand))])
 		// Keywords that eliminate r: pool keywords not contained in r.
 		bestKi, bestV, bestCount := -1, math.Inf(-1), 0
 		for ki := range p.Pool {
@@ -304,6 +342,7 @@ func (a *PEBC) eliminateSingleResult(p *Problem, x float64, rng *rand.Rand) sear
 // benefit/cost keyword.
 func (a *PEBC) eliminateFixedOrder(p *Problem, x float64) search.Query {
 	st := newElimState(p, x)
+	defer st.release()
 	if st.target <= 0 || st.totalU == 0 {
 		return st.q
 	}
@@ -342,6 +381,7 @@ func (a *PEBC) eliminateFixedOrder(p *Problem, x float64) search.Query {
 // counting eliminations outside S as extra cost (Example 4.3).
 func (a *PEBC) eliminateSubset(p *Problem, x float64, rng *rand.Rand) search.Query {
 	st := newElimState(p, x)
+	defer st.release()
 	if st.target <= 0 || st.totalU == 0 {
 		return st.q
 	}
@@ -349,13 +389,14 @@ func (a *PEBC) eliminateSubset(p *Problem, x float64, rng *rand.Rand) search.Que
 	// the map-era implementation did (U.IDs() is ascending DocID order).
 	ids := p.U.IDs()
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	selected := document.NewBitSet(p.nDocs())
+	selected := st.aux
 	var got float64
 	for _, id := range ids {
 		if got >= st.target {
 			break
 		}
-		di := int(p.docIdx[id])
+		dense, _ := p.denseID(id)
+		di := int(dense)
 		selected.Add(di)
 		got += p.weightAt(di)
 	}

@@ -160,7 +160,7 @@ func TestPartialEliminationNeverDropsUserQueryTerms(t *testing.T) {
 			if term == "seed" {
 				continue
 			}
-			if _, ok := p.kwIdx[term]; !ok {
+			if _, ok := p.kwID(term); !ok {
 				t.Errorf("%v: non-pool term %q", strategy, term)
 			}
 		}

@@ -22,6 +22,7 @@ package core
 import (
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
 	"sync"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/search"
+	"repro/internal/termdict"
 )
 
 // Problem is one instance of Definition 2.2: a user query, a target cluster
@@ -49,18 +51,21 @@ type Problem struct {
 	Pool []string
 
 	// Dense ID space: docs lists the universe in ascending DocID order (the
-	// dense doc ID is the position), docIdx inverts it, and w holds the
-	// per-document ranking weight (nil when unranked; missing or
+	// dense doc ID is the position; denseID inverts it by binary search) and
+	// w holds the per-document ranking weight (nil when unranked; missing or
 	// non-positive Weights entries already resolved to 1).
-	docs   []document.DocID
-	docIdx map[document.DocID]int32
-	w      []float64
+	docs []document.DocID
+	w    []float64
 
-	// kwIdx interns pool keywords; containB[k] is the bitmap of universe
-	// documents containing pool keyword k. E(k) ∩ Universe (the documents k
-	// eliminates) is its complement.
-	kwIdx    map[string]int32
+	// containB[k] is the bitmap of universe documents containing pool
+	// keyword k (keyword IDs are positions in the sorted Pool; kwID inverts
+	// by binary search). E(k) ∩ Universe (the documents k eliminates) is its
+	// complement.
 	containB []document.BitSet
+
+	// elimPool recycles PEBC partial-elimination scratch state (bitsets +
+	// flat tables) across the many sample queries of one Expand.
+	elimPool sync.Pool
 
 	// cB/uB/allB are the dense C, U and universe memberships; sC and sU
 	// cache S(C) and S(U), constant per problem.
@@ -82,10 +87,6 @@ func (p *Problem) initDense() {
 	ids := p.Universe.IDs() // ascending: dense ID order = DocID order
 	p.docs = ids
 	n := len(ids)
-	p.docIdx = make(map[document.DocID]int32, n)
-	for i, id := range ids {
-		p.docIdx[id] = int32(i)
-	}
 	if p.Weights != nil {
 		p.w = make([]float64, n)
 		for i, id := range ids {
@@ -106,16 +107,34 @@ func (p *Problem) initDense() {
 		}
 	}
 	p.sC, p.sU = p.sumBits(p.cB), p.sumBits(p.uB)
-	p.kwIdx = make(map[string]int32, len(p.Pool))
 	p.containB = make([]document.BitSet, len(p.Pool))
-	for ki, k := range p.Pool {
-		p.kwIdx[k] = int32(ki)
+	for ki := range p.Pool {
 		p.containB[ki] = document.NewBitSet(n)
 	}
 }
 
 // nDocs returns the universe size (the dense doc ID bound).
 func (p *Problem) nDocs() int { return len(p.docs) }
+
+// kwID returns the dense keyword ID of k — its position in the sorted Pool —
+// by binary search. No map is kept: the Pool is small and already sorted.
+func (p *Problem) kwID(k string) (int32, bool) {
+	i := sort.SearchStrings(p.Pool, k)
+	if i < len(p.Pool) && p.Pool[i] == k {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// denseID returns the dense doc ID of a universe document, by binary search
+// over the ascending docs slice.
+func (p *Problem) denseID(id document.DocID) (int32, bool) {
+	i := sort.Search(len(p.docs), func(i int) bool { return p.docs[i] >= id })
+	if i < len(p.docs) && p.docs[i] == id {
+		return int32(i), true
+	}
+	return 0, false
+}
 
 // accum adds the weights of the set bits of one bitset word to acc, folding
 // in ascending dense-ID order. It delegates to eval.AccumWord — the single
@@ -193,6 +212,95 @@ func DefaultPoolOptions() PoolOptions {
 	return PoolOptions{TopFraction: 0.20, MinKeywords: 10}
 }
 
+// scorePool ranks the distinct terms of the universe by summed TF-IDF in a
+// flat []float64 indexed by global TermID — no string map anywhere — and
+// returns the cut pool as parallel term/TermID slices, both in ascending
+// TermID (= lexicographic) order.
+//
+// Accumulation order is the historical one: documents ascending by DocID,
+// terms ascending within each document (TermID order is lexicographic, the
+// order the sorted DocTerms strings were walked in), so the sums — and hence
+// the pool cut — are bit-identical to the map-backed implementation.
+func scorePool(idx *index.Index, userQuery search.Query, universeIDs []document.DocID,
+	opts PoolOptions) ([]string, []termdict.TermID) {
+
+	// The user query's own terms are excluded from the pool; resolve them to
+	// sorted TermIDs once so the per-occurrence skip is a merge, not a map.
+	qt := make([]termdict.TermID, 0, len(userQuery.Terms))
+	for _, t := range userQuery.Terms {
+		if tid, ok := idx.LookupTerm(t); ok {
+			qt = append(qt, tid)
+		}
+	}
+	slices.Sort(qt)
+
+	scores := make([]float64, idx.NumTerms())
+	var touched []termdict.TermID
+	for _, id := range universeIDs {
+		tids := idx.DocTermIDs(id)
+		freqs := idx.DocTermFreqs(id)
+		qi := 0
+		for i, tid := range tids {
+			for qi < len(qt) && qt[qi] < tid {
+				qi++
+			}
+			if qi < len(qt) && qt[qi] == tid {
+				continue
+			}
+			// Every contribution is > 0 (freq ≥ 1 and IDF > 0 for any
+			// indexed term), so a zero score marks first touch.
+			if scores[tid] == 0 {
+				touched = append(touched, tid)
+			}
+			scores[tid] += float64(freqs[i]) * idx.IDFByID(tid)
+		}
+	}
+
+	ranked := touched
+	slices.SortFunc(ranked, func(a, b termdict.TermID) int {
+		switch {
+		case scores[a] > scores[b]:
+			return -1
+		case scores[a] < scores[b]:
+			return 1
+		case a < b: // TermID order = lexicographic order
+			return -1
+		default:
+			return 1
+		}
+	})
+
+	keep := int(math.Ceil(opts.TopFraction * float64(len(ranked))))
+	if keep < opts.MinKeywords {
+		keep = opts.MinKeywords
+	}
+	if opts.MaxKeywords > 0 && keep > opts.MaxKeywords {
+		keep = opts.MaxKeywords
+	}
+	if keep > len(ranked) {
+		keep = len(ranked)
+	}
+	poolTids := make([]termdict.TermID, keep)
+	copy(poolTids, ranked[:keep])
+	slices.Sort(poolTids)
+	pool := make([]string, keep)
+	for i, tid := range poolTids {
+		pool[i] = idx.TermByID(tid)
+	}
+	return pool, poolTids
+}
+
+// ScorePool exposes the candidate-pool selection (the paper's "top 20% of
+// result words by tfidf") on its own: given the user query and the universe
+// of its results, it returns the pool in sorted order. Exported for the
+// PoolScoring benchmark, which pins that this path performs zero map
+// allocations.
+func ScorePool(idx *index.Index, userQuery search.Query, universeIDs []document.DocID,
+	opts PoolOptions) []string {
+	pool, _ := scorePool(idx, userQuery, universeIDs, opts)
+	return pool
+}
+
 // NewProblem assembles a Problem from the index, the user query, the target
 // cluster and the other-results set. weights may be nil.
 func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
@@ -206,65 +314,25 @@ func NewProblem(idx *index.Index, userQuery search.Query, c, u document.DocSet,
 		Weights:   weights,
 	}
 
-	// Score every distinct term of the universe by summed tfidf.
-	type termScore struct {
-		term  string
-		score float64
-	}
-	// Accumulate in sorted document order so the sums (and hence the pool
-	// cut) are bit-identical across runs. The aligned DocTermFreqs supplies
-	// each TF directly (no posting-list re-lookup per term) and the IDF of
-	// a term is computed once per problem rather than once per occurrence.
-	scores := make(map[string]float64)
-	idfs := make(map[string]float64)
-	universeIDs := p.Universe.IDs()
-	for _, id := range universeIDs {
-		terms := idx.DocTerms(id)
-		freqs := idx.DocTermFreqs(id)
-		for i, term := range terms {
-			if userQuery.Contains(term) {
-				continue
-			}
-			idf, ok := idfs[term]
-			if !ok {
-				idf = idx.IDF(term)
-				idfs[term] = idf
-			}
-			scores[term] += float64(freqs[i]) * idf
-		}
-	}
-	ranked := make([]termScore, 0, len(scores))
-	for term, s := range scores {
-		ranked = append(ranked, termScore{term, s})
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
-		}
-		return ranked[i].term < ranked[j].term
-	})
-
-	keep := int(math.Ceil(opts.TopFraction * float64(len(ranked))))
-	if keep < opts.MinKeywords {
-		keep = opts.MinKeywords
-	}
-	if opts.MaxKeywords > 0 && keep > opts.MaxKeywords {
-		keep = opts.MaxKeywords
-	}
-	if keep > len(ranked) {
-		keep = len(ranked)
-	}
-	p.Pool = make([]string, keep)
-	for i := 0; i < keep; i++ {
-		p.Pool[i] = ranked[i].term
-	}
-	sort.Strings(p.Pool)
+	var poolTids []termdict.TermID
+	p.Pool, poolTids = scorePool(idx, userQuery, p.Universe.IDs(), opts)
 
 	p.initDense()
+	// Keyword→document incidence by merge-join: both the pool TermIDs and
+	// each document's TermIDs are ascending, and pool position = keyword ID
+	// (both orders are lexicographic).
 	for di, id := range p.docs {
-		for _, term := range idx.DocTerms(id) {
-			if ki, ok := p.kwIdx[term]; ok {
-				p.containB[ki].Add(di)
+		pi := 0
+		for _, tid := range idx.DocTermIDs(id) {
+			for pi < len(poolTids) && poolTids[pi] < tid {
+				pi++
+			}
+			if pi == len(poolTids) {
+				break
+			}
+			if poolTids[pi] == tid {
+				p.containB[pi].Add(di)
+				pi++
 			}
 		}
 	}
@@ -294,9 +362,9 @@ func NewProblemFromSets(userQuery search.Query, c, u document.DocSet,
 	sort.Strings(p.Pool)
 	p.initDense()
 	for k, set := range contain {
-		ki := p.kwIdx[k]
+		ki, _ := p.kwID(k)
 		for id := range set {
-			if di, ok := p.docIdx[id]; ok {
+			if di, ok := p.denseID(id); ok {
 				p.containB[ki].Add(int(di))
 			}
 		}
@@ -307,18 +375,18 @@ func NewProblemFromSets(userQuery search.Query, c, u document.DocSet,
 // Contains reports whether universe document id contains keyword k. Keywords
 // outside the pool are reported as not contained (they are never candidates).
 func (p *Problem) Contains(id document.DocID, k string) bool {
-	ki, ok := p.kwIdx[k]
+	ki, ok := p.kwID(k)
 	if !ok {
 		return false
 	}
-	di, ok := p.docIdx[id]
+	di, ok := p.denseID(id)
 	return ok && p.containB[ki].Contains(int(di))
 }
 
 // ContainSet returns the universe documents containing pool keyword k, as a
 // freshly materialized DocSet (the incidence itself is stored as bitmaps).
 func (p *Problem) ContainSet(k string) document.DocSet {
-	ki, ok := p.kwIdx[k]
+	ki, ok := p.kwID(k)
 	if !ok {
 		return nil
 	}
@@ -336,7 +404,7 @@ func (p *Problem) retrieveBits(q search.Query) document.BitSet {
 		if p.UserQuery.Contains(term) {
 			continue
 		}
-		ki, ok := p.kwIdx[term]
+		ki, ok := p.kwID(term)
 		if !ok {
 			// A term outside the pool retrieves nothing (we only expand
 			// with pool keywords; this branch guards foreign queries).
@@ -373,7 +441,7 @@ func (p *Problem) Measure(q search.Query) eval.PRF {
 func (p *Problem) retrieveORBits(q search.Query) document.BitSet {
 	out := document.NewBitSet(p.nDocs())
 	for _, t := range q.Terms {
-		if ki, ok := p.kwIdx[t]; ok {
+		if ki, ok := p.kwID(t); ok {
 			out.Or(p.containB[ki])
 		}
 	}

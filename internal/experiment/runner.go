@@ -8,6 +8,7 @@ package experiment
 import (
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -78,6 +79,30 @@ type Runner struct {
 	Shopping *dataset.Dataset
 	Wiki     *dataset.Dataset
 	pool     *userstudy.Pool
+
+	// scaled memoizes the scaled-up Wikipedia corpora the Figure 7 sweep
+	// uses, keyed by scale. Dataset generation is a pure function of
+	// (seed, scale), and regenerating the scale-15 corpus dominated every
+	// Figure7 call before the cache.
+	scaledMu sync.Mutex
+	scaled   map[int]*dataset.Dataset
+}
+
+// ScaledWiki returns the Wikipedia dataset at the given scale for the
+// runner's seed, generating it on first use and reusing it afterwards (the
+// dataset is read-only once built).
+func (r *Runner) ScaledWiki(scale int) *dataset.Dataset {
+	r.scaledMu.Lock()
+	defer r.scaledMu.Unlock()
+	if r.scaled == nil {
+		r.scaled = map[int]*dataset.Dataset{}
+	}
+	if d, ok := r.scaled[scale]; ok {
+		return d
+	}
+	d := dataset.Wikipedia(r.Config.Seed+1, scale)
+	r.scaled[scale] = d
+	return d
 }
 
 // NewRunner generates both corpora and prepares the rater pool.
@@ -105,6 +130,25 @@ type QueryRun struct {
 	Problems   []*core.Problem
 	// ClusterTime is how long k-means took (reported in §5.3's prose).
 	ClusterTime time.Duration
+
+	// ubOnce/ub lazily cache the universe as a bitset over corpus DocIDs,
+	// shared by every relatedness probe of the run.
+	ubOnce sync.Once
+	ub     document.BitSet
+}
+
+// UniverseBits returns the run's universe as a bitset over corpus DocIDs,
+// built once per run. Used to make term-presence probes word-wise: instead
+// of asking every universe document whether it has a term, walk the term's
+// TermID postings and test membership against this set.
+func (qr *QueryRun) UniverseBits() document.BitSet {
+	qr.ubOnce.Do(func() {
+		qr.ub = document.NewBitSet(qr.Dataset.Index.NumDocs())
+		for id := range qr.Universe {
+			qr.ub.Add(int(id))
+		}
+	})
+	return qr.ub
 }
 
 // Prepare runs the shared pipeline for one test query: search, rank, take
@@ -317,17 +361,23 @@ func (r *Runner) relatedness(qr *QueryRun, q search.Query) float64 {
 	if len(expansion) == 0 {
 		return 0.5 // the unmodified query: related but unhelpful
 	}
+	// A term occurs in the original results iff its posting list intersects
+	// the universe bitset: resolve the term to a TermID once and scan its
+	// postings against the per-run set, instead of probing HasTerm for every
+	// universe document.
+	idx := qr.Dataset.Index
+	ub := qr.UniverseBits()
 	present := 0
 	for _, t := range expansion {
-		found := false
-		for id := range qr.Universe {
-			if qr.Dataset.Index.HasTerm(id, t) {
-				found = true
+		tid, ok := idx.LookupTerm(t)
+		if !ok {
+			continue
+		}
+		for _, d := range idx.PostingsDocs(tid) {
+			if ub.Contains(int(d)) {
+				present++
 				break
 			}
-		}
-		if found {
-			present++
 		}
 	}
 	rel := float64(present) / float64(len(expansion))

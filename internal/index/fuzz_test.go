@@ -1,0 +1,65 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+)
+
+// fuzzSeedSnapshots returns valid v1, v2 and truncated streams as seed
+// corpus entries for the snapshot-decode fuzzer.
+func fuzzSeedSnapshots(tb testing.TB) [][]byte {
+	tb.Helper()
+	c := document.NewCorpus()
+	c.AddText("", "apple fruit orchard apple")
+	c.AddText("", "apple computer store")
+	c.AddStructured("canon", []document.Triplet{
+		{Entity: "canonproducts", Attribute: "category", Value: "camera"},
+	})
+	idx := Build(c, analysis.Simple())
+	var v2 bytes.Buffer
+	if err := idx.Save(&v2); err != nil {
+		tb.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := encodeSnapshot(&v1, idx.legacySnapshotV1()); err != nil {
+		tb.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := Build(document.NewCorpus(), analysis.Simple()).Save(&empty); err != nil {
+		tb.Fatal(err)
+	}
+	return [][]byte{
+		v2.Bytes(),
+		v1.Bytes(),
+		empty.Bytes(),
+		v2.Bytes()[:len(v2.Bytes())/2],
+		[]byte("not a gob stream"),
+	}
+}
+
+// FuzzSnapshotLoad drives Load with arbitrary byte streams: any input must
+// either produce a valid index (Validate passes — Load runs it internally)
+// or return an error. It must never panic — a corrupt or hostile snapshot
+// file is an expected input for a service that loads indexes from disk.
+func FuzzSnapshotLoad(f *testing.F) {
+	for _, seed := range fuzzSeedSnapshots(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := Load(bytes.NewReader(data), analysis.Simple())
+		if err != nil {
+			return
+		}
+		// A successfully loaded index must be internally consistent and
+		// usable for basic queries.
+		if err := idx.Validate(); err != nil {
+			t.Fatalf("Load accepted an index that fails Validate: %v", err)
+		}
+		for _, term := range idx.Vocabulary() {
+			_ = idx.DocFreq(term)
+		}
+	})
+}

@@ -1,17 +1,29 @@
 // Package index implements the in-memory inverted index that backs the
-// search substrate. Postings lists are sorted by document ID and carry term
-// frequencies, which the ranking layer (TF-IDF) and the baselines (Data
-// Clouds, TFICF cluster summarization) consume.
+// search substrate. The index is built on the corpus-global term dictionary
+// (internal/termdict): every distinct term gets a dense int32 TermID in
+// lexicographic order, postings live as flat doc/freq slices in one shared
+// arena keyed by TermID, each document's term set is a sorted TermID slice in
+// a second arena, and per-term IDF is precomputed at Build. String-keyed
+// accessors remain for tests and cold paths, but the hot paths (search's
+// AND merge, pool scoring, clustering vectors, baseline labels) read the
+// TermID tables directly and never touch a map or a string.
 package index
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/document"
+	"repro/internal/termdict"
 )
+
+// maxFreq caps stored term frequencies at the uint16 arena width. Real
+// corpora here are orders of magnitude below it; a pathological document
+// saturates rather than overflows.
+const maxFreq = 1<<16 - 1
 
 // Posting records one document's occurrences of a term.
 type Posting struct {
@@ -50,22 +62,34 @@ func (p PostingList) Freq(id document.DocID) int {
 
 // Index is an inverted index over a corpus. It is built once and then
 // read-only; concurrent readers are safe after Build returns.
+//
+// Storage layout: the term dictionary assigns TermIDs 0..V-1 in
+// lexicographic order. The postings of term t are the parallel slices
+// postDocs[postOff[t]:postOff[t+1]] (ascending DocIDs) and the same range of
+// postFreqs. The distinct terms of document d are
+// docTermIDs[docOff[d]:docOff[d+1]] (ascending TermIDs — which, because
+// TermID order is lexicographic, is exactly the sorted-string order the
+// scoring layers accumulate in) with aligned frequencies in docFreqs.
 type Index struct {
 	corpus   *document.Corpus
 	analyzer *analysis.Analyzer
+	dict     *termdict.Dict
 
-	postings map[string]PostingList
-	// docTerms[id] is the sorted set of distinct terms of each document —
-	// the "document as a set of words" of Section 2. The QEC algorithms
-	// iterate these to enumerate candidate keywords.
-	docTerms map[document.DocID][]string
-	// docFreqs[id] holds the term frequencies aligned with docTerms[id], so
-	// hot paths that walk a document's terms (TF vectors, pool scoring) get
-	// each frequency without re-finding the document in the term's posting
-	// list.
-	docFreqs map[document.DocID][]int
-	// docLen[id] is the total token count (for TF normalization).
-	docLen map[document.DocID]int
+	// Postings arena, keyed by TermID.
+	postDocs  []int32
+	postFreqs []uint16
+	postOff   []int32 // len = dict.Len()+1
+
+	// idf[t] = log(1 + N/df(t)), precomputed at Build.
+	idf []float64
+
+	// Document→terms arena, keyed by DocID.
+	docTermIDs []termdict.TermID
+	docFreqs   []uint16
+	docOff     []int32 // len = NumDocs+1
+
+	// docLen[d] is the total token count (for TF normalization).
+	docLen []int32
 	// totalLen is the sum of docLen (for average document length).
 	totalLen int
 }
@@ -75,45 +99,105 @@ type Index struct {
 // (entity:attribute:value) verbatim, so expanded queries can reference exact
 // features.
 func Build(corpus *document.Corpus, analyzer *analysis.Analyzer) *Index {
+	n := corpus.Len()
+	counts := make([]map[string]int, n)
+	seen := make(map[string]struct{}, 1024)
+	var vocab []string
+	totalTerms := 0
+	for i, doc := range corpus.Docs() {
+		m := make(map[string]int)
+		for _, tok := range analyzer.Analyze(doc.FullText()) {
+			m[tok.Term]++
+		}
+		for _, composite := range doc.CompositeTerms() {
+			m[composite]++
+		}
+		counts[i] = m
+		totalTerms += len(m)
+		for term := range m {
+			if _, ok := seen[term]; !ok {
+				seen[term] = struct{}{}
+				vocab = append(vocab, term)
+			}
+		}
+	}
+	sort.Strings(vocab)
+	dict := termdict.FromSorted(vocab)
+
 	idx := &Index{
-		corpus:   corpus,
-		analyzer: analyzer,
-		postings: make(map[string]PostingList),
-		docTerms: make(map[document.DocID][]string),
-		docFreqs: make(map[document.DocID][]int),
-		docLen:   make(map[document.DocID]int),
+		corpus:     corpus,
+		analyzer:   analyzer,
+		dict:       dict,
+		docTermIDs: make([]termdict.TermID, 0, totalTerms),
+		docFreqs:   make([]uint16, 0, totalTerms),
+		docOff:     make([]int32, n+1),
+		docLen:     make([]int32, n),
 	}
-	for _, doc := range corpus.Docs() {
-		idx.add(doc)
+
+	// Fill the document arena in DocID order, terms ascending by TermID, and
+	// count document frequencies along the way. Each doc's (TermID, freq)
+	// pairs are packed into int64s — frequency in the low 16 bits — so one
+	// integer sort orders the whole pair (TermIDs are distinct within a doc).
+	df := make([]int32, dict.Len())
+	packed := make([]int64, 0, 64)
+	for i := 0; i < n; i++ {
+		packed = packed[:0]
+		total := 0
+		for term, c := range counts[i] {
+			tid, _ := dict.Lookup(term)
+			total += c
+			if c > maxFreq {
+				c = maxFreq
+			}
+			packed = append(packed, int64(tid)<<16|int64(c))
+		}
+		slices.Sort(packed)
+		for _, p := range packed {
+			tid := termdict.TermID(p >> 16)
+			idx.docTermIDs = append(idx.docTermIDs, tid)
+			idx.docFreqs = append(idx.docFreqs, uint16(p&maxFreq))
+			df[tid]++
+		}
+		idx.docOff[i+1] = int32(len(idx.docTermIDs))
+		idx.docLen[i] = int32(total)
+		idx.totalLen += total
+		counts[i] = nil
 	}
+
+	// Postings arena: prefix-sum offsets from the document frequencies, then
+	// one pass over documents in ID order fills each term's range in
+	// ascending-DocID order.
+	idx.postOff = make([]int32, dict.Len()+1)
+	for t, d := range df {
+		idx.postOff[t+1] = idx.postOff[t] + d
+	}
+	idx.postDocs = make([]int32, len(idx.docTermIDs))
+	idx.postFreqs = make([]uint16, len(idx.docTermIDs))
+	cursor := make([]int32, dict.Len())
+	copy(cursor, idx.postOff[:dict.Len()])
+	for d := 0; d < n; d++ {
+		lo, hi := idx.docOff[d], idx.docOff[d+1]
+		for j := lo; j < hi; j++ {
+			tid := idx.docTermIDs[j]
+			idx.postDocs[cursor[tid]] = int32(d)
+			idx.postFreqs[cursor[tid]] = idx.docFreqs[j]
+			cursor[tid]++
+		}
+	}
+
+	idx.buildIDF()
 	return idx
 }
 
-func (idx *Index) add(doc *document.Document) {
-	counts := make(map[string]int)
-	tokens := idx.analyzer.Analyze(doc.FullText())
-	for _, tok := range tokens {
-		counts[tok.Term]++
+// buildIDF precomputes the smoothed IDF of every dictionary term.
+func (idx *Index) buildIDF() {
+	idx.idf = make([]float64, idx.dict.Len())
+	nd := float64(idx.NumDocs())
+	for t := range idx.idf {
+		if df := idx.DocFreqByID(termdict.TermID(t)); df > 0 {
+			idx.idf[t] = math.Log(1 + nd/float64(df))
+		}
 	}
-	for _, composite := range doc.CompositeTerms() {
-		counts[composite]++
-	}
-	terms := make([]string, 0, len(counts))
-	total := 0
-	for term, n := range counts {
-		terms = append(terms, term)
-		total += n
-		idx.postings[term] = append(idx.postings[term], Posting{Doc: doc.ID, Freq: n})
-	}
-	sort.Strings(terms)
-	freqs := make([]int, len(terms))
-	for i, term := range terms {
-		freqs[i] = counts[term]
-	}
-	idx.docTerms[doc.ID] = terms
-	idx.docFreqs[doc.ID] = freqs
-	idx.docLen[doc.ID] = total
-	idx.totalLen += total
 }
 
 // Corpus returns the indexed corpus.
@@ -123,18 +207,66 @@ func (idx *Index) Corpus() *document.Corpus { return idx.corpus }
 // analyzed with the same pipeline.
 func (idx *Index) Analyzer() *analysis.Analyzer { return idx.analyzer }
 
+// Dict returns the corpus-global term dictionary.
+func (idx *Index) Dict() *termdict.Dict { return idx.dict }
+
+// LookupTerm resolves a term string to its TermID.
+func (idx *Index) LookupTerm(term string) (termdict.TermID, bool) {
+	return idx.dict.Lookup(term)
+}
+
+// TermByID returns the term string of a TermID.
+func (idx *Index) TermByID(tid termdict.TermID) string { return idx.dict.Term(tid) }
+
+// PostingsDocs returns the documents containing term tid as ascending
+// []int32 DocIDs — the raw arena slice the search AND merge gallops over.
+// The slice is shared and must not be mutated.
+func (idx *Index) PostingsDocs(tid termdict.TermID) []int32 {
+	return idx.postDocs[idx.postOff[tid]:idx.postOff[tid+1]]
+}
+
+// PostingsFreqs returns the term frequencies aligned with PostingsDocs. The
+// slice is shared and must not be mutated.
+func (idx *Index) PostingsFreqs(tid termdict.TermID) []uint16 {
+	return idx.postFreqs[idx.postOff[tid]:idx.postOff[tid+1]]
+}
+
+// DocFreqByID returns the number of documents containing term tid.
+func (idx *Index) DocFreqByID(tid termdict.TermID) int {
+	return int(idx.postOff[tid+1] - idx.postOff[tid])
+}
+
 // Postings returns the posting list for a term (nil when the term does not
-// occur). The returned slice is shared and must not be mutated.
-func (idx *Index) Postings(term string) PostingList { return idx.postings[term] }
+// occur). It materializes from the arena and allocates; hot paths should use
+// PostingsDocs/PostingsFreqs instead.
+func (idx *Index) Postings(term string) PostingList {
+	tid, ok := idx.dict.Lookup(term)
+	if !ok {
+		return nil
+	}
+	docs, freqs := idx.PostingsDocs(tid), idx.PostingsFreqs(tid)
+	out := make(PostingList, len(docs))
+	for i, d := range docs {
+		out[i] = Posting{Doc: document.DocID(d), Freq: int(freqs[i])}
+	}
+	return out
+}
 
 // DocFreq returns the number of documents containing term.
-func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
+func (idx *Index) DocFreq(term string) int {
+	tid, ok := idx.dict.Lookup(term)
+	if !ok {
+		return 0
+	}
+	return idx.DocFreqByID(tid)
+}
 
 // NumDocs returns the corpus size.
 func (idx *Index) NumDocs() int { return idx.corpus.Len() }
 
-// NumTerms returns the vocabulary size.
-func (idx *Index) NumTerms() int { return len(idx.postings) }
+// NumTerms returns the vocabulary size (the exclusive upper bound on
+// TermIDs).
+func (idx *Index) NumTerms() int { return idx.dict.Len() }
 
 // AvgDocLen returns the mean token count per document.
 func (idx *Index) AvgDocLen() float64 {
@@ -144,92 +276,213 @@ func (idx *Index) AvgDocLen() float64 {
 	return float64(idx.totalLen) / float64(idx.NumDocs())
 }
 
-// DocLen returns the token count of a document.
-func (idx *Index) DocLen(id document.DocID) int { return idx.docLen[id] }
+// DocLen returns the token count of a document (0 when out of range).
+func (idx *Index) DocLen(id document.DocID) int {
+	if id < 0 || int(id) >= len(idx.docLen) {
+		return 0
+	}
+	return int(idx.docLen[id])
+}
 
-// DocTerms returns the sorted distinct terms of a document. The returned
-// slice is shared and must not be mutated.
-func (idx *Index) DocTerms(id document.DocID) []string { return idx.docTerms[id] }
+// DocTermIDs returns the distinct terms of a document as ascending TermIDs —
+// which is also ascending lexicographic order. The slice is shared and must
+// not be mutated; nil for out-of-range documents.
+func (idx *Index) DocTermIDs(id document.DocID) []termdict.TermID {
+	if id < 0 || int(id) >= idx.NumDocs() {
+		return nil
+	}
+	return idx.docTermIDs[idx.docOff[id]:idx.docOff[id+1]]
+}
 
 // DocTermFreqs returns the term frequencies of a document, aligned with
-// DocTerms. The returned slice is shared and must not be mutated.
-func (idx *Index) DocTermFreqs(id document.DocID) []int { return idx.docFreqs[id] }
+// DocTermIDs. The slice is shared and must not be mutated.
+func (idx *Index) DocTermFreqs(id document.DocID) []uint16 {
+	if id < 0 || int(id) >= idx.NumDocs() {
+		return nil
+	}
+	return idx.docFreqs[idx.docOff[id]:idx.docOff[id+1]]
+}
+
+// DocTerms returns the sorted distinct terms of a document as strings. It
+// materializes from the TermID arena and allocates; hot paths should use
+// DocTermIDs.
+func (idx *Index) DocTerms(id document.DocID) []string {
+	tids := idx.DocTermIDs(id)
+	out := make([]string, len(tids))
+	for i, tid := range tids {
+		out[i] = idx.dict.Term(tid)
+	}
+	return out
+}
+
+// HasTermID reports whether document id contains term tid, by binary search
+// over the document's sorted TermID slice.
+func (idx *Index) HasTermID(id document.DocID, tid termdict.TermID) bool {
+	tids := idx.DocTermIDs(id)
+	i := sort.Search(len(tids), func(i int) bool { return tids[i] >= tid })
+	return i < len(tids) && tids[i] == tid
+}
 
 // HasTerm reports whether document id contains term.
 func (idx *Index) HasTerm(id document.DocID, term string) bool {
-	terms := idx.docTerms[id]
-	i := sort.SearchStrings(terms, term)
-	return i < len(terms) && terms[i] == term
+	tid, ok := idx.dict.Lookup(term)
+	return ok && idx.HasTermID(id, tid)
+}
+
+// TermFreqByID returns the frequency of term tid in document id (0 when
+// absent).
+func (idx *Index) TermFreqByID(id document.DocID, tid termdict.TermID) int {
+	tids := idx.DocTermIDs(id)
+	i := sort.Search(len(tids), func(i int) bool { return tids[i] >= tid })
+	if i < len(tids) && tids[i] == tid {
+		return int(idx.DocTermFreqs(id)[i])
+	}
+	return 0
 }
 
 // TermFreq returns the frequency of term in document id.
 func (idx *Index) TermFreq(id document.DocID, term string) int {
-	return idx.postings[term].Freq(id)
+	tid, ok := idx.dict.Lookup(term)
+	if !ok {
+		return 0
+	}
+	return idx.TermFreqByID(id, tid)
 }
+
+// IDFByID returns the precomputed smoothed inverse document frequency of
+// term tid.
+func (idx *Index) IDFByID(tid termdict.TermID) float64 { return idx.idf[tid] }
 
 // IDF returns the smoothed inverse document frequency
 // log(1 + N/df); 0 for unseen terms.
 func (idx *Index) IDF(term string) float64 {
-	df := idx.DocFreq(term)
-	if df == 0 {
+	tid, ok := idx.dict.Lookup(term)
+	if !ok {
 		return 0
 	}
-	return math.Log(1 + float64(idx.NumDocs())/float64(df))
+	return idx.idf[tid]
+}
+
+// TFIDFByID returns tf · idf for term tid in document id.
+func (idx *Index) TFIDFByID(id document.DocID, tid termdict.TermID) float64 {
+	tf := idx.TermFreqByID(id, tid)
+	if tf == 0 {
+		return 0
+	}
+	return float64(tf) * idx.idf[tid]
 }
 
 // TFIDF returns tf · idf for a term in a document, with raw term-frequency
 // weighting as used by the paper's setup ("the weight of each component is
 // the TF of the feature"; results ranked by "tfidf of the keywords").
 func (idx *Index) TFIDF(id document.DocID, term string) float64 {
-	tf := idx.TermFreq(id, term)
-	if tf == 0 {
+	tid, ok := idx.dict.Lookup(term)
+	if !ok {
 		return 0
 	}
-	return float64(tf) * idx.IDF(term)
+	return idx.TFIDFByID(id, tid)
 }
 
 // Vocabulary returns all indexed terms, sorted. Intended for tests and
 // debugging; it allocates.
 func (idx *Index) Vocabulary() []string {
-	terms := make([]string, 0, len(idx.postings))
-	for t := range idx.postings {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
-	return terms
+	return append([]string(nil), idx.dict.Terms()...)
 }
 
-// Validate checks internal invariants (postings sorted, doc frequencies
-// consistent with document term sets) and returns an error describing the
-// first violation. Used by tests and the property suite.
+// Validate checks internal invariants — dictionary strictly sorted, arena
+// offsets monotone and aligned, postings sorted with positive frequencies,
+// document term slices sorted and cross-consistent with the postings, IDF
+// table aligned with the dictionary — and returns an error describing the
+// first violation. Used by tests, the property suite and the snapshot
+// loader.
 func (idx *Index) Validate() error {
-	for term, plist := range idx.postings {
-		for i := 1; i < len(plist); i++ {
-			if plist[i-1].Doc >= plist[i].Doc {
-				return fmt.Errorf("postings for %q not strictly sorted at %d", term, i)
-			}
-		}
-		for _, p := range plist {
-			if p.Freq <= 0 {
-				return fmt.Errorf("non-positive freq for %q in doc %d", term, p.Doc)
-			}
-			if !idx.HasTerm(p.Doc, term) {
-				return fmt.Errorf("posting %q->%d missing from docTerms", term, p.Doc)
-			}
+	v := idx.dict.Len()
+	n := idx.NumDocs()
+	if !idx.dict.Sorted() {
+		return fmt.Errorf("dictionary not strictly sorted")
+	}
+	if len(idx.postOff) != v+1 || len(idx.docOff) != n+1 {
+		return fmt.Errorf("offset tables missized: %d postOff for %d terms, %d docOff for %d docs",
+			len(idx.postOff), v, len(idx.docOff), n)
+	}
+	if len(idx.idf) != v {
+		return fmt.Errorf("idf table has %d entries for %d terms", len(idx.idf), v)
+	}
+	if len(idx.postDocs) != len(idx.postFreqs) || len(idx.docTermIDs) != len(idx.docFreqs) {
+		return fmt.Errorf("arena slices misaligned: %d/%d postings, %d/%d doc terms",
+			len(idx.postDocs), len(idx.postFreqs), len(idx.docTermIDs), len(idx.docFreqs))
+	}
+	if v > 0 && (idx.postOff[0] != 0 || int(idx.postOff[v]) != len(idx.postDocs)) {
+		return fmt.Errorf("postings offsets do not span the arena")
+	}
+	if n > 0 && (idx.docOff[0] != 0 || int(idx.docOff[n]) != len(idx.docTermIDs)) {
+		return fmt.Errorf("doc offsets do not span the arena")
+	}
+	if len(idx.docLen) != n {
+		return fmt.Errorf("docLen has %d entries for %d docs", len(idx.docLen), n)
+	}
+	// Both offset tables must be fully monotone before any arena slicing:
+	// a later out-of-order entry would otherwise make an earlier slice
+	// expression panic on hostile (fuzzed or corrupt) snapshots.
+	for t := 0; t < v; t++ {
+		if idx.postOff[t] > idx.postOff[t+1] {
+			return fmt.Errorf("postings offsets not monotone at term %d", t)
 		}
 	}
-	for id, terms := range idx.docTerms {
-		freqs := idx.docFreqs[id]
-		if len(freqs) != len(terms) {
-			return fmt.Errorf("docFreqs of doc %d has %d entries for %d terms", id, len(freqs), len(terms))
+	for d := 0; d < n; d++ {
+		if idx.docOff[d] > idx.docOff[d+1] {
+			return fmt.Errorf("doc offsets not monotone at doc %d", d)
 		}
-		for i, term := range terms {
-			if !idx.postings[term].Contains(id) {
-				return fmt.Errorf("docTerm %q of doc %d missing from postings", term, id)
+	}
+	// The doc arena's TermIDs must be in dictionary range before the
+	// postings cross-checks below dereference them.
+	for j, tid := range idx.docTermIDs {
+		if tid < 0 || int(tid) >= v {
+			return fmt.Errorf("doc arena entry %d references term %d outside dictionary of %d", j, tid, v)
+		}
+	}
+	for t := 0; t < v; t++ {
+		docs := idx.PostingsDocs(termdict.TermID(t))
+		freqs := idx.PostingsFreqs(termdict.TermID(t))
+		for i := range docs {
+			if i > 0 && docs[i-1] >= docs[i] {
+				return fmt.Errorf("postings for %q not strictly sorted at %d", idx.dict.Term(termdict.TermID(t)), i)
 			}
-			if freqs[i] != idx.postings[term].Freq(id) {
+			if docs[i] < 0 || int(docs[i]) >= n {
+				return fmt.Errorf("posting for %q references doc %d outside corpus of %d", idx.dict.Term(termdict.TermID(t)), docs[i], n)
+			}
+			if freqs[i] == 0 {
+				return fmt.Errorf("non-positive freq for %q in doc %d", idx.dict.Term(termdict.TermID(t)), docs[i])
+			}
+			if got := idx.TermFreqByID(document.DocID(docs[i]), termdict.TermID(t)); got != int(freqs[i]) {
+				return fmt.Errorf("doc arena misaligned for %q in doc %d: %d vs posting %d",
+					idx.dict.Term(termdict.TermID(t)), docs[i], got, freqs[i])
+			}
+		}
+		want := math.Log(1 + float64(n)/float64(len(docs)))
+		if len(docs) == 0 {
+			want = 0
+		}
+		if idx.idf[t] != want {
+			return fmt.Errorf("idf for %q is %v, want %v", idx.dict.Term(termdict.TermID(t)), idx.idf[t], want)
+		}
+	}
+	for d := 0; d < n; d++ {
+		id := document.DocID(d)
+		tids := idx.DocTermIDs(id)
+		freqs := idx.DocTermFreqs(id)
+		for i, tid := range tids {
+			if i > 0 && tids[i-1] >= tid {
+				return fmt.Errorf("docTermIDs of doc %d not strictly sorted at %d", d, i)
+			}
+			docs := idx.PostingsDocs(tid)
+			j := sort.Search(len(docs), func(j int) bool { return docs[j] >= int32(d) })
+			if j >= len(docs) || docs[j] != int32(d) {
+				return fmt.Errorf("docTerm %q of doc %d missing from postings", idx.dict.Term(tid), d)
+			}
+			if idx.PostingsFreqs(tid)[j] != freqs[i] {
 				return fmt.Errorf("docFreqs misaligned for %q in doc %d: %d vs posting %d",
-					term, id, freqs[i], idx.postings[term].Freq(id))
+					idx.dict.Term(tid), d, freqs[i], idx.PostingsFreqs(tid)[j])
 			}
 		}
 	}

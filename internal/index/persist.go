@@ -4,25 +4,51 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/document"
+	"repro/internal/termdict"
 )
 
 // persistVersion guards the on-disk format; bump on incompatible change.
-const persistVersion = 1
+//
+// Version history:
+//
+//	1 — gob maps: Postings map[string]PostingList, DocTerms
+//	    map[document.DocID][]string, DocLen map. Read path: migrated to the
+//	    arena layout at load.
+//	2 — termdict + arenas: the dictionary's sorted vocabulary plus the flat
+//	    postings/doc-terms slices and their offset tables, exactly the
+//	    in-memory layout. Written by Save; IDF is recomputed at load (it is
+//	    a pure function of the stored document frequencies).
+const persistVersion = 2
 
 // snapshot is the gob-encoded form of an index together with its corpus.
 // The analyzer is not serialized (it contains function values); the loader
-// receives it explicitly and the snapshot records only which standard
-// pipeline was used, as a consistency check.
+// receives it explicitly. The struct carries the fields of every readable
+// version — gob ignores stream fields the decoder's struct lacks and leaves
+// absent fields zero, so one decode works for both v1 and v2 streams and
+// Version selects the interpretation.
 type snapshot struct {
-	Version  int
-	Docs     []document.Document
+	Version int
+	Docs    []document.Document
+
+	// Version 2: dictionary + arenas (the in-memory layout).
+	Terms      []string
+	PostDocs   []int32
+	PostFreqs  []uint16
+	PostOff    []int32
+	DocTermIDs []int32
+	DocFreqs   []uint16
+	DocOff     []int32
+	DocLens    []int32
+	TotalLen   int
+
+	// Version 1 legacy fields (read path only).
 	Postings map[string]PostingList
 	DocTerms map[document.DocID][]string
 	DocLen   map[document.DocID]int
-	TotalLen int
 }
 
 // encodeSnapshot writes a raw snapshot; split out so tests can craft
@@ -31,14 +57,20 @@ func encodeSnapshot(w io.Writer, snap *snapshot) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// Save writes the index (including its corpus) to w in gob format.
+// Save writes the index (including its corpus) to w as a version-2 snapshot:
+// the term dictionary and the flat arenas, verbatim.
 func (idx *Index) Save(w io.Writer) error {
 	snap := snapshot{
-		Version:  persistVersion,
-		Postings: idx.postings,
-		DocTerms: idx.docTerms,
-		DocLen:   idx.docLen,
-		TotalLen: idx.totalLen,
+		Version:    persistVersion,
+		Terms:      idx.dict.Terms(),
+		PostDocs:   idx.postDocs,
+		PostFreqs:  idx.postFreqs,
+		PostOff:    idx.postOff,
+		DocTermIDs: idx.docTermIDs,
+		DocFreqs:   idx.docFreqs,
+		DocOff:     idx.docOff,
+		DocLens:    idx.docLen,
+		TotalLen:   idx.totalLen,
 	}
 	for _, d := range idx.corpus.Docs() {
 		snap.Docs = append(snap.Docs, *d)
@@ -49,51 +81,173 @@ func (idx *Index) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads an index previously written by Save. The analyzer must be the
-// same pipeline the index was built with; queries analyzed differently will
-// not match the stored postings.
+// Load reads an index previously written by Save. Version-2 snapshots map
+// straight onto the arena layout; version-1 snapshots (the pre-termdict map
+// format) are migrated in memory; any other version is a versioned error.
+// The analyzer must be the same pipeline the index was built with; queries
+// analyzed differently will not match the stored postings.
 func Load(r io.Reader, analyzer *analysis.Analyzer) (*Index, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
-	}
-	if snap.Version != persistVersion {
-		return nil, fmt.Errorf("index: load: unsupported snapshot version %d", snap.Version)
 	}
 	corpus := document.NewCorpus()
 	for i := range snap.Docs {
 		d := snap.Docs[i]
 		corpus.Add(&d)
 	}
-	idx := &Index{
-		corpus:   corpus,
-		analyzer: analyzer,
-		postings: snap.Postings,
-		docTerms: snap.DocTerms,
-		docLen:   snap.DocLen,
-		totalLen: snap.TotalLen,
-	}
-	if idx.postings == nil {
-		idx.postings = map[string]PostingList{}
-	}
-	if idx.docTerms == nil {
-		idx.docTerms = map[document.DocID][]string{}
-	}
-	if idx.docLen == nil {
-		idx.docLen = map[document.DocID]int{}
-	}
-	// The snapshot format (version 1) does not carry the aligned frequency
-	// slices; rebuild them from the postings once at load time.
-	idx.docFreqs = make(map[document.DocID][]int, len(idx.docTerms))
-	for id, terms := range idx.docTerms {
-		freqs := make([]int, len(terms))
-		for i, term := range terms {
-			freqs[i] = idx.postings[term].Freq(id)
+	var idx *Index
+	var err error
+	switch snap.Version {
+	case 2:
+		idx = loadV2(corpus, analyzer, &snap)
+	case 1:
+		idx, err = migrateV1(corpus, analyzer, &snap)
+		if err != nil {
+			return nil, fmt.Errorf("index: load: corrupt snapshot: %w", err)
 		}
-		idx.docFreqs[id] = freqs
+	default:
+		return nil, fmt.Errorf("index: load: unsupported snapshot version %d (supported: 1, 2)", snap.Version)
 	}
 	if err := idx.Validate(); err != nil {
 		return nil, fmt.Errorf("index: load: corrupt snapshot: %w", err)
 	}
 	return idx, nil
+}
+
+// loadV2 wraps the stored arenas directly; only IDF is recomputed.
+func loadV2(corpus *document.Corpus, analyzer *analysis.Analyzer, snap *snapshot) *Index {
+	idx := &Index{
+		corpus:     corpus,
+		analyzer:   analyzer,
+		dict:       termdict.FromSorted(snap.Terms),
+		postDocs:   snap.PostDocs,
+		postFreqs:  snap.PostFreqs,
+		postOff:    snap.PostOff,
+		docTermIDs: snap.DocTermIDs,
+		docFreqs:   snap.DocFreqs,
+		docOff:     snap.DocOff,
+		docLen:     snap.DocLens,
+		totalLen:   snap.TotalLen,
+	}
+	idx.normalizeEmpty(corpus.Len())
+	// A corrupt stream can carry a mis-sized offset table; building IDF off
+	// it would panic before Validate gets to report the corruption. Leave the
+	// IDF table empty in that case — Validate flags the offsets.
+	if len(idx.postOff) == idx.dict.Len()+1 {
+		idx.buildIDF()
+	} else {
+		idx.idf = []float64{}
+	}
+	return idx
+}
+
+// migrateV1 rebuilds the arena layout from a version-1 snapshot's maps. The
+// stored postings are authoritative (v1 loads never re-analyzed the corpus),
+// so the migrated index is exactly the one the v1 loader produced, in the
+// new representation. A doc term with no posting list is corruption the old
+// loader also rejected — it is an error, not something to drop silently.
+func migrateV1(corpus *document.Corpus, analyzer *analysis.Analyzer, snap *snapshot) (*Index, error) {
+	n := corpus.Len()
+	terms := make([]string, 0, len(snap.Postings))
+	for term := range snap.Postings {
+		terms = append(terms, term)
+	}
+	dict := termdict.New(terms)
+
+	idx := &Index{
+		corpus:   corpus,
+		analyzer: analyzer,
+		dict:     dict,
+		docOff:   make([]int32, n+1),
+		docLen:   make([]int32, n),
+	}
+	for d := 0; d < n; d++ {
+		id := document.DocID(d)
+		docTerms := snap.DocTerms[id]
+		// v1 stored doc terms sorted lexicographically = ascending TermID.
+		for _, term := range docTerms {
+			tid, ok := dict.Lookup(term)
+			if !ok {
+				return nil, fmt.Errorf("docTerm %q of doc %d missing from postings", term, d)
+			}
+			f := snap.Postings[term].Freq(id)
+			if f <= 0 {
+				// Freq 0 = no posting for this doc; negative = corrupt data
+				// the uint16 conversion would otherwise wrap into a huge TF.
+				return nil, fmt.Errorf("docTerm %q of doc %d missing from postings", term, d)
+			}
+			if f > maxFreq {
+				f = maxFreq
+			}
+			idx.docTermIDs = append(idx.docTermIDs, tid)
+			idx.docFreqs = append(idx.docFreqs, uint16(f))
+		}
+		idx.docOff[d+1] = int32(len(idx.docTermIDs))
+		idx.docLen[d] = int32(snap.DocLen[id])
+	}
+	idx.totalLen = snap.TotalLen
+
+	idx.postOff = make([]int32, dict.Len()+1)
+	for t := 0; t < dict.Len(); t++ {
+		plist := snap.Postings[dict.Term(termdict.TermID(t))]
+		idx.postOff[t+1] = idx.postOff[t] + int32(len(plist))
+		for _, p := range plist {
+			f := p.Freq
+			if f <= 0 {
+				return nil, fmt.Errorf("non-positive freq for %q in doc %d", dict.Term(termdict.TermID(t)), p.Doc)
+			}
+			if f > maxFreq {
+				f = maxFreq
+			}
+			idx.postDocs = append(idx.postDocs, int32(p.Doc))
+			idx.postFreqs = append(idx.postFreqs, uint16(f))
+		}
+	}
+	idx.normalizeEmpty(n)
+	idx.buildIDF()
+	return idx, nil
+}
+
+// normalizeEmpty gives nil offset tables their minimal valid shape (gob
+// leaves empty slices nil), so Validate and the accessors never index into a
+// nil table.
+func (idx *Index) normalizeEmpty(n int) {
+	if idx.postOff == nil {
+		idx.postOff = make([]int32, idx.dict.Len()+1)
+	}
+	if idx.docOff == nil {
+		idx.docOff = make([]int32, n+1)
+	}
+	if idx.docLen == nil {
+		idx.docLen = make([]int32, n)
+	}
+}
+
+// legacySnapshotV1 renders the index in the version-1 map format. It exists
+// for the migration tests (and the checked-in v1 fixture): the writer for v1
+// is gone from Save, but the read path must keep understanding old files.
+func (idx *Index) legacySnapshotV1() *snapshot {
+	snap := &snapshot{
+		Version:  1,
+		Postings: map[string]PostingList{},
+		DocTerms: map[document.DocID][]string{},
+		DocLen:   map[document.DocID]int{},
+		TotalLen: idx.totalLen,
+	}
+	for _, d := range idx.corpus.Docs() {
+		snap.Docs = append(snap.Docs, *d)
+	}
+	for t := 0; t < idx.dict.Len(); t++ {
+		term := idx.dict.Term(termdict.TermID(t))
+		snap.Postings[term] = idx.Postings(term)
+	}
+	for d := 0; d < idx.NumDocs(); d++ {
+		id := document.DocID(d)
+		terms := idx.DocTerms(id)
+		sort.Strings(terms)
+		snap.DocTerms[id] = terms
+		snap.DocLen[id] = idx.DocLen(id)
+	}
+	return snap
 }

@@ -2,11 +2,65 @@ package index
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/document"
+	"repro/internal/termdict"
 )
+
+// equalIndexes asserts deep equality of two indexes: vocabulary, postings
+// (docs and freqs), document term arenas, lengths and IDF tables.
+func equalIndexes(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() || got.NumTerms() != want.NumTerms() {
+		t.Fatalf("stats differ: %d/%d docs, %d/%d terms",
+			got.NumDocs(), want.NumDocs(), got.NumTerms(), want.NumTerms())
+	}
+	if got.totalLen != want.totalLen {
+		t.Errorf("totalLen = %d, want %d", got.totalLen, want.totalLen)
+	}
+	for tnum := 0; tnum < want.NumTerms(); tnum++ {
+		tid := termdict.TermID(tnum)
+		term := want.TermByID(tid)
+		gtid, ok := got.LookupTerm(term)
+		if !ok || gtid != tid {
+			t.Fatalf("term %q: id %d,%v, want %d", term, gtid, ok, tid)
+		}
+		gd, wd := got.PostingsDocs(tid), want.PostingsDocs(tid)
+		gf, wf := got.PostingsFreqs(tid), want.PostingsFreqs(tid)
+		if len(gd) != len(wd) {
+			t.Fatalf("postings of %q: %d docs, want %d", term, len(gd), len(wd))
+		}
+		for i := range wd {
+			if gd[i] != wd[i] || gf[i] != wf[i] {
+				t.Fatalf("postings of %q differ at %d: (%d,%d) vs (%d,%d)",
+					term, i, gd[i], gf[i], wd[i], wf[i])
+			}
+		}
+		if got.IDFByID(tid) != want.IDFByID(tid) {
+			t.Errorf("IDF of %q differs: %v vs %v", term, got.IDFByID(tid), want.IDFByID(tid))
+		}
+	}
+	for d := 0; d < want.NumDocs(); d++ {
+		id := document.DocID(d)
+		gt, wt := got.DocTermIDs(id), want.DocTermIDs(id)
+		gf, wf := got.DocTermFreqs(id), want.DocTermFreqs(id)
+		if len(gt) != len(wt) {
+			t.Fatalf("doc %d: %d terms, want %d", d, len(gt), len(wt))
+		}
+		for i := range wt {
+			if gt[i] != wt[i] || gf[i] != wf[i] {
+				t.Fatalf("doc %d terms differ at %d", d, i)
+			}
+		}
+		if got.DocLen(id) != want.DocLen(id) {
+			t.Errorf("DocLen(%d) = %d, want %d", d, got.DocLen(id), want.DocLen(id))
+		}
+	}
+}
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	orig := buildTestIndex(t)
@@ -18,15 +72,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.NumDocs() != orig.NumDocs() || loaded.NumTerms() != orig.NumTerms() {
-		t.Fatalf("stats differ: %d/%d docs, %d/%d terms",
-			loaded.NumDocs(), orig.NumDocs(), loaded.NumTerms(), orig.NumTerms())
-	}
-	for _, term := range orig.Vocabulary() {
-		if loaded.DocFreq(term) != orig.DocFreq(term) {
-			t.Errorf("DocFreq(%q) differs", term)
-		}
-	}
+	equalIndexes(t, loaded, orig)
 	// Corpus round-trips including triplets.
 	doc := loaded.Corpus().Get(3)
 	if doc == nil || len(doc.Triplets) != 1 {
@@ -37,27 +83,114 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadV1Migration pins the legacy read path: a version-1 (map-format)
+// snapshot loads through the migration and is indistinguishable from the
+// arena-built index.
+func TestLoadV1Migration(t *testing.T) {
+	orig := buildTestIndex(t)
+	var buf bytes.Buffer
+	if err := encodeSnapshot(&buf, orig.legacySnapshotV1()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, analysis.Simple())
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	equalIndexes(t, loaded, orig)
+	if err := loaded.Validate(); err != nil {
+		t.Errorf("Validate after v1 migration: %v", err)
+	}
+}
+
+const v1FixturePath = "testdata/snapshot_v1.gob"
+
+// TestV1FixtureMigration loads the checked-in version-1 snapshot — written
+// by the pre-termdict format (regenerate with QEC_WRITE_V1_FIXTURE=1, which
+// re-encodes buildTestIndex through the legacy layout) — and verifies the
+// migration reproduces the index built fresh from the same corpus.
+func TestV1FixtureMigration(t *testing.T) {
+	if os.Getenv("QEC_WRITE_V1_FIXTURE") != "" {
+		if err := os.MkdirAll(filepath.Dir(v1FixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := encodeSnapshot(&buf, buildTestIndex(t).legacySnapshotV1()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(v1FixturePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", v1FixturePath, buf.Len())
+	}
+	data, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("fixture missing (regenerate with QEC_WRITE_V1_FIXTURE=1): %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(data), analysis.Simple())
+	if err != nil {
+		t.Fatalf("v1 fixture rejected: %v", err)
+	}
+	equalIndexes(t, loaded, buildTestIndex(t))
+}
+
+// TestLoadV1RejectsOrphanDocTerm pins that migration keeps the old loader's
+// strictness: a v1 snapshot whose DocTerms lists a term with no posting list
+// is corrupt and must be rejected, not silently dropped.
+func TestLoadV1RejectsOrphanDocTerm(t *testing.T) {
+	snap := buildTestIndex(t).legacySnapshotV1()
+	snap.DocTerms[0] = append(snap.DocTerms[0], "zzz-orphan")
+	var buf bytes.Buffer
+	if err := encodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, analysis.Simple())
+	if err == nil {
+		t.Fatal("orphan doc term accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("missing from postings")) {
+		t.Errorf("error %q does not mention the orphan", err)
+	}
+}
+
+// TestLoadV1RejectsNonPositiveFreq pins that migration rejects corrupt v1
+// frequencies instead of wrapping them through the uint16 conversion.
+func TestLoadV1RejectsNonPositiveFreq(t *testing.T) {
+	snap := buildTestIndex(t).legacySnapshotV1()
+	for term, plist := range snap.Postings {
+		plist[0].Freq = -1
+		snap.Postings[term] = plist
+		break
+	}
+	var buf bytes.Buffer
+	if err := encodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, analysis.Simple()); err == nil {
+		t.Fatal("negative v1 freq accepted (uint16 wrap)")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a gob stream")), analysis.Simple()); err == nil {
 		t.Error("garbage input accepted")
 	}
 }
 
-func TestLoadRejectsWrongVersion(t *testing.T) {
-	orig := buildTestIndex(t)
-	var buf bytes.Buffer
-	if err := orig.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	// Re-encode with a bumped version by decoding into the raw snapshot.
-	// Simpler: corrupt via a fresh snapshot with wrong version.
-	var corrupted bytes.Buffer
-	bad := snapshot{Version: persistVersion + 1}
-	if err := encodeSnapshot(&corrupted, &bad); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Load(&corrupted, analysis.Simple()); err == nil {
-		t.Error("wrong version accepted")
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	for _, version := range []int{0, persistVersion + 1, 99} {
+		var buf bytes.Buffer
+		bad := snapshot{Version: version}
+		if err := encodeSnapshot(&buf, &bad); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf, analysis.Simple())
+		if err == nil {
+			t.Errorf("version %d accepted", version)
+			continue
+		}
+		if want := "unsupported snapshot version"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Errorf("version %d: error %q does not mention %q", version, err, want)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"strings"
+	"testing"
+)
+
+// corrupt builds a fresh test index, applies the mutation, and asserts that
+// Validate reports an error mentioning want.
+func corrupt(t *testing.T, want string, mutate func(*Index)) {
+	t.Helper()
+	idx := buildTestIndex(t)
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("fresh index invalid: %v", err)
+	}
+	mutate(idx)
+	err := idx.Validate()
+	if err == nil {
+		t.Fatalf("corruption undetected (want error containing %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestValidateDetectsUnsortedDict(t *testing.T) {
+	corrupt(t, "not strictly sorted", func(idx *Index) {
+		terms := idx.dict.Terms()
+		terms[0], terms[1] = terms[1], terms[0]
+	})
+}
+
+func TestValidateDetectsMisalignedArenas(t *testing.T) {
+	corrupt(t, "misaligned", func(idx *Index) {
+		idx.docFreqs = idx.docFreqs[:len(idx.docFreqs)-1]
+	})
+}
+
+func TestValidateDetectsNonMonotonePostOff(t *testing.T) {
+	corrupt(t, "not monotone", func(idx *Index) {
+		idx.postOff[1] = idx.postOff[len(idx.postOff)-1] + 5
+		idx.postOff[2] = 0
+	})
+}
+
+func TestValidateDetectsDocFreqMismatch(t *testing.T) {
+	corrupt(t, "misaligned", func(idx *Index) {
+		idx.docFreqs[0]++
+	})
+}
+
+func TestValidateDetectsZeroFreq(t *testing.T) {
+	corrupt(t, "non-positive freq", func(idx *Index) {
+		idx.postFreqs[0] = 0
+	})
+}
+
+func TestValidateDetectsIDFDrift(t *testing.T) {
+	corrupt(t, "idf", func(idx *Index) {
+		idx.idf[0] *= 2
+	})
+}
+
+func TestValidateDetectsOutOfRangeDocTerm(t *testing.T) {
+	corrupt(t, "outside dictionary", func(idx *Index) {
+		idx.docTermIDs[0] = int32(idx.NumTerms()) + 7
+	})
+}

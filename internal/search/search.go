@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/index"
+	"repro/internal/termdict"
 )
 
 // Semantics selects how multiple keywords combine.
@@ -127,42 +128,61 @@ func (e *Engine) Index() *index.Index { return e.idx }
 // An empty AND query matches every document; an empty OR query matches none.
 func (e *Engine) Eval(q Query, sem Semantics) document.DocSet {
 	if sem == Or {
-		return e.evalOr(q)
+		return e.evalOr(e.resolveTerms(q))
 	}
 	return e.evalAnd(q)
 }
 
+// resolveTerms interns q's terms through the index's global term dictionary,
+// once per evaluation. Terms outside the corpus vocabulary resolve to
+// termdict.NoTerm (they match no document).
+func (e *Engine) resolveTerms(q Query) []termdict.TermID {
+	tids := make([]termdict.TermID, len(q.Terms))
+	for i, t := range q.Terms {
+		tid, ok := e.idx.LookupTerm(t)
+		if !ok {
+			tid = termdict.NoTerm
+		}
+		tids[i] = tid
+	}
+	return tids
+}
+
 // evalAndIDs returns the AND result as ascending document IDs, via a
-// sorted-postings merge: postings are intersected smallest-first, each round
-// advancing through the longer list with a galloping search from the current
-// merge position, so no intermediate map is allocated or deleted from.
-func (e *Engine) evalAndIDs(q Query) []document.DocID {
-	if len(q.Terms) == 0 {
+// sorted-postings merge over the raw []int32 arena slices: postings are
+// intersected smallest-first, each round advancing through the longer list
+// with a galloping search from the current merge position, so no
+// intermediate map (or string lookup) happens inside the merge.
+func (e *Engine) evalAndIDs(tids []termdict.TermID) []document.DocID {
+	if len(tids) == 0 {
 		all := make([]document.DocID, e.idx.NumDocs())
 		for i := range all {
 			all[i] = document.DocID(i)
 		}
 		return all
 	}
-	lists := make([]index.PostingList, len(q.Terms))
-	for i, t := range q.Terms {
-		lists[i] = e.idx.Postings(t)
+	lists := make([][]int32, len(tids))
+	for i, tid := range tids {
+		if tid == termdict.NoTerm {
+			return nil
+		}
+		lists[i] = e.idx.PostingsDocs(tid)
 		if len(lists[i]) == 0 {
 			return nil
 		}
 	}
 	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
 	cands := make([]document.DocID, len(lists[0]))
-	for i, p := range lists[0] {
-		cands[i] = p.Doc
+	for i, d := range lists[0] {
+		cands[i] = document.DocID(d)
 	}
 	for _, plist := range lists[1:] {
 		out := cands[:0]
 		j := 0
 		for _, id := range cands {
-			k := sort.Search(len(plist)-j, func(i int) bool { return plist[j+i].Doc >= id })
+			k := sort.Search(len(plist)-j, func(i int) bool { return plist[j+i] >= int32(id) })
 			j += k
-			if j < len(plist) && plist[j].Doc == id {
+			if j < len(plist) && plist[j] == int32(id) {
 				out = append(out, id)
 				j++
 			}
@@ -176,7 +196,7 @@ func (e *Engine) evalAndIDs(q Query) []document.DocID {
 }
 
 func (e *Engine) evalAnd(q Query) document.DocSet {
-	ids := e.evalAndIDs(q)
+	ids := e.evalAndIDs(e.resolveTerms(q))
 	out := make(document.DocSet, len(ids))
 	for _, id := range ids {
 		out.Add(id)
@@ -184,24 +204,27 @@ func (e *Engine) evalAnd(q Query) document.DocSet {
 	return out
 }
 
-func (e *Engine) evalOr(q Query) document.DocSet {
+func (e *Engine) evalOr(tids []termdict.TermID) document.DocSet {
 	out := document.DocSet{}
-	for _, t := range q.Terms {
-		for _, p := range e.idx.Postings(t) {
-			out.Add(p.Doc)
+	for _, tid := range tids {
+		if tid == termdict.NoTerm {
+			continue
+		}
+		for _, d := range e.idx.PostingsDocs(tid) {
+			out.Add(document.DocID(d))
 		}
 	}
 	return out
 }
 
-// Score returns the TF-IDF relevance score of document id for query q:
-// the sum of tf·idf over the query terms, normalized by document length.
-// This is the ranking the experimental setup describes ("the results are
-// ranked using tfidf of the keywords").
-func (e *Engine) Score(id document.DocID, q Query) float64 {
+// scoreIDs is Score over pre-resolved TermIDs — the per-result ranking cost
+// of Search, free of string lookups.
+func (e *Engine) scoreIDs(id document.DocID, tids []termdict.TermID) float64 {
 	s := 0.0
-	for _, t := range q.Terms {
-		s += e.idx.TFIDF(id, t)
+	for _, tid := range tids {
+		if tid != termdict.NoTerm {
+			s += e.idx.TFIDFByID(id, tid)
+		}
 	}
 	if n := e.idx.DocLen(id); n > 0 {
 		s /= 1 + float64(n)/e.idx.AvgDocLen()
@@ -209,23 +232,32 @@ func (e *Engine) Score(id document.DocID, q Query) float64 {
 	return s
 }
 
+// Score returns the TF-IDF relevance score of document id for query q:
+// the sum of tf·idf over the query terms, normalized by document length.
+// This is the ranking the experimental setup describes ("the results are
+// ranked using tfidf of the keywords").
+func (e *Engine) Score(id document.DocID, q Query) float64 {
+	return e.scoreIDs(id, e.resolveTerms(q))
+}
+
 // Search evaluates q and returns results ranked by descending TF-IDF score
 // (ties broken by ascending DocID for determinism). topK <= 0 returns all.
-// The AND path scores straight off the merged posting IDs — no intermediate
-// set is materialized.
+// Query strings are resolved to TermIDs once; the AND path scores straight
+// off the merged posting IDs — no intermediate set is materialized.
 func (e *Engine) Search(q Query, sem Semantics, topK int) []Result {
+	tids := e.resolveTerms(q)
 	var results []Result
 	if sem == And {
-		ids := e.evalAndIDs(q)
+		ids := e.evalAndIDs(tids)
 		results = make([]Result, 0, len(ids))
 		for _, id := range ids {
-			results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+			results = append(results, Result{Doc: id, Score: e.scoreIDs(id, tids)})
 		}
 	} else {
-		set := e.evalOr(q)
+		set := e.evalOr(tids)
 		results = make([]Result, 0, set.Len())
 		for id := range set {
-			results = append(results, Result{Doc: id, Score: e.Score(id, q)})
+			results = append(results, Result{Doc: id, Score: e.scoreIDs(id, tids)})
 		}
 	}
 	sort.Slice(results, func(i, j int) bool {

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	qec "repro"
+)
+
+// benchWire drives one endpoint through the handler directly (recorder, no
+// sockets) with a warm expansion cache, so the measured cost is the wire
+// layer — decode, dispatch, encode — not the expansion pipeline or the HTTP
+// client. The allocs/op of these benches is what the pooled request/response
+// buffers exist to keep down.
+func benchWire(b *testing.B, path, body string) {
+	eng := ambiguousEngine(b, qec.WithExpansionCache(64))
+	h := New(eng, Options{}).Handler()
+	do := func() {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+	do() // populate the expansion cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+}
+
+func BenchmarkWireExpandCached(b *testing.B) {
+	benchWire(b, "/expand", `{"query":"apple","k":2}`)
+}
+
+func BenchmarkWireSearch(b *testing.B) {
+	benchWire(b, "/search", `{"query":"apple","top_k":5}`)
+}

@@ -17,14 +17,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
-	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -323,16 +325,40 @@ func (s *Server) allowMethod(w http.ResponseWriter, r *http.Request, method stri
 	return false
 }
 
+// wireBuf is the per-request scratch the wire layer recycles: the request
+// body is slurped into body and decoded off it in one shot through the
+// resettable reader, and the response is encoded into out and written with
+// an explicit Content-Length. At steady state neither buffer reallocates, no
+// per-request buffered reader grows against the socket, and responses skip
+// chunked encoding (one Write, one syscall).
+type wireBuf struct {
+	body bytes.Buffer
+	out  bytes.Buffer
+	rdr  bytes.Reader
+}
+
+var bufPool = sync.Pool{New: func() any { return new(wireBuf) }}
+
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	wb := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(wb)
+	wb.body.Reset()
+	if _, err := wb.body.ReadFrom(body); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
 			s.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 			return false
 		}
+		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return false
+	}
+	// Decode straight off the pooled bytes; the JSON decoder copies what it
+	// keeps (strings), so recycling the buffer after return is safe.
+	wb.rdr.Reset(wb.body.Bytes())
+	dec := json.NewDecoder(&wb.rdr)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return false
 	}
@@ -340,14 +366,21 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		s.writeError(w, http.StatusBadRequest, "invalid JSON body: trailing data")
 		return false
 	}
-	_, _ = io.Copy(io.Discard, body)
 	return true
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	wb := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(wb)
+	wb.out.Reset()
+	if err := json.NewEncoder(&wb.out).Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(wb.out.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(wb.out.Bytes())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,93 @@
+// Package termdict implements the corpus-global term dictionary: a bijection
+// between the vocabulary of an index and dense int32 TermIDs assigned in
+// lexicographic order.
+//
+// Lexicographic assignment is the load-bearing property. Every layer above
+// the index already assumes "sorted terms" somewhere — the clustering
+// substrate interns per-run vocabularies in lexicographic order so merge-join
+// dot products accumulate like the historical sorted-map loops, and the
+// expansion core's pool keywords are interned in lexicographic (= sorted
+// Pool slice) order. Because TermIDs ascend exactly when their terms do,
+// iterating any structure in ascending TermID order reproduces the sorted-
+// term iteration those layers were calibrated against, keeping floating-point
+// accumulations bit-identical. It also makes dictionaries mergeable: two
+// dictionaries over the same vocabulary are the same dictionary.
+package termdict
+
+import "sort"
+
+// TermID is a dense index into a Dict's vocabulary. It is an alias (not a
+// defined type) so TermID slices interoperate directly with the []int32
+// dense-ID machinery of the expansion core and the postings arena without
+// conversion copies.
+type TermID = int32
+
+// NoTerm is the sentinel for "term not in the dictionary".
+const NoTerm TermID = -1
+
+// Dict is an immutable term dictionary. Construct with New or FromSorted;
+// after construction it is safe for concurrent readers.
+type Dict struct {
+	terms []string
+	ids   map[string]TermID
+}
+
+// New builds a dictionary over terms (deduplicated, sorted). TermIDs are
+// assigned in lexicographic order: Lookup(terms[i]) < Lookup(terms[j]) iff
+// terms[i] < terms[j].
+func New(terms []string) *Dict {
+	uniq := make([]string, len(terms))
+	copy(uniq, terms)
+	sort.Strings(uniq)
+	n := 0
+	for i, t := range uniq {
+		if i == 0 || t != uniq[n-1] {
+			uniq[n] = t
+			n++
+		}
+	}
+	return FromSorted(uniq[:n:n])
+}
+
+// FromSorted wraps an already-sorted, duplicate-free term slice without
+// copying it. The caller must not mutate the slice afterwards; sortedness is
+// the caller's responsibility (Index.Validate re-checks it for snapshots).
+func FromSorted(terms []string) *Dict {
+	d := &Dict{terms: terms, ids: make(map[string]TermID, len(terms))}
+	for i, t := range terms {
+		d.ids[t] = TermID(i)
+	}
+	return d
+}
+
+// Lookup returns the TermID of term, or (NoTerm, false) when absent.
+func (d *Dict) Lookup(term string) (TermID, bool) {
+	id, ok := d.ids[term]
+	if !ok {
+		return NoTerm, false
+	}
+	return id, true
+}
+
+// Term returns the term of an ID. Panics on out-of-range IDs, matching slice
+// semantics — callers hold IDs they obtained from this dictionary.
+func (d *Dict) Term(id TermID) string { return d.terms[id] }
+
+// Len returns the vocabulary size (the exclusive upper bound on TermIDs).
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Terms returns the vocabulary in TermID (= lexicographic) order. The slice
+// is the dictionary's backing store: callers must treat it as read-only.
+func (d *Dict) Terms() []string { return d.terms }
+
+// Sorted reports whether the backing vocabulary really is strictly sorted —
+// the invariant FromSorted trusts. Used by Index.Validate on loaded
+// snapshots, where the terms arrive from disk.
+func (d *Dict) Sorted() bool {
+	for i := 1; i < len(d.terms); i++ {
+		if d.terms[i-1] >= d.terms[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package termdict
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestNewAssignsLexicographicIDs(t *testing.T) {
+	d := New([]string{"zebra", "apple", "mango", "apple", "kiwi"})
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (dedup)", d.Len())
+	}
+	want := []string{"apple", "kiwi", "mango", "zebra"}
+	for i, term := range want {
+		id, ok := d.Lookup(term)
+		if !ok || id != TermID(i) {
+			t.Errorf("Lookup(%q) = %d,%v, want %d", term, id, ok, i)
+		}
+		if d.Term(TermID(i)) != term {
+			t.Errorf("Term(%d) = %q, want %q", i, d.Term(TermID(i)), term)
+		}
+	}
+	if !sort.StringsAreSorted(d.Terms()) {
+		t.Error("Terms() not sorted")
+	}
+	if !d.Sorted() {
+		t.Error("Sorted() = false on a New dictionary")
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	d := New([]string{"a", "b"})
+	if id, ok := d.Lookup("c"); ok || id != NoTerm {
+		t.Errorf("Lookup(missing) = %d,%v, want NoTerm,false", id, ok)
+	}
+}
+
+func TestEmptyDict(t *testing.T) {
+	d := New(nil)
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+	if _, ok := d.Lookup("x"); ok {
+		t.Error("Lookup on empty dict reported present")
+	}
+}
+
+// TestDeterministicAndMergeable pins the property ISKR/PEBC tie-breaking and
+// the cluster layer rely on: the ID assignment is a pure function of the
+// vocabulary set, independent of input order.
+func TestDeterministicAndMergeable(t *testing.T) {
+	a := New([]string{"m", "a", "z", "k"})
+	b := New([]string{"z", "k", "m", "a", "a"})
+	if a.Len() != b.Len() {
+		t.Fatalf("Len differs: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Term(TermID(i)) != b.Term(TermID(i)) {
+			t.Errorf("Term(%d) differs: %q vs %q", i, a.Term(TermID(i)), b.Term(TermID(i)))
+		}
+	}
+}
+
+func TestFromSortedSharesSliceAndDetectsUnsorted(t *testing.T) {
+	terms := []string{"a", "b", "c"}
+	d := FromSorted(terms)
+	if d.Len() != 3 || !d.Sorted() {
+		t.Fatalf("FromSorted: Len=%d Sorted=%v", d.Len(), d.Sorted())
+	}
+	bad := FromSorted([]string{"b", "a"})
+	if bad.Sorted() {
+		t.Error("Sorted() = true on unsorted input")
+	}
+	dup := FromSorted([]string{"a", "a"})
+	if dup.Sorted() {
+		t.Error("Sorted() = true on duplicated input")
+	}
+}
