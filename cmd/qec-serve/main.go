@@ -13,6 +13,13 @@
 // computation, so a hot ambiguous query ("apple", "jaguar") costs one
 // k-means + ISKR run no matter how many users issue it at once.
 //
+// -quality sets the default clustering quality mode for expand requests that
+// don't pin one ("exact" keeps the bit-identical 5-restart pipeline;
+// "serving" trades a small deterministic accuracy delta for latency —
+// fewer restarts, bound-pruned assignment, early restart abandonment):
+//
+//	qec-serve -dataset wikipedia -quality serving
+//
 // With -pprof-addr a net/http/pprof debug listener starts on a separate
 // address (off by default), so serving hot paths can be profiled in place:
 //
@@ -52,9 +59,15 @@ func main() {
 		cacheSize  = flag.Int("cache", 1024, "expansion cache capacity in entries (0 disables)")
 		workers    = flag.Int("workers", 0, "max concurrent expansions (0 = 2x GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		quality    = flag.String("quality", "exact", "default clustering quality for expand requests that don't set one: exact or serving")
 		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof debug listener address (empty disables)")
 	)
 	flag.Parse()
+
+	defQuality, ok := qec.ParseQuality(*quality)
+	if !ok {
+		log.Fatalf("unknown -quality %q (want exact or serving)", *quality)
+	}
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
@@ -94,10 +107,12 @@ func main() {
 	srv := server.New(eng, server.Options{
 		RequestTimeout: *timeout,
 		MaxConcurrent:  *workers,
+		DefaultQuality: defQuality,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving on %s (cache %d entries, timeout %v)", *addr, *cacheSize, *timeout)
+	log.Printf("serving on %s (cache %d entries, timeout %v, quality %s)",
+		*addr, *cacheSize, *timeout, defQuality)
 	if err := srv.Run(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}

@@ -62,15 +62,45 @@
 // galloping merge; candidate-pool scoring accumulates TF-IDF in a flat
 // []float64 indexed by TermID (no string map anywhere on the hot path).
 //
-// The clustering hot path runs on sparse vectors whose ID space is the
-// global TermID space — a document's vector shares the index's term arena
-// slice directly, with no per-run dictionary interning. Dot products
-// merge-join the sorted ID slices and each vector's norm is cached at
-// construction. K-means assignment, the k-means++ D² scan and restarts
-// execute concurrently across GOMAXPROCS workers, while every
-// floating-point reduction is accumulated serially in index order — so
-// expansion results are bit-identical for a fixed engine seed no matter
-// the core count.
+// The clustering hot path runs on sparse points against dense centroids,
+// both over the global TermID space. A document's vector shares the index's
+// term arena slice directly (no per-run dictionary interning) with its norm
+// cached at construction; a k-means centroid is a dense []float64 over the
+// vocabulary with its sorted support tracked, so each point·centroid
+// distance is a gather over the point's IDs — cells the sparse merge-join
+// would skip read an exact 0.0, and adding w·0 to a non-negative partial
+// sum never changes its bits, which is why the gather is bit-identical to
+// the merge-join it replaced. K-means assignment and the k-means++ D² scan
+// execute concurrently across GOMAXPROCS workers with serial index-order
+// reductions; restarts advance in deterministic lockstep rounds.
+//
+// # Clustering quality modes
+//
+// ExpandOptions.Quality selects the clustering speed/accuracy trade, with a
+// distinct determinism contract per mode:
+//
+//   - QualityExact (default): the full restart budget with every distance
+//     computed. Contract: bit identity — for a fixed seed the clustering
+//     equals the historical implementation's output down to the last float
+//     bit, regardless of worker count (pinned by the kmeans and expansion
+//     golden files). Experiments and golden captures always use this mode.
+//   - QualityServing: at most two restarts; assignment is Hamerly-style
+//     single-bound pruned in chord space (lossless — a property test pins
+//     pruned runs to the unpruned clustering bit for bit); and a restart
+//     whose running distortion already exceeds the best completed restart
+//     is abandoned. Abandonment is the accuracy trade: distortion is not
+//     strictly monotone under the cosine/mean update, so occasionally the
+//     abandoned restart would have won (never yielding a better-than-exact
+//     result — the winner comes from a subset of the identical restarts).
+//     Contract: determinism — a fixed seed yields the identical clustering
+//     on every run and worker count, because restarts advance in lockstep
+//     rounds and abandonment decisions are a pure function of iteration
+//     counts, never of goroutine timing.
+//
+// Quality is part of the expansion cache key (see expandKey), so cached
+// engines serve both modes side by side; the server maps the wire field
+// "quality" ("exact"/"serving") onto it, with qec-serve -quality supplying
+// the fleet default.
 //
 // The expansion core works in a problem-local dense ID space: universe
 // documents map to 0..n-1 in ascending DocID order, pool keywords intern to

@@ -46,45 +46,18 @@ func clusterFrequencies(idx *index.Index, cl *cluster.Clustering) []int32 {
 	return cf
 }
 
-// csScratch holds the vocabulary-sized TF buffer the label computation
-// accumulates into, reused across the per-cluster labels of one Suggest
-// (epoch-stamped resets, like cluster's centroid scratch — first touch of a
-// cell in a new epoch zero-initializes it, so totals match a fresh buffer).
-type csScratch struct {
-	tf      []float64
-	stamp   []uint32
-	epoch   uint32
-	touched []termdict.TermID
-}
-
-// reset prepares the scratch for one cluster over a v-term vocabulary.
-func (s *csScratch) reset(v int) {
-	if len(s.tf) < v {
-		s.tf = make([]float64, v)
-		s.stamp = make([]uint32, v)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch == 0 { // wrapped: stale stamps could collide, clear them
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.epoch = 1
-	}
-	s.touched = s.touched[:0]
-}
-
 // Label returns the top TFICF words of cluster ci within the clustering.
 func (c *CS) Label(idx *index.Index, cl *cluster.Clustering, ci int, uq search.Query) []string {
-	return c.labelWithCF(idx, cl, ci, uq, clusterFrequencies(idx, cl), new(csScratch))
+	return c.labelWithCF(idx, cl, ci, uq, clusterFrequencies(idx, cl), new(termdict.DenseScratch))
 }
 
 // labelWithCF is Label with the cluster frequencies precomputed and the TF
-// scratch shared, so Suggest pays the all-clusters scan and the vocabulary-
-// sized allocation once instead of once per cluster (the old per-Label
-// recomputation was O(k²) document scans).
+// scratch (the shared epoch-stamped termdict.DenseScratch) reused, so
+// Suggest pays the all-clusters scan and the vocabulary-sized allocation
+// once instead of once per cluster (the old per-Label recomputation was
+// O(k²) document scans).
 func (c *CS) labelWithCF(idx *index.Index, cl *cluster.Clustering, ci int,
-	uq search.Query, cf []int32, s *csScratch) []string {
+	uq search.Query, cf []int32, s *termdict.DenseScratch) []string {
 
 	n := c.LabelSize
 	if n <= 0 {
@@ -94,22 +67,17 @@ func (c *CS) labelWithCF(idx *index.Index, cl *cluster.Clustering, ci int,
 	// Term frequency within the target cluster, in a flat TermID table —
 	// documents in ascending order, terms ascending within each document,
 	// the same summation order as the old sorted-term map walk.
-	s.reset(idx.NumTerms())
+	s.Reset(idx.NumTerms())
 	for _, id := range cl.Clusters[ci] {
 		tids := idx.DocTermIDs(id)
 		freqs := idx.DocTermFreqs(id)
 		for i, tid := range tids {
-			if s.stamp[tid] != s.epoch {
-				s.stamp[tid] = s.epoch
-				s.tf[tid] = 0
-				s.touched = append(s.touched, tid)
-			}
-			s.tf[tid] += float64(freqs[i])
+			s.Add(tid, float64(freqs[i]))
 		}
 	}
 	qt := queryTermIDs(idx, uq)
-	ranked := make([]termdict.TermID, 0, len(s.touched))
-	for _, tid := range s.touched {
+	ranked := make([]termdict.TermID, 0, len(s.Touched))
+	for _, tid := range s.Touched {
 		skip := false
 		for _, q := range qt {
 			if q == tid {
@@ -118,15 +86,15 @@ func (c *CS) labelWithCF(idx *index.Index, cl *cluster.Clustering, ci int,
 			}
 		}
 		if !skip {
-			// tf is dead after ranking, so the TFICF score overwrites it in
-			// place — no second vocabulary-sized buffer.
-			s.tf[tid] *= math.Log(1 + k/float64(cf[tid]))
+			// The TF cell is dead after ranking, so the TFICF score
+			// overwrites it in place — no second vocabulary-sized buffer.
+			s.Vals[tid] *= math.Log(1 + k/float64(cf[tid]))
 			ranked = append(ranked, tid)
 		}
 	}
 	sort.Slice(ranked, func(i, j int) bool {
-		if s.tf[ranked[i]] != s.tf[ranked[j]] {
-			return s.tf[ranked[i]] > s.tf[ranked[j]]
+		if s.Vals[ranked[i]] != s.Vals[ranked[j]] {
+			return s.Vals[ranked[i]] > s.Vals[ranked[j]]
 		}
 		return ranked[i] < ranked[j] // TermID order = lexicographic order
 	})
@@ -145,7 +113,7 @@ func (c *CS) labelWithCF(idx *index.Index, cl *cluster.Clustering, ci int,
 // TF scratch reused across every cluster's label.
 func (c *CS) Suggest(idx *index.Index, cl *cluster.Clustering, uq search.Query) []search.Query {
 	cf := clusterFrequencies(idx, cl)
-	scratch := new(csScratch)
+	scratch := new(termdict.DenseScratch)
 	out := make([]search.Query, 0, cl.K())
 	for ci := range cl.Clusters {
 		q := uq

@@ -21,16 +21,10 @@ import (
 )
 
 // queryTermIDs resolves a query's terms through the index dictionary,
-// dropping out-of-corpus terms, sorted ascending for merge-style skips.
+// dropping out-of-corpus terms, sorted ascending for merge-style skips — a
+// thin wrapper over the shared termdict helper.
 func queryTermIDs(idx *index.Index, q search.Query) []termdict.TermID {
-	out := make([]termdict.TermID, 0, len(q.Terms))
-	for _, t := range q.Terms {
-		if tid, ok := idx.LookupTerm(t); ok {
-			out = append(out, tid)
-		}
-	}
-	slices.Sort(out)
-	return out
+	return termdict.ResolveSorted(idx.Dict(), q.Terms)
 }
 
 // DataClouds reproduces Koutrika et al. (EDBT 2009) as described by the
@@ -54,7 +48,7 @@ func (d *DataClouds) Suggest(idx *index.Index, results []search.Result, uq searc
 	if topK <= 0 {
 		topK = 3
 	}
-	qt := queryTermIDs(idx, uq)
+	skip := termdict.SkipList{IDs: queryTermIDs(idx, uq)}
 	scores := make([]float64, idx.NumTerms())
 	var touched []termdict.TermID
 	for _, res := range results {
@@ -64,12 +58,9 @@ func (d *DataClouds) Suggest(idx *index.Index, results []search.Result, uq searc
 		}
 		tids := idx.DocTermIDs(res.Doc)
 		freqs := idx.DocTermFreqs(res.Doc)
-		qi := 0
+		skip.Reset()
 		for i, tid := range tids {
-			for qi < len(qt) && qt[qi] < tid {
-				qi++
-			}
-			if qi < len(qt) && qt[qi] == tid {
+			if skip.Contains(tid) {
 				continue // the user query's own terms never expand it
 			}
 			// Contributions are strictly positive (tf ≥ 1, IDF > 0, rank > 0),

@@ -72,23 +72,28 @@ func BenchmarkVectorFromDoc(b *testing.B) {
 	}
 }
 
-// BenchmarkKMeansAssign measures one parallel assignment step (n points × k
-// centroids) at the paper's top-30 result-set scale and at the Figure 7
-// sweep scale.
-func benchKMeansAssign(b *testing.B, n, k int) {
+// benchAssignState seeds one k-means run over the bench corpus so the
+// assignment step can be measured in isolation.
+func benchAssignState(b *testing.B, n, k int, pruned bool) *runState {
+	b.Helper()
 	idx, ids := benchCorpus(n)
-	dict := DictForDocs(idx, ids)
 	vecs := make([]*Vector, n)
 	for i, id := range ids {
-		vecs[i] = dict.VectorFromDoc(idx, id)
+		vecs[i] = VectorFromDocGlobal(idx, id)
 	}
-	rng := rand.New(rand.NewSource(1))
-	centroids := seedPlusPlus(vecs, k, rng)
-	assign := make([]int, n)
-	dists := make([]float64, n)
+	return newRunState(idx.NumTerms(), vecs,
+		Options{K: k, Seed: 1, PlusPlus: true, MaxIter: 50}, pruned)
+}
+
+// BenchmarkKMeansAssign measures one parallel assignment step (n points × k
+// centroids, dense gather dots) at the paper's top-30 result-set scale and
+// at the Figure 7 sweep scale. Baseline entries predate dense centroids, so
+// the diff against them is the merge-join → gather win.
+func benchKMeansAssign(b *testing.B, n, k int) {
+	st := benchAssignState(b, n, k, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		assignStep(vecs, centroids, assign, dists)
+		st.assignFull()
 	}
 }
 
@@ -96,12 +101,36 @@ func BenchmarkKMeansAssignN30K3(b *testing.B)  { benchKMeansAssign(b, 30, 3) }
 func BenchmarkKMeansAssignN200K5(b *testing.B) { benchKMeansAssign(b, 200, 5) }
 func BenchmarkKMeansAssignN500K5(b *testing.B) { benchKMeansAssign(b, 500, 5) }
 
+// BenchmarkKMeansDenseAssign is the dense-centroid assignment step at the
+// Figure 7 sweep scale — the inner loop the dense-centroid rewrite exists
+// for, gated in qec-benchdiff.
+func BenchmarkKMeansDenseAssign(b *testing.B) {
+	st := benchAssignState(b, 200, 5, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.assignFull()
+	}
+}
+
 // BenchmarkKMeansFull is the whole algorithm, restarts included, at serving
-// shape (top-30 results, k=3, 5 restarts — what Engine.Expand runs).
+// shape (top-30 results, k=3, 5 restarts — what Engine.Expand runs in
+// QualityExact mode).
 func BenchmarkKMeansFull(b *testing.B) {
 	idx, ids := benchCorpus(30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		KMeans(idx, ids, Options{K: 3, Seed: 1, PlusPlus: true, Restarts: 5})
+	}
+}
+
+// BenchmarkKMeansServingMode is the same serving-shape run under
+// QualityServing (restarts capped, Hamerly bound-pruned assignment) — the
+// latency the serving subsystem buys with the quality knob.
+func BenchmarkKMeansServingMode(b *testing.B) {
+	idx, ids := benchCorpus(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(idx, ids, Options{K: 3, Seed: 1, PlusPlus: true, Restarts: 5,
+			Quality: QualityServing})
 	}
 }

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/termdict"
+)
+
+// centroid is a k-means centroid in dense form: a vocabulary-sized []float64
+// indexed by global TermID, plus the sorted support (the IDs of its non-zero
+// cells) and the cached Euclidean norm. Points stay sparse; with the centroid
+// dense, a point·centroid dot product is a gather loop over the point's IDs —
+// no merge-join, no branches — which is what makes assignment cheap when
+// centroid supports grow to the union of their cluster's vocabularies.
+//
+// Bit-identity with the sparse merge-join implementation: the gather visits
+// the point's IDs ascending; IDs the sparse merge-join would skip (absent
+// from the centroid) read an exact 0.0 from the dense array, and adding
+// w·0 = +0.0 to a non-negative partial sum never changes its bits. All cells
+// outside support are kept at exactly 0.0 (cleared on every update), so the
+// gather's sum equals the merge-join's sum bit for bit.
+type centroid struct {
+	vals    []float64
+	support []int32
+	norm    float64
+}
+
+// denseValsPool recycles the vocabulary-sized value arrays across runs so a
+// serving engine does not allocate (and zero) k·restarts·|vocab| floats per
+// Expand. Invariant: every pooled array is entirely zero (release clears the
+// support cells before putting it back).
+var denseValsPool sync.Pool
+
+// getDenseVals returns an all-zero []float64 of length dim.
+func getDenseVals(dim int) []float64 {
+	if v, ok := denseValsPool.Get().(*[]float64); ok && cap(*v) >= dim {
+		return (*v)[:dim]
+	}
+	return make([]float64, dim)
+}
+
+// release zeroes the centroid's support cells and returns the value array to
+// the pool, restoring the all-zero invariant.
+func (c *centroid) release() {
+	for _, id := range c.support {
+		c.vals[id] = 0
+	}
+	v := c.vals[:cap(c.vals)]
+	c.vals = nil
+	denseValsPool.Put(&v)
+}
+
+// setFromVector scatters a sparse point into the centroid (the seeding step:
+// initial centroids are copies of points). The norm carries over from the
+// point's construction-time cache, exactly as Clone used to carry it.
+func (c *centroid) setFromVector(v *Vector) {
+	for _, id := range c.support {
+		c.vals[id] = 0
+	}
+	c.support = append(c.support[:0], v.ids...)
+	for i, id := range v.ids {
+		c.vals[id] = v.ws[i]
+	}
+	c.norm = v.Norm()
+}
+
+// dotVec gathers the dot product point·centroid over the point's IDs in
+// ascending order (see the bit-identity note on centroid).
+func (c *centroid) dotVec(v *Vector) float64 {
+	s := 0.0
+	vals := c.vals
+	for i, id := range v.ids {
+		s += v.ws[i] * vals[id]
+	}
+	return s
+}
+
+// cosDist is 1 − cosine(point, centroid), the distance k-means minimizes —
+// the same arithmetic as Vector.CosineDistance (empty operands score
+// similarity 0, distance 1).
+func (c *centroid) cosDist(v *Vector) float64 {
+	nv := v.Norm()
+	if nv == 0 || c.norm == 0 {
+		return 1
+	}
+	return 1 - c.dotVec(v)/(nv*c.norm)
+}
+
+// setMean recomputes the centroid as the mean of vs, bit-identical to
+// cluster.Mean: components accumulate in input order over the epoch-stamped
+// scratch (first touch zero-initializes, like a zeroed buffer), then emit in
+// ascending ID order scaled by 1/len(vs), with the norm accumulated in that
+// same ascending order. When drift is true it also returns the chord-space
+// distance ‖old/‖old‖ − new/‖new‖‖ = √(2·(1−cos(old,new))) between the old
+// and new centroid directions — the bound Hamerly pruning needs — computed
+// against the old cells before they are cleared. vs must be non-empty.
+func (c *centroid) setMean(vs []*Vector, s *termdict.DenseScratch, drift bool) float64 {
+	s.Reset(len(c.vals))
+	for _, v := range vs {
+		for i, id := range v.ids {
+			s.Add(id, v.ws[i])
+		}
+	}
+	touched := s.Touched
+	slices.Sort(touched)
+	f := 1 / float64(len(vs))
+
+	d := 0.0
+	if drift {
+		// cos(old, new) via a gather of old cells at the new support (cells
+		// outside either support contribute 0), before the old cells vanish.
+		dot, newNorm := 0.0, 0.0
+		for _, id := range touched {
+			w := s.Vals[id] * f
+			dot += w * c.vals[id]
+			newNorm += w * w
+		}
+		newNorm = math.Sqrt(newNorm)
+		if c.norm == 0 || newNorm == 0 {
+			d = 2 // maximal chord distance between unit vectors: sound bound
+		} else {
+			cs := dot / (c.norm * newNorm)
+			if diff := 2 * (1 - cs); diff > 0 {
+				d = math.Sqrt(diff)
+			}
+		}
+	}
+
+	for _, id := range c.support {
+		c.vals[id] = 0
+	}
+	c.support = append(c.support[:0], touched...)
+	norm := 0.0
+	for _, id := range c.support {
+		w := s.Vals[id] * f
+		c.vals[id] = w
+		norm += w * w
+	}
+	c.norm = math.Sqrt(norm)
+	return d
+}

@@ -61,6 +61,41 @@ func (g *goldenCase) run(t *testing.T) *Clustering {
 	})
 }
 
+// TestQualityExactStillMatchesGolden is the quality-knob regression pin: an
+// explicit Quality: QualityExact must reproduce the golden file bit for bit
+// (the zero value already is exact; this guards the knob's default and the
+// dense-centroid path against drift).
+func TestQualityExactStillMatchesGolden(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range want {
+		if w.Linkage >= 0 {
+			continue // agglomerative has no quality knob
+		}
+		idx, ids, _ := twoTopicIndex(t, w.PerTopic)
+		cl := KMeans(idx, ids, Options{
+			K: w.K, Seed: w.Seed, PlusPlus: w.PlusPlus, Restarts: w.Restarts,
+			Quality: QualityExact,
+		})
+		if math.Float64bits(cl.Distortion) != w.Distortion {
+			t.Errorf("%s: distortion bits %x, golden %x", w.Name,
+				math.Float64bits(cl.Distortion), w.Distortion)
+		}
+		if cl.Iterations != w.Iterations {
+			t.Errorf("%s: iterations %d, golden %d", w.Name, cl.Iterations, w.Iterations)
+		}
+		if fmt.Sprint(cl.Clusters) != fmt.Sprint(w.Clusters) {
+			t.Errorf("%s: clusters diverge from golden", w.Name)
+		}
+	}
+}
+
 func TestClusteringMatchesPrePRGolden(t *testing.T) {
 	cases := goldenCases()
 	for i := range cases {

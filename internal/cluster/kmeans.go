@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/index"
+	"repro/internal/termdict"
 )
 
 // Clustering is the output of a clustering run: an assignment of the input
@@ -37,6 +39,35 @@ func (c *Clustering) Sets() []document.DocSet {
 // K returns the number of clusters.
 func (c *Clustering) K() int { return len(c.Clusters) }
 
+// Quality selects the clustering speed/accuracy trade of a k-means run.
+type Quality int
+
+const (
+	// QualityExact is the default: every restart requested by Options runs
+	// to convergence with exact (unpruned) assignment arithmetic. Output is
+	// bit-identical to the historical sparse merge-join implementation for a
+	// fixed seed (pinned by the kmeans golden file).
+	QualityExact Quality = iota
+	// QualityServing trades a deterministic accuracy delta for latency: at
+	// most servingRestarts restarts, and assignment uses Hamerly-style
+	// single-bound pruning (points whose bound margin exceeds the centroid
+	// drift skip their distance scans). Deterministic for a fixed seed —
+	// runs always produce the same clustering — but not bit-comparable to
+	// QualityExact, which keeps more restarts.
+	QualityServing
+)
+
+// servingRestarts caps restarts in QualityServing mode.
+const servingRestarts = 2
+
+// String names the quality mode ("exact" / "serving").
+func (q Quality) String() string {
+	if q == QualityServing {
+		return "serving"
+	}
+	return "exact"
+}
+
 // Options configures k-means.
 type Options struct {
 	// K is the requested number of clusters (an upper bound per Section 1:
@@ -51,10 +82,14 @@ type Options struct {
 	PlusPlus bool
 	// Restarts runs the whole algorithm this many times with derived seeds
 	// and keeps the clustering with the lowest distortion. 0 or 1 means a
-	// single run. Restarts share one interned vector set and run
-	// concurrently; the selection (first lowest distortion wins) is
-	// independent of scheduling.
+	// single run. Restarts share one vector set and run in deterministic
+	// lockstep rounds. In QualityExact every restart runs to convergence
+	// (the selection is bit-identical to a serial loop); QualityServing
+	// additionally abandons a restart whose running distortion already
+	// exceeds the best completed restart's.
 	Restarts int
+	// Quality selects the speed/accuracy trade (default QualityExact).
+	Quality Quality
 }
 
 func (o *Options) defaults() {
@@ -110,19 +145,53 @@ func parallelFor(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// fanEach runs fn(0..n-1) across up to numWorkers goroutines — one task per
+// index, no minimum-size threshold (tasks are whole restart iterations, never
+// cheap). Tasks only touch their own state, so scheduling cannot affect
+// results.
+func fanEach(n int, fn func(i int)) {
+	w := numWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // KMeans clusters the given documents' TF vectors by cosine distance.
 // Deterministic for a fixed seed regardless of worker count: per-point work
-// is data-parallel, and every floating-point reduction (distortion, the D²
+// is data-parallel, every floating-point reduction (distortion, the D²
 // total) is accumulated serially in index order after the parallel phase,
-// preserving the sorted-accumulation guarantee of the scalar
-// implementation. Empty input yields an empty clustering.
+// and restarts advance in lockstep rounds so early-abandon decisions never
+// depend on goroutine scheduling. Empty input yields an empty clustering.
 //
-// Vectors come straight off the index's corpus-global TermID arenas — no
-// per-run dictionary is interned. Global TermIDs ascend in lexicographic
-// order exactly like the per-run Dict IDs they replace, so every merge-join
-// dot product and norm accumulates in the same sorted-term order and the
-// clustering is bit-identical to the Dict-backed implementation (pinned by
-// the kmeans golden file).
+// Points come straight off the index's corpus-global TermID arenas; centroids
+// are dense []float64 over the vocabulary (see centroid), so every
+// point·centroid distance is a branch-free gather over the point's IDs. In
+// QualityExact mode the output is bit-identical to the sparse merge-join
+// implementation (pinned by the kmeans golden file); QualityServing trades a
+// deterministic accuracy delta for latency (fewer restarts, bound-pruned
+// assignment).
 func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	opts.defaults()
 	n := len(docs)
@@ -133,128 +202,182 @@ func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	for i, id := range docs {
 		vecs[i] = VectorFromDocGlobal(idx, id)
 	}
-	dim := idx.NumTerms()
-	if opts.Restarts > 1 {
-		return kmeansRestarts(dim, vecs, docs, opts)
-	}
-	return kmeansRun(dim, vecs, docs, opts)
-}
-
-// kmeansRestarts runs Restarts independent k-means runs concurrently over
-// the shared vectors and keeps the best. Results land in a slice indexed by
-// restart ordinal and the winner is chosen serially in that order with a
-// strict <, so the outcome matches a serial loop exactly.
-func kmeansRestarts(dim int, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
 	restarts := opts.Restarts
-	single := opts
-	single.Restarts = 0
-	results := make([]*Clustering, restarts)
-	sem := make(chan struct{}, numWorkers())
-	var wg sync.WaitGroup
-	for r := 0; r < restarts; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ro := single
-			ro.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
-			results[r] = kmeansRun(dim, vecs, docs, ro)
-		}(r)
+	if restarts < 1 {
+		restarts = 1
 	}
-	wg.Wait()
-	best := results[0]
-	for _, cl := range results[1:] {
-		if cl.Distortion < best.Distortion {
-			best = cl
+	pruned := false
+	if opts.Quality == QualityServing {
+		pruned = true
+		if restarts > servingRestarts {
+			restarts = servingRestarts
 		}
 	}
-	return best
+	// Early abandonment is a serving-mode trade: distortion under the
+	// mean-update/cosine iteration is not strictly monotone, so a restart
+	// that currently trails the best completed one can still end up winning —
+	// abandoning it is deterministic but (rarely) selects a slightly worse
+	// clustering. Exact mode therefore runs every restart to convergence.
+	return kmeansDrive(idx.NumTerms(), vecs, docs, opts, restarts, pruned, pruned && restarts > 1)
 }
 
-// kmeansRun is a single k-means run over pre-built vectors in a
-// dim-dimensional ID space.
-func kmeansRun(dim int, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
+// kmeansDrive runs restarts k-means runs over the shared vectors in
+// deterministic lockstep rounds and returns the best clustering.
+//
+// Lockstep is the determinism mechanism for early abandonment (abandon is
+// only set in serving mode): each round advances every live restart by one
+// iteration (fanned across workers — restarts own disjoint state), then
+// bookkeeping runs serially in restart index order, so "which restarts had
+// completed when restart r was checked" is a pure function of the iteration
+// counts, never of goroutine timing. A restart is abandoned when its running
+// distortion strictly exceeds the best completed restart's final distortion.
+// With abandon off the driver reduces to "run every restart to convergence,
+// first lowest distortion wins" — the historical serial semantics, bit for
+// bit; every restart's own arithmetic is unchanged either way.
+func kmeansDrive(dim int, vecs []*Vector, docs []document.DocID, opts Options,
+	restarts int, pruned, abandon bool) *Clustering {
+
+	states := make([]*runState, restarts)
+	fanEach(restarts, func(r int) {
+		ro := opts
+		ro.Seed = opts.Seed + int64(r)*7919 // distinct derived seeds
+		states[r] = newRunState(dim, vecs, ro, pruned)
+	})
+
+	bestDone := math.Inf(1)
+	hasDone := false
+	for {
+		var live []*runState
+		for _, st := range states {
+			if !st.done && !st.abandoned {
+				live = append(live, st)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		fanEach(len(live), func(i int) { live[i].step() })
+		// Serial bookkeeping in restart index order: completions first, then
+		// abandonment against the updated best.
+		for _, st := range states {
+			if st.done && st.distortion < bestDone {
+				bestDone = st.distortion
+				hasDone = true
+			}
+		}
+		if abandon && hasDone {
+			for _, st := range states {
+				if !st.done && st.distortion > bestDone {
+					st.abandoned = true
+				}
+			}
+		}
+	}
+
+	var best *runState
+	for _, st := range states {
+		if st.abandoned {
+			continue
+		}
+		if best == nil || st.distortion < best.distortion {
+			best = st
+		}
+	}
+	cl := buildClustering(docs, best.assign, best.k, best.distortion, best.iters)
+	for _, st := range states {
+		st.release()
+	}
+	return cl
+}
+
+// runState is one k-means run advanced iteration-by-iteration by the lockstep
+// driver. All fields are owned by the run; the driver only reads distortion /
+// done / abandoned at round boundaries.
+type runState struct {
+	vecs    []*Vector
+	k       int
+	maxIter int
+	pruned  bool
+
+	cents   []*centroid
+	assign  []int
+	dists   []float64
+	groups  [][]*Vector
+	scratch termdict.DenseScratch
+
+	// Hamerly single-bound state (pruned mode), in chord space √(2·cosDist):
+	// ub[i] bounds the distance to the assigned centroid from above, lb[i]
+	// the distance to every other centroid from below; drift holds the
+	// per-centroid movement of the last update.
+	ub, lb, drift []float64
+
+	distortion float64
+	iters      int
+	done       bool
+	abandoned  bool
+}
+
+// boundSlack absorbs the floating-point error of maintaining ub/lb
+// incrementally: a point is only skipped when its margin clears the drift by
+// more than this, so pruning never changes an assignment (distances are O(1),
+// making 1e-9 many orders above the accumulated error).
+const boundSlack = 1e-9
+
+// chordDist converts a cosine distance to the chord distance between the
+// corresponding unit vectors, √(2·d) — a true metric (Euclidean on the unit
+// sphere), which cosine distance itself is not, so triangle-inequality bounds
+// are sound in chord space only.
+func chordDist(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * d)
+}
+
+// newRunState seeds one run (uniform or k-means++) exactly like the sparse
+// implementation: the rng draw sequence is unchanged because every distance
+// the D² scan consumes is bit-identical to its merge-join counterpart.
+func newRunState(dim int, vecs []*Vector, opts Options, pruned bool) *runState {
 	n := len(vecs)
 	k := opts.K
 	if k > n {
 		k = n
 	}
+	st := &runState{
+		vecs:    vecs,
+		k:       k,
+		maxIter: opts.MaxIter,
+		pruned:  pruned,
+		cents:   make([]*centroid, k),
+		assign:  make([]int, n),
+		dists:   make([]float64, n),
+		groups:  make([][]*Vector, k),
+	}
+	for c := range st.cents {
+		st.cents[c] = &centroid{vals: getDenseVals(dim)}
+	}
+	if pruned {
+		st.ub = make([]float64, n)
+		st.lb = make([]float64, n)
+		st.drift = make([]float64, k)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-
-	var centroids []*Vector
 	if opts.PlusPlus {
-		centroids = seedPlusPlus(vecs, k, rng)
+		st.seedPlusPlus(rng)
 	} else {
 		perm := rng.Perm(n)
-		centroids = make([]*Vector, k)
-		for i := 0; i < k; i++ {
-			centroids[i] = vecs[perm[i]].Clone()
+		for c := range st.cents {
+			st.cents[c].setFromVector(vecs[perm[c]])
 		}
 	}
-
-	assign := make([]int, n)
-	dists := make([]float64, n)
-	var scratch meanScratch
-	var distortion float64
-	iters := 0
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		iters = iter + 1
-		changed := assignStep(vecs, centroids, assign, dists)
-		// Serial reduction in index order keeps the distortion bit-identical
-		// to the scalar loop's running sum.
-		distortion = 0
-		for _, d := range dists {
-			distortion += d
-		}
-		if !changed && iter > 0 {
-			break
-		}
-		// Recompute centroids.
-		groups := make([][]*Vector, len(centroids))
-		for i, v := range vecs {
-			groups[assign[i]] = append(groups[assign[i]], v)
-		}
-		for c := range centroids {
-			if len(groups[c]) > 0 {
-				centroids[c] = scratch.mean(groups[c], dim)
-			}
-			// Empty centroid: keep previous position; the cluster will be
-			// dropped at the end if it stays empty.
-		}
-	}
-
-	return buildClustering(docs, assign, len(centroids), distortion, iters)
+	return st
 }
 
-// assignStep reassigns every vector to its nearest centroid in parallel,
-// recording per-point distances for the caller's ordered reduction. Each
-// worker owns a disjoint index range (and reads the shared centroids, whose
-// norm caches are valid since construction), so the step is race-free and
-// its output independent of the worker count.
-func assignStep(vecs, centroids []*Vector, assign []int, dists []float64) bool {
-	var changed atomic.Bool
-	parallelFor(len(vecs), func(lo, hi int) {
-		ch := false
-		for i := lo; i < hi; i++ {
-			v := vecs[i]
-			best, bestD := 0, v.CosineDistance(centroids[0])
-			for c := 1; c < len(centroids); c++ {
-				if d := v.CosineDistance(centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				ch = true
-			}
-			dists[i] = bestD
-		}
-		if ch {
-			changed.Store(true)
-		}
-	})
-	return changed.Load()
+// release returns the dense centroid buffers to the pool.
+func (st *runState) release() {
+	for _, c := range st.cents {
+		c.release()
+	}
 }
 
 // seedPlusPlus implements k-means++ seeding under cosine distance. The
@@ -262,41 +385,41 @@ func assignStep(vecs, centroids []*Vector, assign []int, dists []float64) bool {
 // left-fold min, exactly the scan order of the full rescan it replaces) and
 // the per-round update against the newest centroid runs in parallel; the D²
 // total is then summed serially in index order, so the rng draw sequence —
-// and hence the seeding — matches the scalar implementation bit for bit.
-func seedPlusPlus(vecs []*Vector, k int, rng *rand.Rand) []*Vector {
+// and hence the seeding — matches the sparse implementation bit for bit.
+func (st *runState) seedPlusPlus(rng *rand.Rand) {
+	vecs := st.vecs
 	n := len(vecs)
-	centroids := make([]*Vector, 0, k)
-	first := vecs[rng.Intn(n)].Clone()
-	centroids = append(centroids, first)
+	first := st.cents[0]
+	first.setFromVector(vecs[rng.Intn(n)])
 	best := make([]float64, n)
 	parallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			best[i] = vecs[i].CosineDistance(first)
+			best[i] = first.cosDist(vecs[i])
 		}
 	})
-	// fold merges a newly appended centroid into best. Appending in order
-	// keeps best equal to the scalar implementation's per-round left-fold
-	// over all centroids (min via strict <, no arithmetic), bit for bit.
-	fold := func(c *Vector) {
+	// fold merges a newly placed centroid into best. Placing in order keeps
+	// best equal to the scalar implementation's per-round left-fold over all
+	// centroids (min via strict <, no arithmetic), bit for bit.
+	fold := func(c *centroid) {
 		parallelFor(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				if d := vecs[i].CosineDistance(c); d < best[i] {
+				if d := c.cosDist(vecs[i]); d < best[i] {
 					best[i] = d
 				}
 			}
 		})
 	}
 	d2 := make([]float64, n)
-	for len(centroids) < k {
+	for placed := 1; placed < st.k; placed++ {
 		total := 0.0
 		for i, b := range best {
 			d2[i] = b * b
 			total += d2[i]
 		}
-		var next *Vector
+		var pickVec *Vector
 		if total == 0 {
 			// All points coincide with existing centroids; duplicate one.
-			next = vecs[rng.Intn(n)].Clone()
+			pickVec = vecs[rng.Intn(n)]
 		} else {
 			r := rng.Float64() * total
 			acc := 0.0
@@ -308,14 +431,185 @@ func seedPlusPlus(vecs []*Vector, k int, rng *rand.Rand) []*Vector {
 					break
 				}
 			}
-			next = vecs[pick].Clone()
+			pickVec = vecs[pick]
 		}
-		centroids = append(centroids, next)
-		if len(centroids) < k {
-			fold(next) // the last centroid seeds no further round
+		st.cents[placed].setFromVector(pickVec)
+		if placed+1 < st.k {
+			fold(st.cents[placed]) // the last centroid seeds no further round
 		}
 	}
-	return centroids
+}
+
+// step advances the run by one iteration: assignment, distortion reduction,
+// convergence check, centroid update. Mirrors the historical kmeansRun loop
+// body exactly (including breaking before the centroid update on
+// convergence / MaxIter exhaustion).
+func (st *runState) step() {
+	iter := st.iters
+	st.iters++
+
+	var changed bool
+	if st.pruned && iter > 0 {
+		changed = st.assignPruned()
+	} else {
+		changed = st.assignFull()
+	}
+
+	// Serial reduction in index order keeps the distortion bit-identical to
+	// the scalar loop's running sum. In pruned mode skipped points carry the
+	// distance of their last full evaluation, so this is a running estimate
+	// (used only for early abandonment); the exact value is recomputed on
+	// completion.
+	d := 0.0
+	for _, x := range st.dists {
+		d += x
+	}
+	st.distortion = d
+
+	if (!changed && iter > 0) || st.iters >= st.maxIter {
+		st.done = true
+		if st.pruned {
+			st.exactDistortion()
+		}
+		return
+	}
+
+	// Recompute centroids from the new assignment.
+	for c := range st.groups {
+		st.groups[c] = st.groups[c][:0]
+	}
+	for i, v := range st.vecs {
+		st.groups[st.assign[i]] = append(st.groups[st.assign[i]], v)
+	}
+	for c := range st.cents {
+		if len(st.groups[c]) == 0 {
+			// Empty centroid: keep previous position; the cluster will be
+			// dropped at the end if it stays empty.
+			if st.pruned {
+				st.drift[c] = 0
+			}
+			continue
+		}
+		mv := st.cents[c].setMean(st.groups[c], &st.scratch, st.pruned)
+		if st.pruned {
+			st.drift[c] = mv
+		}
+	}
+}
+
+// assignFull reassigns every point by scanning all centroids — the exact
+// path, and the bound-initializing first iteration of the pruned path. Each
+// worker owns a disjoint index range and reads the shared centroids, so the
+// step is race-free and its output independent of the worker count.
+func (st *runState) assignFull() bool {
+	var changed atomic.Bool
+	vecs, cents := st.vecs, st.cents
+	parallelFor(len(vecs), func(lo, hi int) {
+		ch := false
+		for i := lo; i < hi; i++ {
+			v := vecs[i]
+			best, bestD := 0, cents[0].cosDist(v)
+			second := math.Inf(1)
+			for c := 1; c < len(cents); c++ {
+				if d := cents[c].cosDist(v); d < bestD {
+					second = bestD
+					best, bestD = c, d
+				} else if d < second {
+					second = d
+				}
+			}
+			if st.assign[i] != best {
+				st.assign[i] = best
+				ch = true
+			}
+			st.dists[i] = bestD
+			if st.pruned {
+				st.ub[i] = chordDist(bestD)
+				st.lb[i] = chordDist(second)
+			}
+		}
+		if ch {
+			changed.Store(true)
+		}
+	})
+	return changed.Load()
+}
+
+// assignPruned is the Hamerly-style single-bound assignment: after the last
+// update moved centroid c by drift[c] (chord space), a point whose upper
+// bound to its assigned centroid stays below its lower bound to all others
+// cannot change assignment and skips every distance computation. Points that
+// fail the cheap test first tighten the upper bound with one exact distance,
+// and only then fall back to the full scan (which restores exact bounds).
+// Pruning is lossless for the assignment: the triangle inequality in chord
+// space plus boundSlack guarantees a skipped point's argmin is unchanged, so
+// the final clustering matches the unpruned run's (pinned by a property
+// test).
+func (st *runState) assignPruned() bool {
+	maxDrift := 0.0
+	for _, d := range st.drift {
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+	var changed atomic.Bool
+	vecs, cents := st.vecs, st.cents
+	parallelFor(len(vecs), func(lo, hi int) {
+		ch := false
+		for i := lo; i < hi; i++ {
+			st.ub[i] += st.drift[st.assign[i]]
+			st.lb[i] -= maxDrift
+			if st.ub[i]+boundSlack < st.lb[i] {
+				continue // cannot have changed assignment; dists[i] is stale
+			}
+			v := vecs[i]
+			dA := cents[st.assign[i]].cosDist(v)
+			st.ub[i] = chordDist(dA)
+			st.dists[i] = dA
+			if st.ub[i]+boundSlack < st.lb[i] {
+				continue
+			}
+			best, bestD := 0, cents[0].cosDist(v)
+			second := math.Inf(1)
+			for c := 1; c < len(cents); c++ {
+				if d := cents[c].cosDist(v); d < bestD {
+					second = bestD
+					best, bestD = c, d
+				} else if d < second {
+					second = d
+				}
+			}
+			if st.assign[i] != best {
+				st.assign[i] = best
+				ch = true
+			}
+			st.dists[i] = bestD
+			st.ub[i] = chordDist(bestD)
+			st.lb[i] = chordDist(second)
+		}
+		if ch {
+			changed.Store(true)
+		}
+	})
+	return changed.Load()
+}
+
+// exactDistortion recomputes every point's distance to its assigned centroid
+// and reduces serially in index order — the same arithmetic the last full
+// assignment pass would have produced, making a pruned run's final distortion
+// bit-identical to the unpruned run it matches.
+func (st *runState) exactDistortion() {
+	vecs := st.vecs
+	parallelFor(len(vecs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.dists[i] = st.cents[st.assign[i]].cosDist(vecs[i])
+		}
+	})
+	d := 0.0
+	for _, x := range st.dists {
+		d += x
+	}
+	st.distortion = d
 }
 
 // buildClustering converts an assignment array into a Clustering, dropping

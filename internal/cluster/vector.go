@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/index"
+	"repro/internal/termdict"
 )
 
 // Dict interns the vocabulary of one clustering run. Term IDs are assigned
@@ -282,65 +283,29 @@ func (v *Vector) ToMap(d *Dict) map[string]float64 {
 }
 
 // Mean returns the centroid of vs in a dim-dimensional space (the zero
-// vector for empty input). Each component accumulates in input order over a
-// dense buffer — the same per-term summation order as the old map-backed
-// Add loop — then scales by 1/len(vs).
+// vector for empty input). Each component accumulates in input order over an
+// epoch-stamped dense buffer (termdict.DenseScratch — first touch
+// zero-initializes, exactly like a zeroed buffer, preserving the map-backed
+// Add loop's per-term summation order) and emits in ascending ID order
+// scaled by 1/len(vs).
 func Mean(vs []*Vector, dim int) *Vector {
-	var s meanScratch
-	return s.mean(vs, dim)
-}
-
-// meanScratch reuses the dense accumulation buffers of centroid computation.
-// With corpus-global TermIDs the buffers span the whole vocabulary, so
-// k-means reallocating them per centroid per iteration would dominate; a
-// run-local scratch amortizes them. Cells are invalidated by epoch stamping
-// instead of clearing, so resets are O(1).
-type meanScratch struct {
-	acc     []float64
-	stamp   []uint32
-	epoch   uint32
-	touched []int32
-}
-
-// mean computes the same centroid as a freshly-buffered Mean, bit for bit:
-// components accumulate in input order (first touch zero-initializes,
-// exactly like a zeroed buffer) and emit in ascending ID order scaled by
-// 1/len(vs). The touched-ID list keeps the emit cost proportional to the
-// centroid's support, not the vocabulary.
-func (s *meanScratch) mean(vs []*Vector, dim int) *Vector {
 	if len(vs) == 0 {
 		return newVectorSorted(nil, nil)
 	}
-	if len(s.acc) < dim {
-		s.acc = make([]float64, dim)
-		s.stamp = make([]uint32, dim)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch == 0 { // wrapped: stale stamps could collide, clear them
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.epoch = 1
-	}
-	s.touched = s.touched[:0]
+	var s termdict.DenseScratch
+	s.Reset(dim)
 	for _, v := range vs {
 		for i, id := range v.ids {
-			if s.stamp[id] != s.epoch {
-				s.stamp[id] = s.epoch
-				s.acc[id] = 0
-				s.touched = append(s.touched, id)
-			}
-			s.acc[id] += v.ws[i]
+			s.Add(id, v.ws[i])
 		}
 	}
-	slices.Sort(s.touched)
+	slices.Sort(s.Touched)
 	f := 1 / float64(len(vs))
-	ids := make([]int32, len(s.touched))
-	ws := make([]float64, len(s.touched))
-	for i, id := range s.touched {
+	ids := make([]int32, len(s.Touched))
+	ws := make([]float64, len(s.Touched))
+	for i, id := range s.Touched {
 		ids[i] = id
-		ws[i] = s.acc[id] * f
+		ws[i] = s.Vals[id] * f
 	}
 	return newVectorSorted(ids, ws)
 }

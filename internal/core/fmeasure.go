@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/search"
+
 // FMeasureVariant is the comparison algorithm of Section 5.1 item (4): the
 // ISKR loop with the value of a keyword taken as the delta F-measure of the
 // query after adding/removing it. More accurate per step than benefit/cost,
@@ -28,15 +30,21 @@ func (a *FMeasureVariant) Expand(p *Problem) Expanded {
 	iterations := 0
 	for iterations < maxIter {
 		bestQ, bestF := q, f
-		// Try adding every pool keyword not in q.
+		// Try adding every pool keyword not in q. The candidate reuses one
+		// scratch term slice — only its last slot changes per keyword, which
+		// also keeps the per-candidate resolution cache on its prefix-hit
+		// fast path — and is cloned only when it becomes the new best.
+		cand := search.Query{Terms: make([]string, len(q.Terms)+1)}
+		copy(cand.Terms, q.Terms)
 		for _, k := range p.Pool {
 			if q.Contains(k) {
 				continue
 			}
-			cand := q.With(k)
+			cand.Terms[len(q.Terms)] = k
 			evals++
 			if cf := p.FMeasure(cand); approxGreater(cf, bestF) {
-				bestQ, bestF = cand, cf
+				bestQ = search.Query{Terms: append([]string(nil), cand.Terms...)}
+				bestF = cf
 			}
 		}
 		// Try removing every expansion keyword.

@@ -25,6 +25,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/document"
 	"repro/internal/eval"
@@ -66,6 +67,12 @@ type Problem struct {
 	// elimPool recycles PEBC partial-elimination scratch state (bitsets +
 	// flat tables) across the many sample queries of one Expand.
 	elimPool sync.Pool
+
+	// resolver holds the per-candidate-query resolution cache (see
+	// queryResolver) between F-measure evaluations. An atomic swap-out /
+	// store-back rather than a plain field so concurrent evaluations on the
+	// same Problem each see a private cache (a loser simply starts cold).
+	resolver atomic.Pointer[queryResolver]
 
 	// cB/uB/allB are the dense C, U and universe memberships; sC and sU
 	// cache S(C) and S(U), constant per problem.
@@ -226,25 +233,16 @@ func scorePool(idx *index.Index, userQuery search.Query, universeIDs []document.
 
 	// The user query's own terms are excluded from the pool; resolve them to
 	// sorted TermIDs once so the per-occurrence skip is a merge, not a map.
-	qt := make([]termdict.TermID, 0, len(userQuery.Terms))
-	for _, t := range userQuery.Terms {
-		if tid, ok := idx.LookupTerm(t); ok {
-			qt = append(qt, tid)
-		}
-	}
-	slices.Sort(qt)
+	skip := termdict.SkipList{IDs: termdict.ResolveSorted(idx.Dict(), userQuery.Terms)}
 
 	scores := make([]float64, idx.NumTerms())
 	var touched []termdict.TermID
 	for _, id := range universeIDs {
 		tids := idx.DocTermIDs(id)
 		freqs := idx.DocTermFreqs(id)
-		qi := 0
+		skip.Reset()
 		for i, tid := range tids {
-			for qi < len(qt) && qt[qi] < tid {
-				qi++
-			}
-			if qi < len(qt) && qt[qi] == tid {
+			if skip.Contains(tid) {
 				continue
 			}
 			// Every contribution is > 0 (freq ≥ 1 and IDF > 0 for any
@@ -393,26 +391,106 @@ func (p *Problem) ContainSet(k string) document.DocSet {
 	return p.bitsToDocSet(p.containB[ki])
 }
 
-// retrieveBits computes R(q) restricted to the universe in dense space: the
+// queryResolver caches the keyword-ID resolution — and the running
+// intersection — of one incrementally built candidate query. terms holds the
+// last resolved term sequence and bufs[i] the intersection R(terms[:i+1])
+// restricted to the universe (each term resolves to kwSkip for the user
+// query's own terms, kwForeign for terms outside the pool, or its dense
+// keyword ID; only the level buffer records the outcome).
+//
+// Candidate queries are built by With/Without off a shared base, so
+// successive retrieveBits calls share almost their whole term prefix: the
+// prefix check is a handful of pointer-equal string compares (With copies
+// string headers, not bytes), the shared intersection is read straight out
+// of bufs, and only the tail term resolves and intersects. Tail resolution
+// itself rarely needs the binary search: the ISKR/delta-F add loops walk the
+// sorted Pool in order, so the next tail is almost always the pool entry
+// right after the previous one — hint remembers it and a single string
+// compare confirms. This restores the delta-F ablation cost the PR 4
+// keyword-map removal regressed, without reintroducing a map into
+// NewProblem: the cache is lazily populated scratch, swapped in and out of
+// Problem.resolver around each call.
+type queryResolver struct {
+	terms []string
+	bufs  []document.BitSet
+	hint  int32
+}
+
+const (
+	kwSkip    int32 = -1 // a user-query term: satisfied by construction
+	kwForeign int32 = -2 // outside the pool: retrieves nothing
+)
+
+// retrieveLevel computes R(q) restricted to the universe in dense space: the
 // universe documents containing every expansion term of q, as word-wise
 // intersections of the term bitmaps. The user query's own terms are
 // satisfied by construction (every universe document is a result of the user
-// query), so only terms beyond the user query filter.
-func (p *Problem) retrieveBits(q search.Query) document.BitSet {
-	r := p.allB.Clone()
-	for _, term := range q.Terms {
-		if p.UserQuery.Contains(term) {
-			continue
-		}
-		ki, ok := p.kwID(term)
-		if !ok {
-			// A term outside the pool retrieves nothing (we only expand
-			// with pool keywords; this branch guards foreign queries).
-			r.Clear()
-			return r
-		}
-		r.And(p.containB[ki])
+// query), so only terms beyond the user query filter; a term outside the
+// pool retrieves nothing (we only expand with pool keywords; the kwForeign
+// level guards foreign queries). Intersections apply in q.Terms order
+// exactly as the uncached implementation did — the per-level buffers only
+// memoize the identical word-wise results.
+//
+// The returned set aliases the resolver's level buffers (or allB for an
+// empty query): it is valid only until the resolver — checked out of
+// p.resolver and returned here — is stored back. Callers must treat it as
+// read-only, then Store the resolver.
+func (p *Problem) retrieveLevel(q search.Query) (*queryResolver, document.BitSet) {
+	rv := p.resolver.Swap(nil)
+	if rv == nil {
+		rv = &queryResolver{hint: -1}
 	}
+	terms := q.Terms
+	n := len(rv.terms)
+	if len(terms) < n {
+		n = len(terms)
+	}
+	l := 0
+	for l < n && rv.terms[l] == terms[l] {
+		l++
+	}
+	rv.terms = append(rv.terms[:l], terms[l:]...)
+	for i := l; i < len(terms); i++ {
+		t := terms[i]
+		ki := kwForeign
+		if p.UserQuery.Contains(t) {
+			ki = kwSkip
+		} else if h := rv.hint + 1; h > 0 && int(h) < len(p.Pool) && p.Pool[h] == t {
+			ki = h
+			rv.hint = h
+		} else if k, ok := p.kwID(t); ok {
+			ki = k
+			rv.hint = k
+		}
+		if i >= len(rv.bufs) {
+			rv.bufs = append(rv.bufs, document.NewBitSet(p.nDocs()))
+		}
+		buf := rv.bufs[i]
+		prev := p.allB
+		if i > 0 {
+			prev = rv.bufs[i-1]
+		}
+		switch ki {
+		case kwSkip:
+			buf.CopyFrom(prev)
+		case kwForeign:
+			buf.Clear()
+		default:
+			buf.AndOf(prev, p.containB[ki])
+		}
+	}
+	if len(terms) == 0 {
+		return rv, p.allB
+	}
+	return rv, rv.bufs[len(terms)-1]
+}
+
+// retrieveBits is retrieveLevel with an owned (cloned) result, for callers
+// that keep the set.
+func (p *Problem) retrieveBits(q search.Query) document.BitSet {
+	rv, lv := p.retrieveLevel(q)
+	r := lv.Clone()
+	p.resolver.Store(rv)
 	return r
 }
 
@@ -426,18 +504,29 @@ func (p *Problem) measureBits(r document.BitSet) eval.PRF {
 	return eval.MeasureBits(r, p.cB, p.w, p.sC)
 }
 
-// FMeasure evaluates a candidate expanded query against the cluster.
+// FMeasure evaluates a candidate expanded query against the cluster. The
+// measure reads straight off the cached level buffer — no per-evaluation
+// clone — which is safe because the resolver stays checked out until the
+// measure is done.
 func (p *Problem) FMeasure(q search.Query) float64 {
-	return p.measureBits(p.retrieveBits(q)).F
+	rv, lv := p.retrieveLevel(q)
+	f := p.measureBits(lv).F
+	p.resolver.Store(rv)
+	return f
 }
 
 // Measure returns full precision/recall/F of a candidate expanded query.
 func (p *Problem) Measure(q search.Query) eval.PRF {
-	return p.measureBits(p.retrieveBits(q))
+	rv, lv := p.retrieveLevel(q)
+	m := p.measureBits(lv)
+	p.resolver.Store(rv)
+	return m
 }
 
 // retrieveORBits computes R(q) under OR semantics restricted to the
 // universe: the universe documents containing at least one of q's terms.
+// The AND-path resolution cache does not apply (its levels memoize
+// intersections), and the OR expander is not on the delta-F hot path.
 func (p *Problem) retrieveORBits(q search.Query) document.BitSet {
 	out := document.NewBitSet(p.nDocs())
 	for _, t := range q.Terms {

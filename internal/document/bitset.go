@@ -131,6 +131,16 @@ func (b BitSet) sameUniverse(t BitSet) {
 	}
 }
 
+// AndOf overwrites b with x ∩ y, reusing b's storage (a fused CopyFrom+And,
+// one pass). All three sets must share a universe.
+func (b BitSet) AndOf(x, y BitSet) {
+	b.sameUniverse(x)
+	x.sameUniverse(y)
+	for i := range b.words {
+		b.words[i] = x.words[i] & y.words[i]
+	}
+}
+
 // And intersects in place: b = b ∩ t.
 func (b BitSet) And(t BitSet) {
 	b.sameUniverse(t)

@@ -1,0 +1,565 @@
+// Hand-rolled JSON codec for the wire layer's two small request types and
+// their responses. The generic encoding/json path allocates a Decoder (with
+// its internal read buffer) and an Encoder per request; the request bodies
+// here are tiny flat objects and the responses are fixed shapes, so a direct
+// scanner over the pooled body bytes and a direct append into the pooled
+// output buffer leave the steady-state request path with no codec
+// allocations at all (WireExpandCached / WireSearch pin this via the
+// benchdiff alloc gates).
+//
+// Decoding matches the strict behaviour the stdlib path enforced: unknown
+// fields, type mismatches, malformed JSON and trailing data are all errors;
+// null is accepted for any field (leaving its zero value), matching
+// json.Decoder. Encoding produces the same bytes encoding/json would
+// (HTML-escaped strings, stdlib float formatting), so clients cannot tell
+// the codec changed.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// jsonDecodable is implemented by request types with a hand-rolled strict
+// decoder; Server.decode uses it in place of encoding/json.
+type jsonDecodable interface {
+	decodeJSON(data []byte) error
+}
+
+// jsonAppendable is implemented by response types with a hand-rolled
+// encoder; Server.writeJSON uses it in place of encoding/json.
+type jsonAppendable interface {
+	appendJSON(dst []byte) []byte
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// jscan is a minimal JSON scanner over a byte slice.
+type jscan struct {
+	b []byte
+	i int
+}
+
+var errJSONSyntax = errors.New("malformed JSON")
+
+func (s *jscan) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+// consume advances past c, which must be the next non-space byte.
+func (s *jscan) consume(c byte) error {
+	s.ws()
+	if s.i >= len(s.b) || s.b[s.i] != c {
+		return errJSONSyntax
+	}
+	s.i++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (s *jscan) peek() byte {
+	s.ws()
+	if s.i >= len(s.b) {
+		return 0
+	}
+	return s.b[s.i]
+}
+
+// literal consumes the given keyword (true/false/null tail).
+func (s *jscan) literal(lit string) error {
+	if len(s.b)-s.i < len(lit) || string(s.b[s.i:s.i+len(lit)]) != lit {
+		return errJSONSyntax
+	}
+	s.i += len(lit)
+	return nil
+}
+
+// null consumes a null literal if present, reporting whether it did.
+func (s *jscan) null() (bool, error) {
+	if s.peek() != 'n' {
+		return false, nil
+	}
+	return true, s.literal("null")
+}
+
+// str decodes a JSON string. The fast path (printable ASCII, no escapes)
+// copies the bytes once — the scanner's buffer is pooled, so the value must
+// not alias it. Escapes and non-ASCII bytes take the slow path, which also
+// sanitizes invalid UTF-8 to U+FFFD exactly as the stdlib decoder does.
+func (s *jscan) str() (string, error) {
+	if err := s.consume('"'); err != nil {
+		return "", err
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch c := s.b[s.i]; {
+		case c == '"':
+			out := string(s.b[start:s.i])
+			s.i++
+			return out, nil
+		case c == '\\' || c >= 0x80:
+			return s.strSlow(start)
+		case c < 0x20:
+			return "", errJSONSyntax
+		default:
+			s.i++
+		}
+	}
+	return "", errJSONSyntax
+}
+
+// strSlow finishes decoding a string that contains escapes or non-ASCII
+// bytes, starting over from the opening quote's successor.
+func (s *jscan) strSlow(start int) (string, error) {
+	out := append([]byte(nil), s.b[start:s.i]...)
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		switch {
+		case c == '"':
+			s.i++
+			return string(out), nil
+		case c < 0x20:
+			return "", errJSONSyntax
+		case c >= 0x80:
+			// Valid multibyte runes pass through; invalid UTF-8 becomes
+			// U+FFFD, matching encoding/json's unquote.
+			r, size := utf8.DecodeRune(s.b[s.i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, 0xFFFD)
+			} else {
+				out = append(out, s.b[s.i:s.i+size]...)
+			}
+			s.i += size
+		case c != '\\':
+			out = append(out, c)
+			s.i++
+		default:
+			s.i++
+			if s.i >= len(s.b) {
+				return "", errJSONSyntax
+			}
+			esc := s.b[s.i]
+			s.i++
+			switch esc {
+			case '"', '\\', '/':
+				out = append(out, esc)
+			case 'b':
+				out = append(out, '\b')
+			case 'f':
+				out = append(out, '\f')
+			case 'n':
+				out = append(out, '\n')
+			case 'r':
+				out = append(out, '\r')
+			case 't':
+				out = append(out, '\t')
+			case 'u':
+				r, err := s.hex4()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					// Expect a low surrogate; otherwise emit U+FFFD like
+					// the stdlib decoder.
+					r2 := rune(0xFFFD)
+					if s.i+1 < len(s.b) && s.b[s.i] == '\\' && s.b[s.i+1] == 'u' {
+						s.i += 2
+						lo, err := s.hex4()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(r, lo); dec != 0xFFFD {
+							r2 = dec
+						} else {
+							out = utf8.AppendRune(out, 0xFFFD)
+							r2 = lo
+						}
+					}
+					r = r2
+				}
+				out = utf8.AppendRune(out, r)
+			default:
+				return "", errJSONSyntax
+			}
+		}
+	}
+	return "", errJSONSyntax
+}
+
+// hex4 decodes four hex digits of a \u escape.
+func (s *jscan) hex4() (rune, error) {
+	if len(s.b)-s.i < 4 {
+		return 0, errJSONSyntax
+	}
+	var r rune
+	for j := 0; j < 4; j++ {
+		c := s.b[s.i+j]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, errJSONSyntax
+		}
+	}
+	s.i += 4
+	return r, nil
+}
+
+// integer decodes a JSON number into an int, rejecting fractions and
+// exponents (the stdlib errors on those for int fields too).
+func (s *jscan) integer(field string) (int, error) {
+	s.ws()
+	start := s.i
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		s.i++
+	}
+	digits := 0
+	first := byte(0)
+	for s.i < len(s.b) && s.b[s.i] >= '0' && s.b[s.i] <= '9' {
+		if digits == 0 {
+			first = s.b[s.i]
+		}
+		s.i++
+		digits++
+	}
+	if digits == 0 || (first == '0' && digits > 1) {
+		// No digits, or a leading zero ("01") — malformed JSON per the
+		// number grammar, which the stdlib decoder rejects too.
+		return 0, errJSONSyntax
+	}
+	if s.i < len(s.b) {
+		if c := s.b[s.i]; c == '.' || c == 'e' || c == 'E' {
+			return 0, fmt.Errorf("field %q: not an integer", field)
+		}
+	}
+	n, err := strconv.Atoi(string(s.b[start:s.i]))
+	if err != nil {
+		return 0, fmt.Errorf("field %q: %v", field, err)
+	}
+	return n, nil
+}
+
+// boolean decodes true or false.
+func (s *jscan) boolean() (bool, error) {
+	switch s.peek() {
+	case 't':
+		return true, s.literal("true")
+	case 'f':
+		return false, s.literal("false")
+	default:
+		return false, errJSONSyntax
+	}
+}
+
+// object drives the decode of one flat JSON object: field is called for
+// every key with the scanner positioned at the value. Afterwards the input
+// must hold nothing but whitespace (the stdlib path rejected trailing data).
+func (s *jscan) object(field func(key string) error) error {
+	if err := s.consume('{'); err != nil {
+		return err
+	}
+	if s.peek() == '}' {
+		s.i++
+	} else {
+		for {
+			key, err := s.str()
+			if err != nil {
+				return err
+			}
+			if err := s.consume(':'); err != nil {
+				return err
+			}
+			if err := field(key); err != nil {
+				return err
+			}
+			if s.peek() == ',' {
+				s.i++
+				continue
+			}
+			if err := s.consume('}'); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	s.ws()
+	if s.i != len(s.b) {
+		return errors.New("trailing data")
+	}
+	return nil
+}
+
+// strField / intField / boolField decode one value into dst, honouring null.
+func (s *jscan) strField(dst *string) error {
+	if ok, err := s.null(); ok || err != nil {
+		return err
+	}
+	v, err := s.str()
+	if err == nil {
+		*dst = v
+	}
+	return err
+}
+
+func (s *jscan) intField(dst *int, key string) error {
+	if ok, err := s.null(); ok || err != nil {
+		return err
+	}
+	v, err := s.integer(key)
+	if err == nil {
+		*dst = v
+	}
+	return err
+}
+
+func (s *jscan) boolField(dst *bool) error {
+	if ok, err := s.null(); ok || err != nil {
+		return err
+	}
+	v, err := s.boolean()
+	if err == nil {
+		*dst = v
+	}
+	return err
+}
+
+func unknownField(key string) error {
+	return fmt.Errorf("unknown field %q", key)
+}
+
+// decodeJSON implements jsonDecodable for SearchRequest.
+func (r *SearchRequest) decodeJSON(data []byte) error {
+	s := jscan{b: data}
+	return s.object(func(key string) error {
+		switch key {
+		case "query":
+			return s.strField(&r.Query)
+		case "top_k":
+			return s.intField(&r.TopK, key)
+		default:
+			return unknownField(key)
+		}
+	})
+}
+
+// decodeJSON implements jsonDecodable for ExpandRequest.
+func (r *ExpandRequest) decodeJSON(data []byte) error {
+	s := jscan{b: data}
+	return s.object(func(key string) error {
+		switch key {
+		case "query":
+			return s.strField(&r.Query)
+		case "k":
+			return s.intField(&r.K, key)
+		case "top_k":
+			return s.intField(&r.TopK, key)
+		case "method":
+			return s.strField(&r.Method)
+		case "unweighted":
+			return s.boolField(&r.Unweighted)
+		case "parallel":
+			return s.boolField(&r.Parallel)
+		case "interleave":
+			return s.intField(&r.Interleave, key)
+		case "quality":
+			return s.strField(&r.Quality)
+		default:
+			return unknownField(key)
+		}
+	})
+}
+
+// --- encoding ---------------------------------------------------------------
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a quoted, escaped JSON string, byte-identical to
+// encoding/json's default (HTML-escaping) encoder.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control characters and the HTML-sensitive <, >, & become
+				// \u00xx, matching the stdlib's escapeHTML behaviour.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			// Invalid UTF-8 becomes the six-byte escape, matching the
+			// stdlib encoder (which writes \ufffd, not the literal rune).
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends a float exactly as encoding/json formats it
+// (shortest representation, 'e' form outside [1e-6, 1e21) with a trimmed
+// exponent). The wire values are finite by construction.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e+09" to "e+9", as the stdlib does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendJSON implements jsonAppendable for SearchResponse, mirroring the
+// struct's json tags (title is omitempty).
+func (r *SearchResponse) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"count":`...)
+	dst = strconv.AppendInt(dst, int64(r.Count), 10)
+	dst = append(dst, `,"hits":`...)
+	if r.Hits == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i, h := range r.Hits {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"id":`...)
+			dst = strconv.AppendInt(dst, int64(h.ID), 10)
+			if h.Title != "" {
+				dst = append(dst, `,"title":`...)
+				dst = appendJSONString(dst, h.Title)
+			}
+			dst = append(dst, `,"score":`...)
+			dst = appendJSONFloat(dst, h.Score)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"took_ms":`...)
+	dst = appendJSONFloat(dst, r.TookMS)
+	return append(dst, '}', '\n')
+}
+
+// appendJSON implements jsonAppendable for ExpandResponse.
+func (r *ExpandResponse) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"original":`...)
+	dst = appendStringArray(dst, r.Original)
+	dst = append(dst, `,"queries":`...)
+	if r.Queries == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i, q := range r.Queries {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"terms":`...)
+			dst = appendStringArray(dst, q.Terms)
+			dst = append(dst, `,"cluster":`...)
+			dst = strconv.AppendInt(dst, int64(q.Cluster), 10)
+			dst = append(dst, `,"precision":`...)
+			dst = appendJSONFloat(dst, q.Precision)
+			dst = append(dst, `,"recall":`...)
+			dst = appendJSONFloat(dst, q.Recall)
+			dst = append(dst, `,"f":`...)
+			dst = appendJSONFloat(dst, q.F)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"clusters":`...)
+	if r.Clusters == nil {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		for i, cl := range r.Clusters {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, '[')
+			for j, id := range cl {
+				if j > 0 {
+					dst = append(dst, ',')
+				}
+				dst = strconv.AppendInt(dst, int64(id), 10)
+			}
+			dst = append(dst, ']')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"score":`...)
+	dst = appendJSONFloat(dst, r.Score)
+	dst = append(dst, `,"took_ms":`...)
+	dst = appendJSONFloat(dst, r.TookMS)
+	return append(dst, '}', '\n')
+}
+
+// appendStringArray appends a []string as a JSON array (null when nil,
+// matching encoding/json).
+func appendStringArray(dst []byte, ss []string) []byte {
+	if ss == nil {
+		return append(dst, `null`...)
+	}
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, s)
+	}
+	return append(dst, ']')
+}

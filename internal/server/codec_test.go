@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	qec "repro"
+)
+
+// TestCodecDecodeMatchesStdlib drives both request decoders over a grid of
+// bodies and checks the hand-rolled result (value and accept/reject
+// decision) against a strict encoding/json decode of the same bytes.
+func TestCodecDecodeMatchesStdlib(t *testing.T) {
+	stdlibDecode := func(data []byte, v any) error {
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return err
+		}
+		if dec.More() {
+			return fmt.Errorf("trailing data")
+		}
+		return nil
+	}
+	bodies := []string{
+		`{}`,
+		`{"query":"apple"}`,
+		`{"query":"apple","top_k":5}`,
+		`{"query":"apple","top_k":-3}`,
+		`{"query":"caf\u00e9 \"quoted\" \\ \/ \n\t\r\b\f"}`,
+		`{"query":"surrogate \ud83d\ude00 pair"}`,
+		`{"query":null,"top_k":null}`,
+		`  {  "query" : "spaced"  ,  "top_k" : 2 }  `,
+		`{"query":"dup","query":"wins"}`,
+		`{"query":"x","bogus":1}`,
+		`{"query":"x"} trailing`,
+		`{"query":`,
+		`[1,2]`,
+		`{"top_k":"nope"}`,
+		`{"top_k":1.5}`,
+		`{"top_k":1e2}`,
+		`{"top_k":01}`,
+		`{"top_k":-0}`,
+		`{"top_k":0}`,
+		`{"query":"bad\x19control"}`,
+		"{\"query\":\"raw \xff invalid utf8\"}",
+		"{\"query\":\"truncated rune \xc3\"}",
+		``,
+	}
+	for _, body := range bodies {
+		var ours, std SearchRequest
+		ourErr := ours.decodeJSON([]byte(body))
+		stdErr := stdlibDecode([]byte(body), &std)
+		if (ourErr == nil) != (stdErr == nil) {
+			t.Errorf("search %q: ours err=%v, stdlib err=%v", body, ourErr, stdErr)
+			continue
+		}
+		if ourErr == nil && !reflect.DeepEqual(ours, std) {
+			t.Errorf("search %q: ours %+v, stdlib %+v", body, ours, std)
+		}
+	}
+	expandBodies := []string{
+		`{"query":"apple","k":2,"top_k":30,"method":"pebc","unweighted":true,"parallel":false,"interleave":3,"quality":"serving"}`,
+		`{"query":"apple","quality":"exact"}`,
+		`{"unweighted":null,"parallel":true}`,
+		`{"quality":7}`,
+		`{"unweighted":"yes"}`,
+	}
+	for _, body := range expandBodies {
+		var ours, std ExpandRequest
+		ourErr := ours.decodeJSON([]byte(body))
+		stdErr := stdlibDecode([]byte(body), &std)
+		if (ourErr == nil) != (stdErr == nil) {
+			t.Errorf("expand %q: ours err=%v, stdlib err=%v", body, ourErr, stdErr)
+			continue
+		}
+		if ourErr == nil && !reflect.DeepEqual(ours, std) {
+			t.Errorf("expand %q: ours %+v, stdlib %+v", body, ours, std)
+		}
+	}
+}
+
+// TestCodecEncodeMatchesStdlib pins byte identity between the hand-rolled
+// response encoders and encoding/json (including HTML escaping, omitempty,
+// nil-vs-empty slices and float formatting), so clients cannot observe the
+// codec swap.
+func TestCodecEncodeMatchesStdlib(t *testing.T) {
+	responses := []any{
+		&SearchResponse{},
+		&SearchResponse{Count: 2, TookMS: 0.123, Hits: []SearchHit{
+			{ID: 1, Title: "plain", Score: 1.5},
+			{ID: 2, Score: math.SmallestNonzeroFloat64}, // omitempty title, 'e' float
+		}},
+		&SearchResponse{Count: 1, Hits: []SearchHit{
+			{ID: 3, Title: `<b>&"escape\n` + "\u2028\u2029" + `"</b>`, Score: 1e21},
+		}},
+		&SearchResponse{Count: 1, Hits: []SearchHit{
+			{ID: 4, Title: "invalid \xff utf8 \xc3 tail", Score: 1},
+		}},
+		&ExpandResponse{},
+		&ExpandResponse{
+			Original: []string{"apple"},
+			Queries: []ExpandedQuery{
+				{Terms: []string{"apple", "piè"}, Cluster: 0, Precision: 1, Recall: 0.5, F: 2.0 / 3.0},
+				{Terms: nil, Cluster: 1},
+			},
+			Clusters: [][]int{{0, 1}, {}},
+			Score:    0.75,
+			TookMS:   12.5,
+		},
+	}
+	for _, resp := range responses {
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.(jsonAppendable).appendJSON(nil)
+		// The stdlib Encoder (which the wire layer replaced) appends a
+		// newline after the value; the codec keeps that for byte identity.
+		if string(got) != string(want)+"\n" {
+			t.Errorf("encode %T:\n ours:   %q\n stdlib: %q", resp, got, string(want)+"\n")
+		}
+	}
+}
+
+// TestExpandQualityWire drives the quality field end to end: valid modes
+// round-trip, unknown ones 400, and the server-level default applies only
+// when the request leaves the field empty.
+func TestExpandQualityWire(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+	for _, quality := range []string{"", "exact", "serving"} {
+		resp, data := postJSON(t, ts.Client(), ts.URL+"/expand",
+			ExpandRequest{Query: "apple", K: 2, Quality: quality})
+		if resp.StatusCode != 200 {
+			t.Fatalf("quality %q: status %d, body %s", quality, resp.StatusCode, data)
+		}
+		er := decode[ExpandResponse](t, data)
+		if er.Score <= 0 {
+			t.Fatalf("quality %q: score %v", quality, er.Score)
+		}
+	}
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/expand",
+		ExpandRequest{Query: "apple", Quality: "warp"})
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown quality: status %d, body %s", resp.StatusCode, data)
+	}
+
+	// A serving-default server still honours explicit per-request "exact".
+	def := httptest.NewServer(New(ambiguousEngine(t),
+		Options{DefaultQuality: qec.QualityServing}).Handler())
+	defer def.Close()
+	for _, quality := range []string{"", "exact"} {
+		resp, data := postJSON(t, def.Client(), def.URL+"/expand",
+			ExpandRequest{Query: "apple", K: 2, Quality: quality})
+		if resp.StatusCode != 200 {
+			t.Fatalf("default-serving, quality %q: status %d, body %s", quality, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestExpandRequestOptionsQuality pins the wire→ExpandOptions mapping of the
+// quality field, including the server-default fallback.
+func TestExpandRequestOptionsQuality(t *testing.T) {
+	cases := []struct {
+		wire string
+		def  qec.Quality
+		want qec.Quality
+		ok   bool
+	}{
+		{"", qec.QualityExact, qec.QualityExact, true},
+		{"", qec.QualityServing, qec.QualityServing, true},
+		{"exact", qec.QualityServing, qec.QualityExact, true},
+		{"Serving", qec.QualityExact, qec.QualityServing, true},
+		{"bogus", qec.QualityExact, qec.QualityExact, false},
+	}
+	for _, tc := range cases {
+		opts, err := (&ExpandRequest{Query: "q", Quality: tc.wire}).Options(tc.def)
+		if (err == nil) != tc.ok {
+			t.Fatalf("quality %q: err = %v, want ok=%v", tc.wire, err, tc.ok)
+		}
+		if err == nil && opts.Quality != tc.want {
+			t.Fatalf("quality %q (default %v): got %v, want %v", tc.wire, tc.def, opts.Quality, tc.want)
+		}
+	}
+}

@@ -56,6 +56,12 @@ type Options struct {
 	ShutdownTimeout time.Duration
 	// MaxBodyBytes bounds request body size. Default 1MiB.
 	MaxBodyBytes int64
+	// DefaultQuality is the clustering quality mode applied to expand
+	// requests that leave "quality" unset. The zero value is
+	// qec.QualityExact; operators trade accuracy for latency fleet-wide
+	// with qec-serve -quality serving, while individual requests can still
+	// pin either mode.
+	DefaultQuality qec.Quality
 }
 
 func (o Options) withDefaults() Options {
@@ -235,7 +241,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
-	opts, err := req.Options()
+	opts, err := req.Options(s.opts.DefaultQuality)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -334,6 +340,7 @@ func (s *Server) allowMethod(w http.ResponseWriter, r *http.Request, method stri
 type wireBuf struct {
 	body bytes.Buffer
 	out  bytes.Buffer
+	enc  []byte // append scratch for the hand-rolled response encoders
 	rdr  bytes.Reader
 }
 
@@ -353,8 +360,18 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return false
 	}
-	// Decode straight off the pooled bytes; the JSON decoder copies what it
-	// keeps (strings), so recycling the buffer after return is safe.
+	// Decode straight off the pooled bytes; both decode paths copy what
+	// they keep (strings), so recycling the buffer after return is safe.
+	// The two wire request types carry their own strict hand-rolled decoder
+	// (see codec.go) — no per-request json.Decoder, no decoder read buffer;
+	// anything else falls back to encoding/json with the same strictness.
+	if hr, ok := v.(jsonDecodable); ok {
+		if err := hr.decodeJSON(wb.body.Bytes()); err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+			return false
+		}
+		return true
+	}
 	wb.rdr.Reset(wb.body.Bytes())
 	dec := json.NewDecoder(&wb.rdr)
 	dec.DisallowUnknownFields()
@@ -372,6 +389,16 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	wb := bufPool.Get().(*wireBuf)
 	defer bufPool.Put(wb)
+	// The two hot response shapes append themselves into the pooled scratch
+	// directly (see codec.go); everything else takes the generic encoder.
+	if ha, ok := v.(jsonAppendable); ok {
+		wb.enc = ha.appendJSON(wb.enc[:0])
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(wb.enc)))
+		w.WriteHeader(status)
+		_, _ = w.Write(wb.enc)
+		return
+	}
 	wb.out.Reset()
 	if err := json.NewEncoder(&wb.out).Encode(v); err != nil {
 		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)

@@ -46,13 +46,24 @@ type ExpandRequest struct {
 	// Interleave alternates expansion and re-clustering for up to this many
 	// rounds (0 = off).
 	Interleave int `json:"interleave,omitempty"`
+	// Quality is "exact" (default) or "serving": the clustering
+	// speed/accuracy trade. Empty inherits the server's -quality default.
+	Quality string `json:"quality,omitempty"`
 }
 
-// Options converts the wire request into qec.ExpandOptions.
-func (r *ExpandRequest) Options() (qec.ExpandOptions, error) {
+// Options converts the wire request into qec.ExpandOptions. def is the
+// server's default clustering quality, applied when the request leaves the
+// field empty.
+func (r *ExpandRequest) Options(def qec.Quality) (qec.ExpandOptions, error) {
 	method, ok := qec.ParseMethod(r.Method)
 	if !ok {
 		return qec.ExpandOptions{}, fmt.Errorf("unknown method %q", r.Method)
+	}
+	quality := def
+	if r.Quality != "" {
+		if quality, ok = qec.ParseQuality(r.Quality); !ok {
+			return qec.ExpandOptions{}, fmt.Errorf("unknown quality %q", r.Quality)
+		}
 	}
 	return qec.ExpandOptions{
 		K:          r.K,
@@ -61,6 +72,7 @@ func (r *ExpandRequest) Options() (qec.ExpandOptions, error) {
 		Unweighted: r.Unweighted,
 		Parallel:   r.Parallel,
 		Interleave: r.Interleave,
+		Quality:    quality,
 	}, nil
 }
 

@@ -1,0 +1,104 @@
+package termdict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseScratchMatchesFreshBuffer(t *testing.T) {
+	var s DenseScratch
+	adds := [][2]float64{{3, 1.5}, {1, 2}, {3, 0.25}, {0, 7}, {1, 1}}
+	for epoch := 0; epoch < 3; epoch++ {
+		s.Reset(5)
+		fresh := make([]float64, 5)
+		var touched []TermID
+		for _, a := range adds {
+			id := TermID(a[0])
+			s.Add(id, a[1])
+			if fresh[id] == 0 {
+				touched = append(touched, id)
+			}
+			fresh[id] += a[1]
+		}
+		if len(s.Touched) != len(touched) {
+			t.Fatalf("epoch %d: touched %v, want %v", epoch, s.Touched, touched)
+		}
+		for i, id := range touched {
+			if s.Touched[i] != id {
+				t.Fatalf("epoch %d: touched order %v, want %v (first-touch order)", epoch, s.Touched, touched)
+			}
+			if math.Float64bits(s.Vals[id]) != math.Float64bits(fresh[id]) {
+				t.Fatalf("epoch %d: cell %d = %v, want %v", epoch, id, s.Vals[id], fresh[id])
+			}
+		}
+	}
+}
+
+func TestDenseScratchGrowsAndInvalidates(t *testing.T) {
+	var s DenseScratch
+	s.Reset(2)
+	s.Add(1, 5)
+	s.Reset(10) // grow: all cells must read as fresh
+	s.Add(1, 3)
+	s.Add(9, 2)
+	if s.Vals[1] != 3 || s.Vals[9] != 2 || len(s.Touched) != 2 {
+		t.Fatalf("after grow: vals %v %v, touched %v", s.Vals[1], s.Vals[9], s.Touched)
+	}
+	s.Reset(10) // same size: epoch bump must invalidate
+	s.Add(1, 1)
+	if s.Vals[1] != 1 || len(s.Touched) != 1 {
+		t.Fatalf("after epoch bump: val %v, touched %v", s.Vals[1], s.Touched)
+	}
+}
+
+func TestDenseScratchEpochWrap(t *testing.T) {
+	var s DenseScratch
+	s.Reset(3)
+	s.Add(0, 4)
+	s.epoch = ^uint32(0) // force the wrap path on the next Reset
+	s.stamp[0] = s.epoch // a stale stamp that would collide after wrapping
+	s.Reset(3)
+	s.Add(0, 1)
+	if s.Vals[0] != 1 || len(s.Touched) != 1 {
+		t.Fatalf("after wrap: val %v, touched %v", s.Vals[0], s.Touched)
+	}
+}
+
+func TestResolveSorted(t *testing.T) {
+	d := New([]string{"delta", "alpha", "charlie", "bravo"})
+	got := ResolveSorted(d, []string{"delta", "missing", "alpha", "bravo"})
+	want := []TermID{0, 1, 3} // alpha, bravo, delta in lexicographic IDs
+	if len(got) != len(want) {
+		t.Fatalf("ResolveSorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ResolveSorted = %v, want %v", got, want)
+		}
+	}
+	if out := ResolveSorted(d, nil); len(out) != 0 {
+		t.Fatalf("ResolveSorted(nil) = %v", out)
+	}
+}
+
+func TestSkipListAscendingPass(t *testing.T) {
+	s := SkipList{IDs: []TermID{2, 5, 9}}
+	probes := []struct {
+		id   TermID
+		want bool
+	}{{0, false}, {2, true}, {3, false}, {5, true}, {5, true}, {8, false}, {9, true}, {11, false}}
+	for _, p := range probes {
+		if got := s.Contains(p.id); got != p.want {
+			t.Fatalf("Contains(%d) = %v, want %v", p.id, got, p.want)
+		}
+	}
+	// After Reset the cursor rewinds for the next document's pass.
+	s.Reset()
+	if !s.Contains(2) || s.Contains(3) || !s.Contains(9) {
+		t.Fatal("Reset did not rewind the cursor")
+	}
+	var empty SkipList
+	if empty.Contains(1) {
+		t.Fatal("empty SkipList contains nothing")
+	}
+}

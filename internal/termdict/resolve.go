@@ -1,0 +1,42 @@
+package termdict
+
+import "slices"
+
+// ResolveSorted resolves a query's terms through the dictionary, drops
+// out-of-vocabulary terms, and returns the TermIDs sorted ascending — the
+// shape every merge-skip consumer needs. It is the one implementation of the
+// resolve-query-terms pattern that used to live separately in the expansion
+// core's pool scorer and both corpus-backed baselines.
+func ResolveSorted(d *Dict, terms []string) []TermID {
+	out := make([]TermID, 0, len(terms))
+	for _, t := range terms {
+		if tid, ok := d.Lookup(t); ok {
+			out = append(out, tid)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// SkipList consumes a sorted TermID list in one ascending merge pass:
+// Contains(tid) advances an internal cursor past IDs below tid and reports
+// whether tid is in the list. Probes must arrive in ascending order between
+// Resets (the order every per-document TermID slice already has), which makes
+// the whole pass O(len(doc) + len(list)) with no map and no binary search.
+type SkipList struct {
+	// IDs is the sorted TermID list to skip against.
+	IDs []TermID
+	i   int
+}
+
+// Reset rewinds the cursor for a new ascending pass.
+func (s *SkipList) Reset() { s.i = 0 }
+
+// Contains reports whether tid is in the list, advancing the cursor. tid
+// values must not decrease between Resets.
+func (s *SkipList) Contains(tid TermID) bool {
+	for s.i < len(s.IDs) && s.IDs[s.i] < tid {
+		s.i++
+	}
+	return s.i < len(s.IDs) && s.IDs[s.i] == tid
+}

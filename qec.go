@@ -42,6 +42,37 @@ var (
 	ErrNoResults = errors.New("qec: no results")
 )
 
+// Quality selects the clustering speed/accuracy trade of the expansion
+// pipeline (an alias of the internal cluster.Quality so it threads through
+// ExpandOptions into ClusterOptions unconverted).
+type Quality = cluster.Quality
+
+const (
+	// QualityExact (the default) runs clustering with the full restart
+	// budget and exact assignment arithmetic: output is bit-identical to
+	// the historical implementation for a fixed seed.
+	QualityExact = cluster.QualityExact
+	// QualityServing trades a deterministic accuracy delta for latency:
+	// fewer k-means restarts and bound-pruned assignment. Runs remain
+	// deterministic for a fixed seed, but results are not comparable to
+	// QualityExact's.
+	QualityServing = cluster.QualityServing
+)
+
+// ParseQuality maps a quality-mode name ("exact", "serving"; "" means exact)
+// back to a Quality. Matching is case-insensitive; ok is false for unknown
+// names.
+func ParseQuality(s string) (Quality, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact":
+		return QualityExact, true
+	case "serving":
+		return QualityServing, true
+	default:
+		return QualityExact, false
+	}
+}
+
 // Method selects the expansion algorithm.
 type Method int
 
@@ -262,6 +293,11 @@ type ExpandOptions struct {
 	// paper's future-work "interweaving" idea) for up to this many rounds;
 	// 0 disables it.
 	Interleave int
+	// Quality selects the clustering speed/accuracy trade (default
+	// QualityExact). QualityServing cuts cold-expansion latency at a
+	// documented, deterministic accuracy delta — see the package
+	// documentation's "clustering quality modes" section.
+	Quality Quality
 }
 
 // ExpandedQuery is one expanded query with its quality against its cluster.
@@ -337,8 +373,8 @@ func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 		sb.WriteString(term)
 		sb.WriteByte(' ')
 	}
-	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%d|uw=%t|il=%d",
-		opts.K, opts.TopK, opts.Method, opts.Unweighted, opts.Interleave)
+	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%d|uw=%t|il=%d|q=%d",
+		opts.K, opts.TopK, opts.Method, opts.Unweighted, opts.Interleave, opts.Quality)
 	return sb.String()
 }
 
@@ -397,7 +433,7 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 		}
 	}
 	cl := cluster.KMeans(e.idx, universe.IDs(), cluster.Options{
-		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5,
+		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5, Quality: opts.Quality,
 	})
 
 	var expander core.Expander

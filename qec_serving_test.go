@@ -180,3 +180,88 @@ func TestCacheStatsZeroWithoutCache(t *testing.T) {
 		t.Fatalf("computations = %d; want 1 (counted even without cache)", st.Computations)
 	}
 }
+
+// TestExpandQualityModesDeterministic is the engine-level serving-vs-exact
+// determinism contract: for a fixed seed, each quality mode produces an
+// identical Expansion on every run, and the two modes are cached under
+// distinct keys (an explicit mode never serves the other mode's entry).
+func TestExpandQualityModesDeterministic(t *testing.T) {
+	run := func(q Quality) *Expansion {
+		e := ambiguousEngine(t)
+		exp, err := e.Expand("apple", ExpandOptions{K: 2, Quality: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp
+	}
+	sameExpansion := func(label string, a, b *Expansion) {
+		t.Helper()
+		if a.Score != b.Score || len(a.Queries) != len(b.Queries) {
+			t.Fatalf("%s: score %v vs %v, %d vs %d queries",
+				label, a.Score, b.Score, len(a.Queries), len(b.Queries))
+		}
+		for i := range a.Queries {
+			aq, bq := a.Queries[i], b.Queries[i]
+			if aq.F != bq.F || len(aq.Terms) != len(bq.Terms) {
+				t.Fatalf("%s: query %d diverges (%v vs %v)", label, i, aq, bq)
+			}
+			for j := range aq.Terms {
+				if aq.Terms[j] != bq.Terms[j] {
+					t.Fatalf("%s: query %d term %d: %q vs %q",
+						label, i, j, aq.Terms[j], bq.Terms[j])
+				}
+			}
+		}
+		for i := range a.Clusters {
+			if len(a.Clusters[i]) != len(b.Clusters[i]) {
+				t.Fatalf("%s: cluster %d size diverges", label, i)
+			}
+			for j := range a.Clusters[i] {
+				if a.Clusters[i][j] != b.Clusters[i][j] {
+					t.Fatalf("%s: cluster %d member %d diverges", label, i, j)
+				}
+			}
+		}
+	}
+	for _, q := range []Quality{QualityExact, QualityServing} {
+		ref := run(q)
+		for i := 0; i < 2; i++ {
+			sameExpansion(q.String(), ref, run(q))
+		}
+	}
+
+	// Distinct cache keys per mode: with a cache attached, requesting the
+	// two modes back to back computes twice (no cross-mode cache hit).
+	e := ambiguousEngine(t, WithExpansionCache(8))
+	if _, err := e.Expand("apple", ExpandOptions{K: 2, Quality: QualityExact}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Expand("apple", ExpandOptions{K: 2, Quality: QualityServing}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CacheStats().Computations; got != 2 {
+		t.Fatalf("computations = %d; want 2 (quality must be part of the cache key)", got)
+	}
+}
+
+// TestParseQuality pins the wire names accepted for the quality knob.
+func TestParseQuality(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Quality
+		ok   bool
+	}{
+		{"", QualityExact, true},
+		{"exact", QualityExact, true},
+		{"  Exact ", QualityExact, true},
+		{"serving", QualityServing, true},
+		{"SERVING", QualityServing, true},
+		{"fast", QualityExact, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseQuality(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseQuality(%q) = %v,%v; want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
