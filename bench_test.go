@@ -9,12 +9,14 @@ package qec
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -421,6 +423,53 @@ func benchColdExpansion(b *testing.B, scale int) {
 func BenchmarkColdExpansionScale1(b *testing.B) { benchColdExpansion(b, 1) }
 func BenchmarkColdExpansionScale2(b *testing.B) { benchColdExpansion(b, 2) }
 func BenchmarkColdExpansionScale4(b *testing.B) { benchColdExpansion(b, 4) }
+
+// --- Observability overhead -----------------------------------------------------
+
+// BenchmarkColdExpansionInstrumented is BenchmarkColdExpansionScale1 with a
+// caller-supplied trace attached — the fully-instrumented serving path,
+// recording six stage spans, the cache disposition, k-means bookkeeping and
+// the engine's latency histograms per op. The benchdiff gates pin it within
+// 5% ns/op and zero extra allocs/op of the uninstrumented cold path.
+func BenchmarkColdExpansionInstrumented(b *testing.B) {
+	e := NewEngine(WithSeed(3))
+	d := dataset.Wikipedia(3, 1)
+	for _, doc := range d.Corpus.Docs() {
+		e.AddText(doc.Title, doc.Body)
+	}
+	e.Build()
+	tr := obs.GetTrace()
+	defer obs.PutTrace(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		if _, err := e.ExpandTraced("java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsOverhead isolates the telemetry layer's fixed per-request cost:
+// a pooled trace cycle, six Begin/End stage spans, the cache mark, k-means
+// bookkeeping and the full ExpansionMetrics record. The benchdiff alloc gate
+// holds this at zero allocations per op.
+func BenchmarkObsOverhead(b *testing.B) {
+	var m ExpansionMetrics
+	opts := ExpandOptions{K: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.GetTrace()
+		tr.MarkCache(obs.CacheComputed)
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			tr.Begin(s)
+			tr.End(s)
+		}
+		tr.SetKMeans(5, 16, 0)
+		m.observe(opts, tr, time.Microsecond)
+		obs.PutTrace(tr)
+	}
+}
 
 // --- Index substrate: term dictionary, postings arena, pool scoring -------------
 

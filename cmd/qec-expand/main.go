@@ -7,6 +7,9 @@
 //
 //	qec-expand -dataset wikipedia -query "java" -method iskr
 //	qec-expand -dataset shopping -query "canon products" -method pebc -k 3
+//
+// -trace prints a per-stage timing table (parse, search, problem, cluster,
+// solve) to stderr after the run, reusing the serving layer's obs.Trace.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -33,11 +37,24 @@ func main() {
 		topK   = flag.Int("top", 30, "consider only the top-K results (0 = all)")
 		seed   = flag.Int64("seed", 2011, "dataset / clustering / PEBC seed")
 		scale  = flag.Int("scale", 1, "corpus scale multiplier")
+		trace  = flag.Bool("trace", false, "print a per-stage timing table to stderr")
 	)
 	flag.Parse()
 	if *query == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// tr stays nil without -trace; every obs.Trace method is nil-safe, so the
+	// pipeline below carries no flag checks.
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.GetTrace()
+		tr.ID = obs.NextTraceID()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "\ntrace %s\n", obs.IDString(tr.ID))
+			tr.WriteTable(os.Stderr)
+		}()
 	}
 
 	var d *dataset.Dataset
@@ -52,17 +69,23 @@ func main() {
 	}
 
 	eng := search.NewEngine(d.Index)
+	tr.Begin(obs.StageParse)
 	q := search.ParseQuery(d.Index, *query)
+	tr.End(obs.StageParse)
+	tr.Begin(obs.StageSearch)
 	results := eng.Search(q, search.And, *topK)
+	tr.End(obs.StageSearch)
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "no results for %q\n", *query)
 		os.Exit(1)
 	}
+	tr.Begin(obs.StageProblem)
 	universe := search.ResultSet(results)
 	weights := eval.Weights{}
 	for _, r := range results {
 		weights[r.Doc] = r.Score
 	}
+	tr.End(obs.StageProblem)
 
 	// Non-cluster baselines short-circuit before clustering.
 	switch *method {
@@ -81,9 +104,12 @@ func main() {
 	}
 
 	start := time.Now()
+	tr.Begin(obs.StageCluster)
 	cl := cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
 		K: *k, Seed: *seed, PlusPlus: true, Restarts: 5,
 	})
+	tr.End(obs.StageCluster)
+	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
 	fmt.Printf("%d results, %d clusters (k-means, %v)\n",
 		len(results), cl.K(), time.Since(start))
 
@@ -115,9 +141,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(2)
 	}
+	tr.Begin(obs.StageProblem)
 	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
+	tr.End(obs.StageProblem)
 	start = time.Now()
+	tr.Begin(obs.StageSolve)
 	res := core.Solve(ex, problems)
+	tr.End(obs.StageSolve)
 	elapsed := time.Since(start)
 	for i, ce := range res.Expansions {
 		prf := ce.Expanded.PRF

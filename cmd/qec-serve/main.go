@@ -21,10 +21,18 @@
 //	qec-serve -dataset wikipedia -quality serving
 //
 // With -pprof-addr a net/http/pprof debug listener starts on a separate
-// address (off by default), so serving hot paths can be profiled in place:
+// address (off by default), so serving hot paths can be profiled in place —
+// profiles are labeled per pipeline stage (qec_stage=...) while it is on:
 //
 //	qec-serve -dataset wikipedia -pprof-addr 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//
+// Telemetry: GET /metrics serves Prometheus text exposition; GET /stats adds
+// latency quantiles. -access-log writes one JSON line per request (trace ID,
+// endpoint, query, latency, cache disposition, status); -slow-query-ms marks
+// requests over the threshold and attaches their per-stage breakdown:
+//
+//	qec-serve -dataset wikipedia -access-log access.jsonl -slow-query-ms 50
 //
 // The server drains gracefully on SIGINT/SIGTERM.
 package main
@@ -33,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -44,6 +53,7 @@ import (
 	qec "repro"
 	"repro/internal/dataset"
 	"repro/internal/document"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -61,6 +71,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		quality    = flag.String("quality", "exact", "default clustering quality for expand requests that don't set one: exact or serving")
 		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof debug listener address (empty disables)")
+		accessLog  = flag.String("access-log", "", `JSON-lines access log: "stderr", "stdout" or a file path (empty disables)`)
+		slowMS     = flag.Int("slow-query-ms", 0, "log requests at or above this latency with their per-stage breakdown (0 disables)")
 	)
 	flag.Parse()
 
@@ -70,7 +82,20 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
+		// Stage labels cost a little on every span; only pay for them when
+		// an operator actually asked for profiling.
+		obs.EnableProfileLabels(true)
 		go servePprof(*pprofAddr)
+	}
+
+	accessW, err := openLog(*accessLog)
+	if err != nil {
+		log.Fatalf("-access-log: %v", err)
+	}
+	var slowW io.Writer
+	if *slowMS > 0 && accessW == nil {
+		// No access log: slow-query breakdowns still need somewhere to go.
+		slowW = os.Stderr
 	}
 
 	var opts []qec.Option
@@ -108,6 +133,9 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxConcurrent:  *workers,
 		DefaultQuality: defQuality,
+		AccessLog:      accessW,
+		SlowQuery:      time.Duration(*slowMS) * time.Millisecond,
+		SlowLog:        slowW,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,6 +145,22 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shutdown complete")
+}
+
+// openLog resolves an -access-log destination. An empty path disables the
+// log (nil writer); files are opened in append mode so restarts do not
+// truncate history.
+func openLog(path string) (io.Writer, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "stderr":
+		return os.Stderr, nil
+	case "stdout":
+		return os.Stdout, nil
+	default:
+		return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	}
 }
 
 // servePprof runs the pprof debug mux on its own listener, kept off the

@@ -46,9 +46,9 @@
 //
 // Build is idempotent and safe for concurrent callers; see the concurrency
 // contract on Engine. The qec-serve command (cmd/qec-serve) wraps the engine
-// in a JSON HTTP API — POST /search, POST /expand, GET /healthz, GET /stats —
-// with per-request deadlines, a bounded expansion worker pool and graceful
-// shutdown; see README.md for a quick start.
+// in a JSON HTTP API — POST /search, POST /expand, GET /healthz, GET /stats,
+// GET /metrics — with per-request deadlines, a bounded expansion worker pool
+// and graceful shutdown; see README.md for a quick start.
 //
 // # Performance and determinism
 //
@@ -128,6 +128,30 @@
 // captured from the pre-refactor implementations and by map-vs-bitset
 // property tests.
 //
+// # Telemetry
+//
+// The pipeline is instrumented end to end through internal/obs: lock-free
+// counters, gauges and log-scale latency histograms (28 power-of-two
+// buckets spanning 256ns to ~34s, atomic bins, mergeable snapshots), and a
+// pooled per-request Trace recording wall time per pipeline stage
+// (parse, search, problem, cluster, solve, assemble), the cache
+// disposition, and k-means restart/iteration/abandonment counts.
+// Engine.ExpandTraced is Expand plus a trace; Engine.Metrics exposes the
+// engine-wide aggregates (per-quality, per-method and per-stage histograms,
+// cumulative k-means counters). Instrumentation only reads clocks — traced
+// output is bit-identical to untraced output (pinned by
+// TestExpandTracedBitIdentical over the full options grid), the traced hot
+// path allocates nothing extra, and its overhead is gated in CI within 5%
+// ns/op and +0 allocs/op of the uninstrumented cold path.
+//
+// The server renders these as a Prometheus text exposition on GET /metrics
+// (validated structurally in CI against a live scrape), quantile summaries
+// on GET /stats, an X-Trace-Id header per request, JSON-lines access and
+// slow-query logs, and an inline per-stage breakdown on expand responses
+// that set "debug": true. With a pprof listener enabled, expansion
+// goroutines carry per-stage pprof labels so CPU profiles split by
+// pipeline stage.
+//
 // # Snapshot versioning
 //
 // Engine.Save persists the index as a versioned binary snapshot: format
@@ -145,6 +169,7 @@
 // eval, core (ISKR/PEBC), baseline (Data Clouds, TFICF cluster
 // summarization, query-log suggestion), dataset (synthetic shopping and
 // Wikipedia corpora), userstudy (simulated raters), experiment (the
-// figure-regeneration harness), cache (sharded LRU + request coalescing) and
-// server (the HTTP API).
+// figure-regeneration harness), cache (sharded LRU + request coalescing),
+// obs (counters, histograms, traces, Prometheus exposition) and server (the
+// HTTP API).
 package qec

@@ -14,7 +14,8 @@ package cache
 import (
 	"hash/maphash"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // hashSeed is the per-process seed for StringHash. A fresh seed per process
@@ -74,9 +75,11 @@ type Cache[K comparable, V any] struct {
 	mask   uint64
 	hash   func(K) uint64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	// Counters are obs primitives so the serving layer can surface them on
+	// /metrics without translation; Stats still reports int64 snapshots.
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
 }
 
 // New returns a cache holding up to capacity entries, striped over
@@ -136,14 +139,14 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	e, ok := s.items[key]
 	if !ok {
 		s.mu.Unlock()
-		c.misses.Add(1)
+		c.misses.Inc()
 		var zero V
 		return zero, false
 	}
 	s.moveToFront(e)
 	v := e.val
 	s.mu.Unlock()
-	c.hits.Add(1)
+	c.hits.Inc()
 	return v, true
 }
 
@@ -184,7 +187,7 @@ func (c *Cache[K, V]) Add(key K, val V) bool {
 	}
 	s.mu.Unlock()
 	if evicted {
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 	return evicted
 }
@@ -228,9 +231,9 @@ func (c *Cache[K, V]) Len() int {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache[K, V]) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:      int64(c.hits.Load()),
+		Misses:    int64(c.misses.Load()),
+		Evictions: int64(c.evictions.Load()),
 		Entries:   c.Len(),
 	}
 	for _, s := range c.shards {

@@ -3,7 +3,8 @@ package cache
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Group coalesces concurrent duplicate computations: while one call for a key
@@ -17,8 +18,8 @@ type Group[K comparable, V any] struct {
 	mu    sync.Mutex
 	calls map[K]*call[V]
 
-	executions atomic.Int64
-	coalesced  atomic.Int64
+	executions obs.Counter
+	coalesced  obs.Counter
 }
 
 // call is one in-flight computation.
@@ -40,7 +41,7 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, err error, shared 
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		g.coalesced.Add(1)
+		g.coalesced.Inc()
 		c.wg.Wait()
 		return c.val, c.err, true
 	}
@@ -49,7 +50,7 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, err error, shared 
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	g.executions.Add(1)
+	g.executions.Inc()
 	normal := false
 	defer func() {
 		if !normal {
@@ -77,8 +78,8 @@ func (g *Group[K, V]) finish(key K, c *call[V]) {
 }
 
 // Executions returns how many times Do actually ran a computation.
-func (g *Group[K, V]) Executions() int64 { return g.executions.Load() }
+func (g *Group[K, V]) Executions() int64 { return int64(g.executions.Load()) }
 
 // Coalesced returns how many Do calls were satisfied by waiting on another
 // caller's in-flight computation.
-func (g *Group[K, V]) Coalesced() int64 { return g.coalesced.Load() }
+func (g *Group[K, V]) Coalesced() int64 { return int64(g.coalesced.Load()) }

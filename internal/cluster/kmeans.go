@@ -25,6 +25,12 @@ type Clustering struct {
 	Distortion float64
 	// Iterations is the number of refinement rounds performed.
 	Iterations int
+	// Restarts, TotalIterations and AbandonedRestarts are the lockstep
+	// driver's bookkeeping: restarts launched, iterations summed across all
+	// of them, and restarts abandoned early (serving mode only). They feed
+	// the telemetry layer and never influence the clustering itself; zero
+	// for non-k-means methods.
+	Restarts, TotalIterations, AbandonedRestarts int
 }
 
 // Sets returns the clusters as DocSets.
@@ -284,7 +290,12 @@ func kmeansDrive(dim int, vecs []*Vector, docs []document.DocID, opts Options,
 		}
 	}
 	cl := buildClustering(docs, best.assign, best.k, best.distortion, best.iters)
+	cl.Restarts = restarts
 	for _, st := range states {
+		cl.TotalIterations += st.iters
+		if st.abandoned {
+			cl.AbandonedRestarts++
+		}
 		st.release()
 	}
 	return cl

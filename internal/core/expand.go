@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -62,6 +63,16 @@ func (r *QECResult) TotalEvaluations() int {
 // requests x GOMAXPROCS runnable goroutines.
 var fanSlots = make(chan struct{}, runtime.GOMAXPROCS(0)-1)
 
+// Fan telemetry: how much of the process-wide budget multi-item fans
+// actually got. FanSerial counting up while the worker pool is busy is the
+// degrade signal the adaptive-quality control loop (ROADMAP) keys on —
+// per-cluster solving silently running serial under saturation.
+var (
+	FanCalls   obs.Counter // ParallelFor calls with n > 1
+	FanSerial  obs.Counter // ... of those, ran serial (no spare budget)
+	FanHelpers obs.Counter // total helper goroutines granted
+)
+
 // ParallelFor runs fn(0..n-1) across up to min(GOMAXPROCS, n) workers —
 // the calling goroutine plus however many helpers the process-wide budget
 // can spare — and waits. With no spare budget (single core, nested fan, or
@@ -71,6 +82,9 @@ var fanSlots = make(chan struct{}, runtime.GOMAXPROCS(0)-1)
 // the per-cluster solving fan-out here and the experiment runner's
 // per-query fan-out.
 func ParallelFor(n int, fn func(i int)) {
+	if n > 1 {
+		FanCalls.Inc()
+	}
 	extra := 0
 	for extra < n-1 {
 		select {
@@ -82,11 +96,15 @@ func ParallelFor(n int, fn func(i int)) {
 		break
 	}
 	if extra == 0 {
+		if n > 1 {
+			FanSerial.Inc()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	FanHelpers.Add(uint64(extra))
 	var idx atomic.Int64
 	work := func() {
 		for {

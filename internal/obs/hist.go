@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket 0 covers
+// [0, 256ns); bucket i (i >= 1) covers [256ns·2^(i-1), 256ns·2^i); the last
+// bucket additionally absorbs everything above its lower bound, so the +Inf
+// rollup is implicit. Power-of-two bounds make the bucket index one
+// bits.Len64 — no search, no float math — and span 256ns .. ~34s, wide
+// enough for a cached hit (~1µs) and a saturated cold expansion alike.
+const NumBuckets = 28
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns uint64) int {
+	i := bits.Len64(ns >> 8)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the exclusive upper bound of bucket i. The final
+// bucket's nominal bound is returned even though that bucket is open-ended.
+func BucketBound(i int) time.Duration {
+	return time.Duration(256 << uint(i))
+}
+
+// Histogram is a fixed-bucket log-scale latency histogram. Bins are
+// lock-free atomic.Uint64 counters, so Observe is wait-free and
+// allocation-free; Snapshot produces a consistent-enough point-in-time copy
+// (bins are read individually — a concurrent Observe may or may not be
+// included, which is the standard scrape-time trade). The zero value is
+// ready to use.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64 // total observed nanoseconds
+	bins  [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.bins[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.bins {
+		s.Bins[i] = h.bins[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, safe to merge,
+// aggregate and render without synchronization.
+type HistSnapshot struct {
+	// Count is the number of observations and Sum their total in
+	// nanoseconds.
+	Count, Sum uint64
+	// Bins are the per-bucket observation counts (see NumBuckets for the
+	// bound layout).
+	Bins [NumBuckets]uint64
+}
+
+// Merge adds o's observations into s (for aggregating per-shard or
+// per-engine histograms into one view).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Bins {
+		s.Bins[i] += o.Bins[i]
+	}
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) by linear interpolation
+// inside the bucket holding the target rank, the usual fixed-bucket
+// estimator. Returns 0 for an empty histogram.
+func (s *HistSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Bins {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(BucketBound(i - 1))
+			}
+			hi := float64(BucketBound(i))
+			frac := (rank - cum) / float64(n)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

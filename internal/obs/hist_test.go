@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBounds checks the bucket layout invariants: every duration
+// lands in a bucket whose bound window contains it, indices are monotone in
+// the duration, and bounds are the documented powers of two.
+func TestBucketIndexBounds(t *testing.T) {
+	if got := BucketBound(0); got != 256*time.Nanosecond {
+		t.Fatalf("BucketBound(0) = %v; want 256ns", got)
+	}
+	prev := -1
+	for _, ns := range []uint64{0, 1, 255, 256, 257, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		i := bucketIndex(ns)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", ns, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+		if i < NumBuckets-1 {
+			if time.Duration(ns) >= BucketBound(i) {
+				t.Fatalf("ns %d >= upper bound %v of its bucket %d", ns, BucketBound(i), i)
+			}
+			if i > 0 && time.Duration(ns) < BucketBound(i-1) {
+				t.Fatalf("ns %d < lower bound %v of its bucket %d", ns, BucketBound(i-1), i)
+			}
+		}
+	}
+	// Exhaustive boundary check: bound of bucket i maps to bucket i+1.
+	for i := 0; i < NumBuckets-2; i++ {
+		b := uint64(BucketBound(i))
+		if got := bucketIndex(b - 1); got != i {
+			t.Fatalf("bucketIndex(bound(%d)-1) = %d; want %d", i, got, i)
+		}
+		if got := bucketIndex(b); got != i+1 {
+			t.Fatalf("bucketIndex(bound(%d)) = %d; want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramProperties drives a randomized workload and checks the
+// snapshot invariants: count equals observations, sum matches the exact
+// total, bin counts total the count, and quantiles are monotone in p and
+// bracketed by the observed range's bucket bounds.
+func TestHistogramProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	var exactSum uint64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		// Log-uniform over ~ns..30s so every bucket range gets traffic.
+		d := time.Duration(rng.Int63n(1 << uint(10+rng.Intn(25))))
+		exactSum += uint64(d)
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("Count = %d; want %d", s.Count, n)
+	}
+	if s.Sum != exactSum {
+		t.Fatalf("Sum = %d; want exact %d", s.Sum, exactSum)
+	}
+	var binTotal uint64
+	for _, b := range s.Bins {
+		binTotal += b
+	}
+	if binTotal != s.Count {
+		t.Fatalf("bins total %d != count %d", binTotal, s.Count)
+	}
+	prevQ := time.Duration(-1)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := s.Quantile(p)
+		if q < prevQ {
+			t.Fatalf("Quantile not monotone: p=%v gave %v < %v", p, q, prevQ)
+		}
+		prevQ = q
+	}
+	if mean := s.Mean(); mean != time.Duration(exactSum/n) {
+		t.Fatalf("Mean = %v; want %v", mean, time.Duration(exactSum/n))
+	}
+}
+
+// TestHistogramMergeConsistent splits one observation stream across two
+// histograms and checks that merging their snapshots is bit-identical to
+// observing everything in one histogram.
+func TestHistogramMergeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, partA, partB Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(40 * time.Second)))
+		whole.Observe(d)
+		if i%2 == 0 {
+			partA.Observe(d)
+		} else {
+			partB.Observe(d)
+		}
+	}
+	merged := partA.Snapshot()
+	merged.Merge(partB.Snapshot())
+	if merged != whole.Snapshot() {
+		t.Fatalf("merged snapshot differs from whole-stream snapshot")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(0)
+	h.Observe(time.Hour) // beyond the last bound: lands in the final bucket
+	s := h.Snapshot()
+	if s.Bins[0] != 2 || s.Bins[NumBuckets-1] != 1 {
+		t.Fatalf("edge bins = %d/%d; want 2/1", s.Bins[0], s.Bins[NumBuckets-1])
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean should be 0")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// with -race this doubles as the data-race check, and the final count/sum
+// must be exact because all updates are atomic.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("Count = %d; want %d", s.Count, workers*per)
+	}
+	if c.Load() != workers*per {
+		t.Fatalf("Counter = %d; want %d", c.Load(), workers*per)
+	}
+	if g.Load() != 0 {
+		t.Fatalf("Gauge = %d; want 0", g.Load())
+	}
+}

@@ -1,0 +1,51 @@
+// Package obs is the corpus-wide telemetry layer: allocation-free atomic
+// counters and gauges, fixed-bucket log-scale latency histograms with
+// lock-free bins and mergeable snapshots, and a per-request Trace that
+// records one span per pipeline stage (parse, search, problem construction,
+// k-means, solve, assembly) with optional runtime/pprof labels so CPU
+// profiles attribute samples to stages.
+//
+// Contract: every primitive here is safe for concurrent use and performs
+// zero heap allocations on the record path (Counter.Add, Gauge.Set,
+// Histogram.Observe, Trace.Begin/End are all plain atomic or field writes;
+// Traces recycle through a sync.Pool). Instrumentation only reads clocks and
+// counts events — it never touches pipeline arithmetic — so instrumented and
+// uninstrumented runs produce bit-identical expansion output (pinned by
+// TestInstrumentationBitIdentity in the root package and by the benchdiff
+// alloc gate on the instrumented cold-expansion benchmark).
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use; all methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, in-flight requests). The
+// zero value is ready to use; all methods are safe for concurrent use and
+// allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc and Dec move the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,109 @@
+package obs
+
+import "strconv"
+
+// Prometheus text-exposition rendering, in the repo's pooled append-encode
+// style: every helper appends complete exposition lines to dst and returns
+// it, so a scrape renders into one pooled buffer with no intermediate
+// strings. Label sets are passed pre-rendered (`quality="exact"`) — the
+// server's label values are compile-time constants, so building a scrape
+// performs no per-metric allocations beyond the shared buffer's growth.
+
+// bucketLE holds the `le` label value of every histogram bucket upper bound,
+// in seconds, formatted once at init exactly as AppendPromFloat would.
+var bucketLE [NumBuckets]string
+
+func init() {
+	for i := range bucketLE {
+		bucketLE[i] = strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+	}
+}
+
+// AppendPromHeader appends the # HELP and # TYPE lines for a metric.
+func AppendPromHeader(dst []byte, name, help, typ string) []byte {
+	dst = append(dst, "# HELP "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = append(dst, help...)
+	dst = append(dst, "\n# TYPE "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = append(dst, typ...)
+	return append(dst, '\n')
+}
+
+// appendNameLabels appends `name` or `name{labels}`.
+func appendNameLabels(dst []byte, name, labels string) []byte {
+	dst = append(dst, name...)
+	if labels != "" {
+		dst = append(dst, '{')
+		dst = append(dst, labels...)
+		dst = append(dst, '}')
+	}
+	return dst
+}
+
+// AppendPromUint appends one sample line with an unsigned integer value.
+func AppendPromUint(dst []byte, name, labels string, v uint64) []byte {
+	dst = appendNameLabels(dst, name, labels)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, v, 10)
+	return append(dst, '\n')
+}
+
+// AppendPromInt appends one sample line with a signed integer value.
+func AppendPromInt(dst []byte, name, labels string, v int64) []byte {
+	dst = appendNameLabels(dst, name, labels)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, v, 10)
+	return append(dst, '\n')
+}
+
+// AppendPromFloat appends one sample line with a float value.
+func AppendPromFloat(dst []byte, name, labels string, v float64) []byte {
+	dst = appendNameLabels(dst, name, labels)
+	dst = append(dst, ' ')
+	dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	return append(dst, '\n')
+}
+
+// AppendPromHistogram appends a full Prometheus histogram — cumulative
+// `_bucket` lines (le in seconds, plus the +Inf rollup), `_sum` (seconds)
+// and `_count` — for one labeled snapshot. The metric's # HELP/# TYPE
+// header must be appended once by the caller before its first label set.
+func AppendPromHistogram(dst []byte, name, labels string, s HistSnapshot) []byte {
+	cum := uint64(0)
+	for i, n := range s.Bins {
+		cum += n
+		dst = append(dst, name...)
+		dst = append(dst, "_bucket{"...)
+		if labels != "" {
+			dst = append(dst, labels...)
+			dst = append(dst, ',')
+		}
+		dst = append(dst, "le=\""...)
+		dst = append(dst, bucketLE[i]...)
+		dst = append(dst, "\"} "...)
+		dst = strconv.AppendUint(dst, cum, 10)
+		dst = append(dst, '\n')
+	}
+	dst = append(dst, name...)
+	dst = append(dst, "_bucket{"...)
+	if labels != "" {
+		dst = append(dst, labels...)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, "le=\"+Inf\"} "...)
+	dst = strconv.AppendUint(dst, s.Count, 10)
+	dst = append(dst, '\n')
+	dst = append(dst, name...)
+	dst = appendNameLabels(dst, "_sum", labels)
+	dst = append(dst, ' ')
+	dst = strconv.AppendFloat(dst, float64(s.Sum)/1e9, 'g', -1, 64)
+	dst = append(dst, '\n')
+	dst = append(dst, name...)
+	dst = appendNameLabels(dst, "_count", labels)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, s.Count, 10)
+	return append(dst, '\n')
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapedMetrics lets CI point this package's exposition linter at a page
+// scraped from a live qec-serve with curl; see the "Scrape /metrics" step in
+// .github/workflows/ci.yml. Without the flag the test is skipped.
+var scrapedMetrics = flag.String("scraped-metrics", "", "path to a scraped /metrics page to validate")
+
+func TestScrapedMetricsPage(t *testing.T) {
+	if *scrapedMetrics == "" {
+		t.Skip("no -scraped-metrics file provided")
+	}
+	data, err := os.ReadFile(*scrapedMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if err := ValidatePromText(text); err != nil {
+		t.Fatalf("scraped page malformed: %v", err)
+	}
+	for _, want := range []string{"qec_http_requests_total", "qec_expand_request_duration_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scraped page missing %q", want)
+		}
+	}
+}
+
+func TestAppendPromHistogramExposition(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{0, time.Microsecond, time.Millisecond, 50 * time.Millisecond, time.Hour} {
+		h.Observe(d)
+	}
+	var dst []byte
+	dst = AppendPromHeader(dst, "qec_test_seconds", "A test histogram.", "histogram")
+	dst = AppendPromHistogram(dst, "qec_test_seconds", `quality="exact"`, h.Snapshot())
+	dst = AppendPromHeader(dst, "qec_test_total", "A test counter.", "counter")
+	dst = AppendPromUint(dst, "qec_test_total", "", 7)
+	text := string(dst)
+	if err := ValidatePromText(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	// Spot-check the shape: NumBuckets finite buckets + the +Inf rollup.
+	if got := strings.Count(text, "qec_test_seconds_bucket"); got != NumBuckets+1 {
+		t.Fatalf("bucket lines = %d; want %d", got, NumBuckets+1)
+	}
+	if !strings.Contains(text, `le="+Inf"} 5`) {
+		t.Fatalf("missing +Inf rollup of 5:\n%s", text)
+	}
+	if !strings.Contains(text, "qec_test_seconds_count{quality=\"exact\"} 5") {
+		t.Fatalf("missing _count line:\n%s", text)
+	}
+}
+
+func TestValidatePromTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"qec_orphan 1",                             // sample without TYPE
+		"# TYPE qec_x bogus\nqec_x 1",              // unknown type
+		"# TYPE qec_y counter\nqec_y notanumber",   // bad value
+		"# TYPE qec_z counter\nqec_z{oops 1",       // unterminated labels
+		"# TYPE qec_w counter\n# TYPE qec_w gauge", // duplicate TYPE
+	}
+	for _, text := range bad {
+		if err := ValidatePromText(text); err == nil {
+			t.Errorf("expected error for:\n%s", text)
+		}
+	}
+}
+
+func TestAppendPromAllocFree(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	snap := h.Snapshot()
+	dst := make([]byte, 0, 1<<14)
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = dst[:0]
+		dst = AppendPromHeader(dst, "qec_x_seconds", "help", "histogram")
+		dst = AppendPromHistogram(dst, "qec_x_seconds", `quality="exact"`, snap)
+		dst = AppendPromInt(dst, "qec_y", "", 3)
+		dst = AppendPromFloat(dst, "qec_z", "", 1.5)
+	}); allocs != 0 {
+		t.Fatalf("prom render: %v allocs/op; want 0", allocs)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePromText is a strict structural check of Prometheus text exposition
+// used by the obs and server tests (and by the CI scrape step via
+// qec-benchdiff -promlint): every line must be a well-formed HELP/TYPE header
+// or a sample with a parseable value, samples must follow a TYPE header for
+// their metric, histogram buckets must be cumulative with a +Inf rollup equal
+// to _count, and no metric name may repeat a header.
+func ValidatePromText(text string) error {
+	types := map[string]string{}
+	lastBucket := map[string]uint64{} // series (name+labels sans le) → cumulative
+	infSeen := map[string]uint64{}
+	counts := map[string]uint64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				return fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+				return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value separator: %q", lineNo, line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil && valText != "+Inf" && valText != "-Inf" && valText != "NaN" {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valText, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return fmt.Errorf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		for _, c := range name {
+			if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE header", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		// Histogram-specific checks.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le := ""
+			rest := make([]string, 0, 4)
+			for _, l := range strings.Split(labels, ",") {
+				if v, isLE := strings.CutPrefix(l, `le="`); isLE {
+					le = strings.TrimSuffix(v, `"`)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			if le == "" {
+				return fmt.Errorf("line %d: bucket without le label: %q", lineNo, line)
+			}
+			key := base + "{" + strings.Join(rest, ",") + "}"
+			if uint64(val) < lastBucket[key] {
+				return fmt.Errorf("line %d: bucket counts not cumulative for %s", lineNo, key)
+			}
+			lastBucket[key] = uint64(val)
+			if le == "+Inf" {
+				infSeen[key] = uint64(val)
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("line %d: bad le %q", lineNo, le)
+			}
+		case strings.HasSuffix(name, "_count"):
+			counts[base+"{"+labels+"}"] = uint64(val)
+		}
+	}
+	for key, c := range counts {
+		if inf, ok := infSeen[key]; !ok {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		} else if inf != c {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != count %d", key, inf, c)
+		}
+	}
+	return nil
+}

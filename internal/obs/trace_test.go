@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin(StageParse)
+	tr.End(StageParse)
+	tr.SetKMeans(1, 2, 3)
+	tr.MarkCache(CacheHit)
+	tr.Reset()
+	tr.WriteTable(&strings.Builder{})
+	if tr.Total() != 0 {
+		t.Fatal("nil trace Total should be 0")
+	}
+}
+
+func TestTraceAccumulatesRepeatedSpans(t *testing.T) {
+	tr := GetTrace()
+	defer PutTrace(tr)
+	for i := 0; i < 2; i++ {
+		tr.Begin(StageSolve)
+		time.Sleep(2 * time.Millisecond)
+		tr.End(StageSolve)
+	}
+	if d := tr.Durations[StageSolve]; d < 4*time.Millisecond {
+		t.Fatalf("accumulated solve span %v; want >= 4ms", d)
+	}
+	if tr.Total() != tr.Durations[StageSolve] {
+		t.Fatalf("Total %v != solve span %v", tr.Total(), tr.Durations[StageSolve])
+	}
+	tr.SetKMeans(5, 17, 1)
+	var sb strings.Builder
+	tr.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"solve", "total", "k-means: 5 restarts, 17 iterations, 1 abandoned"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTable output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracePoolResets(t *testing.T) {
+	tr := GetTrace()
+	tr.ID = 99
+	tr.MarkCache(CacheCoalesced)
+	tr.Begin(StageParse)
+	tr.End(StageParse)
+	PutTrace(tr)
+	tr2 := GetTrace()
+	defer PutTrace(tr2)
+	if tr2.ID != 0 || tr2.Cache != CacheNone || tr2.Total() != 0 {
+		t.Fatalf("pooled trace not reset: %+v", tr2)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NextTraceID(), NextTraceID()
+	if a == b {
+		t.Fatal("trace IDs must differ")
+	}
+	if b != a+1 {
+		t.Fatalf("IDs not sequential: %d then %d", a, b)
+	}
+	if s := IDString(0xdeadbeef); s != "00000000deadbeef" {
+		t.Fatalf("IDString = %q", s)
+	}
+	if got := string(AppendID(nil, 0)); got != "0000000000000000" {
+		t.Fatalf("AppendID(0) = %q", got)
+	}
+}
+
+func TestStageAndCacheNames(t *testing.T) {
+	want := []string{"parse", "search", "problem", "cluster", "solve", "assemble"}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() != want[s] {
+			t.Fatalf("Stage(%d).String() = %q; want %q", s, s.String(), want[s])
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage should be unknown")
+	}
+	states := map[CacheState]string{
+		CacheNone: "none", CacheComputed: "computed", CacheHit: "hit", CacheCoalesced: "coalesced",
+	}
+	for st, name := range states {
+		if st.String() != name {
+			t.Fatalf("CacheState(%d).String() = %q; want %q", st, st.String(), name)
+		}
+	}
+}
+
+func TestProfileLabelsToggle(t *testing.T) {
+	if ProfileLabelsEnabled() {
+		t.Fatal("labels should default off")
+	}
+	EnableProfileLabels(true)
+	defer EnableProfileLabels(false)
+	if !ProfileLabelsEnabled() {
+		t.Fatal("labels should be on after enable")
+	}
+	// Spans must still work (and stay allocation-free) with labels applied.
+	tr := GetTrace()
+	defer PutTrace(tr)
+	tr.Begin(StageCluster)
+	tr.End(StageCluster)
+	if tr.Durations[StageCluster] < 0 {
+		t.Fatal("span did not record")
+	}
+}
+
+// TestHotPathAllocFree pins the zero-allocation contract of every primitive
+// the pipeline touches per request.
+func TestHotPathAllocFree(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	tr := GetTrace()
+	defer PutTrace(tr)
+	cases := map[string]func(){
+		"observe": func() { h.Observe(time.Millisecond) },
+		"counter": func() { c.Inc() },
+		"gauge":   func() { g.Inc(); g.Dec() },
+		"span":    func() { tr.Begin(StageSolve); tr.End(StageSolve) },
+		"pool":    func() { PutTrace(GetTrace()) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op; want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// jsonLogger serializes JSON-lines log records to a writer. One mutex and one
+// reused buffer: lines are appended-encoded under the lock so concurrent
+// requests never interleave bytes, and steady-state logging allocates nothing
+// beyond what the underlying writer does.
+type jsonLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+func newJSONLogger(w io.Writer) *jsonLogger {
+	if w == nil {
+		return nil
+	}
+	return &jsonLogger{w: w}
+}
+
+// log appends one record via fn and writes it with a trailing newline.
+// Nil-safe: a nil logger drops the record without calling fn.
+func (l *jsonLogger) log(fn func(dst []byte) []byte) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = fn(l.buf[:0])
+	l.buf = append(l.buf, '\n')
+	_, _ = l.w.Write(l.buf)
+}
+
+// accessEntry is everything one request log line carries. stages toggles the
+// per-stage breakdown (slow-query lines get it, plain access lines do not).
+type accessEntry struct {
+	trace    uint64
+	endpoint string
+	query    string
+	method   string
+	quality  string
+	status   int
+	took     time.Duration
+	cache    obs.CacheState
+	tr       *obs.Trace
+	stages   bool
+	slow     bool
+}
+
+// appendAccessEntry renders one JSON log line (without the newline).
+func appendAccessEntry(dst []byte, e *accessEntry, now time.Time) []byte {
+	dst = append(dst, `{"ts":"`...)
+	dst = now.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","trace":"`...)
+	dst = obs.AppendID(dst, e.trace)
+	dst = append(dst, `","endpoint":`...)
+	dst = appendJSONString(dst, e.endpoint)
+	dst = append(dst, `,"query":`...)
+	dst = appendJSONString(dst, e.query)
+	if e.method != "" {
+		dst = append(dst, `,"method":`...)
+		dst = appendJSONString(dst, e.method)
+	}
+	if e.quality != "" {
+		dst = append(dst, `,"quality":`...)
+		dst = appendJSONString(dst, e.quality)
+	}
+	dst = append(dst, `,"status":`...)
+	dst = strconv.AppendInt(dst, int64(e.status), 10)
+	dst = append(dst, `,"took_ms":`...)
+	dst = appendJSONFloat(dst, float64(e.took.Microseconds())/1000)
+	if e.cache != obs.CacheNone {
+		dst = append(dst, `,"cache":`...)
+		dst = appendJSONString(dst, e.cache.String())
+	}
+	if e.slow {
+		dst = append(dst, `,"slow":true`...)
+	}
+	if e.stages && e.tr != nil {
+		dst = append(dst, `,"stages":{`...)
+		first := true
+		for st := 0; st < obs.NumStages; st++ {
+			d := e.tr.Durations[st]
+			if d <= 0 {
+				continue
+			}
+			if !first {
+				dst = append(dst, ',')
+			}
+			first = false
+			dst = append(dst, '"')
+			dst = append(dst, obs.Stage(st).String()...)
+			dst = append(dst, `":`...)
+			dst = appendJSONFloat(dst, float64(d.Microseconds())/1000)
+		}
+		dst = append(dst, '}')
+		dst = append(dst, `,"kmeans":{"restarts":`...)
+		dst = strconv.AppendInt(dst, int64(e.tr.KMeansRestarts), 10)
+		dst = append(dst, `,"iterations":`...)
+		dst = strconv.AppendInt(dst, int64(e.tr.KMeansIterations), 10)
+		dst = append(dst, `,"abandoned":`...)
+		dst = strconv.AppendInt(dst, int64(e.tr.KMeansAbandoned), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, '}')
+	return dst
+}
+
+// logRequest emits the request's access-log line and, when the request was
+// slower than Options.SlowQuery, a slow-query line with the full per-stage
+// breakdown. When both logs share a destination the slow breakdown rides
+// inline on the access line instead of duplicating it.
+func (s *Server) logRequest(e *accessEntry) {
+	if s.accessLog == nil && s.slowLog == nil {
+		return
+	}
+	e.slow = s.opts.SlowQuery > 0 && e.took >= s.opts.SlowQuery
+	now := time.Now()
+	if s.accessLog != nil {
+		e.stages = e.slow && s.slowLog == nil
+		s.accessLog.log(func(dst []byte) []byte { return appendAccessEntry(dst, e, now) })
+	}
+	if e.slow && s.slowLog != nil {
+		e.stages = true
+		s.slowLog.log(func(dst []byte) []byte { return appendAccessEntry(dst, e, now) })
+	}
+}

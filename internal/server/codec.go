@@ -378,6 +378,8 @@ func (r *ExpandRequest) decodeJSON(data []byte) error {
 			return s.intField(&r.Interleave, key)
 		case "quality":
 			return s.strField(&r.Quality)
+		case "debug":
+			return s.boolField(&r.Debug)
 		default:
 			return unknownField(key)
 		}
@@ -545,6 +547,36 @@ func (r *ExpandResponse) appendJSON(dst []byte) []byte {
 	dst = appendJSONFloat(dst, r.Score)
 	dst = append(dst, `,"took_ms":`...)
 	dst = appendJSONFloat(dst, r.TookMS)
+	if d := r.Debug; d != nil {
+		dst = append(dst, `,"debug":{"trace_id":`...)
+		dst = appendJSONString(dst, d.TraceID)
+		dst = append(dst, `,"cache":`...)
+		dst = appendJSONString(dst, d.Cache)
+		dst = append(dst, `,"stages":`...)
+		if d.Stages == nil {
+			dst = append(dst, `null`...)
+		} else {
+			dst = append(dst, '[')
+			for i, st := range d.Stages {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = append(dst, `{"stage":`...)
+				dst = appendJSONString(dst, st.Stage)
+				dst = append(dst, `,"ms":`...)
+				dst = appendJSONFloat(dst, st.MS)
+				dst = append(dst, '}')
+			}
+			dst = append(dst, ']')
+		}
+		dst = append(dst, `,"kmeans":{"restarts":`...)
+		dst = strconv.AppendInt(dst, int64(d.KMeans.Restarts), 10)
+		dst = append(dst, `,"iterations":`...)
+		dst = strconv.AppendInt(dst, int64(d.KMeans.Iterations), 10)
+		dst = append(dst, `,"abandoned":`...)
+		dst = strconv.AppendInt(dst, int64(d.KMeans.Abandoned), 10)
+		dst = append(dst, '}', '}')
+	}
 	return append(dst, '}', '\n')
 }
 

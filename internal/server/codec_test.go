@@ -70,6 +70,11 @@ func TestCodecDecodeMatchesStdlib(t *testing.T) {
 		`{"unweighted":null,"parallel":true}`,
 		`{"quality":7}`,
 		`{"unweighted":"yes"}`,
+		`{"query":"apple","debug":true}`,
+		`{"query":"apple","debug":false}`,
+		`{"debug":null}`,
+		`{"debug":1}`,
+		`{"debug":"on"}`,
 	}
 	for _, body := range expandBodies {
 		var ours, std ExpandRequest
@@ -112,6 +117,26 @@ func TestCodecEncodeMatchesStdlib(t *testing.T) {
 			Clusters: [][]int{{0, 1}, {}},
 			Score:    0.75,
 			TookMS:   12.5,
+		},
+		&ExpandResponse{
+			Original: []string{"apple"},
+			Score:    0.5,
+			Debug: &ExpandDebug{
+				TraceID: "00000000deadbeef",
+				Cache:   "computed",
+				Stages: []StageTiming{
+					{Stage: "parse", MS: 0.001},
+					{Stage: "cluster", MS: 1.25},
+				},
+				KMeans: KMeansDebug{Restarts: 5, Iterations: 17, Abandoned: 1},
+			},
+		},
+		&ExpandResponse{
+			TookMS: 3,
+			Debug:  &ExpandDebug{TraceID: "0000000000000001", Cache: "hit", Stages: []StageTiming{}},
+		},
+		&ExpandResponse{
+			Debug: &ExpandDebug{TraceID: "0000000000000002", Cache: "coalesced"},
 		},
 	}
 	for _, resp := range responses {

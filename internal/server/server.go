@@ -7,13 +7,19 @@
 //	POST /search   {"query": "...", "top_k": N}        → ranked hits
 //	POST /expand   {"query": "...", "k": N, ...}       → expanded queries
 //	GET  /healthz                                       → liveness + doc count
-//	GET  /stats                                         → request + cache counters
+//	GET  /stats                                         → request + cache counters + latency quantiles
+//	GET  /metrics                                       → Prometheus text exposition
 //
 // The server applies a per-request deadline, bounds concurrent expansions
 // with a worker pool (requests that cannot get a worker before their deadline
 // are rejected with 503), and shuts down gracefully when its context is
 // cancelled. Expansion results are cached/coalesced by the engine when it was
 // constructed with qec.WithExpansionCache.
+//
+// Every search/expand request gets a trace ID, returned in the X-Trace-Id
+// response header and stamped on the optional JSON-lines access log
+// (Options.AccessLog) and slow-query log (Options.SlowQuery/SlowLog).
+// Requests with "debug": true receive the per-stage timing breakdown inline.
 package server
 
 import (
@@ -21,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -31,13 +38,14 @@ import (
 	"time"
 
 	qec "repro"
+	"repro/internal/obs"
 )
 
 // Engine is the part of *qec.Engine the server needs. It is an interface so
 // tests can inject slow or failing engines; *qec.Engine satisfies it.
 type Engine interface {
 	Search(raw string, topK int) []qec.Result
-	Expand(raw string, opts qec.ExpandOptions) (*qec.Expansion, error)
+	ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error)
 	Len() int
 	CacheStats() qec.CacheStats
 }
@@ -62,6 +70,16 @@ type Options struct {
 	// with qec-serve -quality serving, while individual requests can still
 	// pin either mode.
 	DefaultQuality qec.Quality
+	// AccessLog, when non-nil, receives one JSON line per served
+	// search/expand request: timestamp, trace ID, endpoint, query, method,
+	// quality, status, latency and cache disposition.
+	AccessLog io.Writer
+	// SlowQuery, when positive, marks requests at or above this latency as
+	// slow: their log line gains the full per-stage timing breakdown.
+	SlowQuery time.Duration
+	// SlowLog, when non-nil, receives the slow-query lines. When nil and
+	// AccessLog is set, slow breakdowns ride inline on the access line.
+	SlowLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +109,17 @@ type Server struct {
 
 	total, searches, expands              atomic.Int64
 	errcount, timeouts, rejects, canceled atomic.Int64
+
+	// inFlight and queued expose the worker pool's occupancy; searchHist and
+	// expandHist (indexed by qec.QualityIndex) record user-visible request
+	// latency, queueing and cache hits included.
+	inFlight   obs.Gauge
+	queued     obs.Gauge
+	searchHist obs.Histogram
+	expandHist [qec.NumQualities]obs.Histogram
+
+	accessLog *jsonLogger
+	slowLog   *jsonLogger
 }
 
 // statusClientClosedRequest is nginx's non-standard 499, the conventional
@@ -111,11 +140,14 @@ func New(eng Engine, opts Options) *Server {
 		started: time.Now(),
 	}
 	s.workers = make(chan struct{}, s.opts.MaxConcurrent)
+	s.accessLog = newJSONLogger(s.opts.AccessLog)
+	s.slowLog = newJSONLogger(s.opts.SlowLog)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/expand", s.handleExpand)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -168,7 +200,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.eng.CacheStats()
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	var expandAll obs.HistSnapshot
+	quality := make(map[string]HistogramSummary, qec.NumQualities)
+	for qi := range s.expandHist {
+		snap := s.expandHist[qi].Snapshot()
+		expandAll.Merge(snap)
+		quality[qec.QualityLabel(qi)] = summarize(snap)
+	}
+	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Docs:          s.eng.Len(),
 		Requests: RequestStats{
@@ -190,7 +229,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Computations: cs.Computations,
 			Coalesced:    cs.Coalesced,
 		},
-	})
+		Workers: WorkerStats{
+			Capacity: s.opts.MaxConcurrent,
+			InFlight: s.inFlight.Load(),
+			Queued:   s.queued.Load(),
+		},
+		Latency: LatencyStats{
+			Search:  summarize(s.searchHist.Snapshot()),
+			Expand:  summarize(expandAll),
+			Quality: quality,
+		},
+	}
+	if em, ok := s.eng.(engineMetrics); ok {
+		m := em.Metrics()
+		resp.KMeans = KMeansStats{
+			Restarts:   int64(m.KMeansRestarts.Load()),
+			Iterations: int64(m.KMeansIterations.Load()),
+			Abandoned:  int64(m.AbandonedRestarts.Load()),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +265,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
+	traceID := obs.NextTraceID()
+	w.Header().Set("X-Trace-Id", obs.IDString(traceID))
 	start := time.Now()
 	results := s.eng.Search(req.Query, req.TopK)
 	resp := SearchResponse{
@@ -225,6 +285,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Hits = append(resp.Hits, hit)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+	took := time.Since(start)
+	s.searchHist.Observe(took)
+	s.logRequest(&accessEntry{
+		trace:    traceID,
+		endpoint: "search",
+		query:    req.Query,
+		status:   http.StatusOK,
+		took:     took,
+	})
 }
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
@@ -247,44 +316,74 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	traceID := obs.NextTraceID()
+	w.Header().Set("X-Trace-Id", obs.IDString(traceID))
+	qi := qec.QualityIndex(opts.Quality)
+	entry := accessEntry{
+		trace:    traceID,
+		endpoint: "expand",
+		query:    req.Query,
+		method:   qec.MethodLabel(int(opts.Method)),
+		quality:  qec.QualityLabel(qi),
+	}
+	start := time.Now()
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 
 	// Acquire a worker slot, giving up at the request deadline.
+	s.queued.Inc()
 	select {
 	case s.workers <- struct{}{}:
+		s.queued.Dec()
 	case <-ctx.Done():
+		s.queued.Dec()
 		if r.Context().Err() != nil {
 			// The client went away while queued — not server saturation.
 			s.canceled.Add(1)
 			s.writeError(w, statusClientClosedRequest, "client closed request")
-			return
+			entry.status = statusClientClosedRequest
+		} else {
+			s.rejects.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable,
+				"expansion workers saturated, try again")
+			entry.status = http.StatusServiceUnavailable
 		}
-		s.rejects.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable,
-			"expansion workers saturated, try again")
+		entry.took = time.Since(start)
+		s.logRequest(&entry)
 		return
 	}
 
-	start := time.Now()
 	type outcome struct {
 		exp *qec.Expansion
 		err error
 	}
+	tr := obs.GetTrace()
+	tr.ID = traceID
 	done := make(chan outcome, 1)
 	go func() {
 		// The engine has no context plumbing (yet), so a timed-out
 		// computation runs to completion in the background — it still
 		// populates the cache for the retry — and only then frees its
 		// worker slot, keeping the concurrency bound honest.
-		defer func() { <-s.workers }()
-		exp, err := s.eng.Expand(req.Query, opts)
+		s.inFlight.Inc()
+		defer func() {
+			s.inFlight.Dec()
+			<-s.workers
+		}()
+		exp, err := s.eng.ExpandTraced(req.Query, opts, tr)
 		done <- outcome{exp, err}
 	}()
 
 	select {
 	case out := <-done:
-		if r.Context().Err() != nil {
+		took := time.Since(start)
+		entry.took = took
+		entry.cache = tr.Cache
+		entry.tr = tr
+		s.expandHist[qi].Observe(took)
+		switch {
+		case r.Context().Err() != nil:
 			// The client disconnected while the expansion ran and the
 			// completion beat the connection-close notification to this
 			// select: still a disconnect, not a served request. (Without
@@ -292,9 +391,8 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			// race.)
 			s.canceled.Add(1)
 			s.writeError(w, statusClientClosedRequest, "client closed request")
-			return
-		}
-		if out.err != nil {
+			entry.status = statusClientClosedRequest
+		case out.err != nil:
 			status := http.StatusUnprocessableEntity
 			switch {
 			case errors.Is(out.err, qec.ErrNoResults):
@@ -303,20 +401,35 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusBadRequest
 			}
 			s.writeError(w, status, out.err.Error())
-			return
+			entry.status = status
+		default:
+			tookMS := float64(took.Microseconds()) / 1000
+			resp := newExpandResponse(out.exp, tookMS)
+			if req.Debug {
+				resp.Debug = newExpandDebug(tr)
+			}
+			s.writeJSON(w, http.StatusOK, resp)
+			entry.status = http.StatusOK
 		}
-		tookMS := float64(time.Since(start).Microseconds()) / 1000
-		s.writeJSON(w, http.StatusOK, newExpandResponse(out.exp, tookMS))
+		s.logRequest(&entry)
+		entry.tr = nil
+		obs.PutTrace(tr)
 	case <-ctx.Done():
+		// The worker goroutine is still writing to tr, so it cannot be
+		// recycled on this path — it escapes to the garbage collector.
+		entry.took = time.Since(start)
 		if r.Context().Err() != nil {
 			// Client disconnect, not a slow expansion: keep the timeout
 			// counter honest for operators watching /stats.
 			s.canceled.Add(1)
 			s.writeError(w, statusClientClosedRequest, "client closed request")
-			return
+			entry.status = statusClientClosedRequest
+		} else {
+			s.timeouts.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, "expansion timed out")
+			entry.status = http.StatusGatewayTimeout
 		}
-		s.timeouts.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, "expansion timed out")
+		s.logRequest(&entry)
 	}
 }
 

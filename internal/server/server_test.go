@@ -15,6 +15,7 @@ import (
 	"time"
 
 	qec "repro"
+	"repro/internal/obs"
 )
 
 // ambiguousEngine builds a corpus where "apple" has two senses, so /expand
@@ -224,17 +225,19 @@ func TestConcurrentExpandCoalesces(t *testing.T) {
 	}
 }
 
-// gateEngine blocks Expand until released, so tests can hold a worker slot.
+// gateEngine blocks expansion until released, so tests can hold a worker
+// slot. It overrides ExpandTraced because that is the method the server
+// dispatches to.
 type gateEngine struct {
 	*qec.Engine
 	entered chan struct{}
 	release chan struct{}
 }
 
-func (g *gateEngine) Expand(raw string, opts qec.ExpandOptions) (*qec.Expansion, error) {
+func (g *gateEngine) ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
 	g.entered <- struct{}{}
 	<-g.release
-	return g.Engine.Expand(raw, opts)
+	return g.Engine.ExpandTraced(raw, opts, tr)
 }
 
 func TestWorkerPoolSaturationAndTimeout(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	qec "repro"
+	"repro/internal/obs"
 )
 
 // SearchRequest is the body of POST /search.
@@ -49,6 +50,10 @@ type ExpandRequest struct {
 	// Quality is "exact" (default) or "serving": the clustering
 	// speed/accuracy trade. Empty inherits the server's -quality default.
 	Quality string `json:"quality,omitempty"`
+	// Debug asks for a per-stage timing breakdown in the response ("debug"
+	// section): trace ID, cache disposition, stage spans and k-means restart
+	// counts. Costs nothing when false.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // Options converts the wire request into qec.ExpandOptions. def is the
@@ -94,6 +99,56 @@ type ExpandResponse struct {
 	// Score is the harmonic mean of the queries' F-measures (Eq. 1).
 	Score  float64 `json:"score"`
 	TookMS float64 `json:"took_ms"`
+	// Debug carries the per-stage timing breakdown when the request set
+	// "debug": true; omitted otherwise.
+	Debug *ExpandDebug `json:"debug,omitempty"`
+}
+
+// StageTiming is one pipeline stage's wall time within a traced expansion.
+type StageTiming struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// KMeansDebug reports the clustering driver's restart bookkeeping for one
+// traced expansion.
+type KMeansDebug struct {
+	Restarts   int `json:"restarts"`
+	Iterations int `json:"iterations"`
+	Abandoned  int `json:"abandoned"`
+}
+
+// ExpandDebug is the "debug" section of an ExpandResponse: the same trace the
+// server writes to its slow-query log, inline for the caller. Cache hits and
+// coalesced waits carry no stage timings — the pipeline did not run for them.
+type ExpandDebug struct {
+	TraceID string        `json:"trace_id"`
+	Cache   string        `json:"cache"`
+	Stages  []StageTiming `json:"stages"`
+	KMeans  KMeansDebug   `json:"kmeans"`
+}
+
+// newExpandDebug converts a completed request trace to its wire form.
+func newExpandDebug(tr *obs.Trace) *ExpandDebug {
+	d := &ExpandDebug{
+		TraceID: obs.IDString(tr.ID),
+		Cache:   tr.Cache.String(),
+		Stages:  make([]StageTiming, 0, obs.NumStages),
+		KMeans: KMeansDebug{
+			Restarts:   tr.KMeansRestarts,
+			Iterations: tr.KMeansIterations,
+			Abandoned:  tr.KMeansAbandoned,
+		},
+	}
+	for st := 0; st < obs.NumStages; st++ {
+		if dur := tr.Durations[st]; dur > 0 {
+			d.Stages = append(d.Stages, StageTiming{
+				Stage: obs.Stage(st).String(),
+				MS:    float64(dur.Microseconds()) / 1000,
+			})
+		}
+	}
+	return d
 }
 
 // newExpandResponse converts a qec.Expansion to its wire form.
@@ -157,12 +212,59 @@ type CacheStats struct {
 	Coalesced    int64   `json:"coalesced"`
 }
 
+// HistogramSummary condenses a latency histogram to the quantiles operators
+// watch. Quantiles are estimated by linear interpolation within the log-scale
+// buckets, so they are approximations with bucket-width resolution.
+type HistogramSummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func summarize(s obs.HistSnapshot) HistogramSummary {
+	return HistogramSummary{
+		Count:  s.Count,
+		MeanMS: float64(s.Mean().Microseconds()) / 1000,
+		P50MS:  float64(s.Quantile(0.50).Microseconds()) / 1000,
+		P90MS:  float64(s.Quantile(0.90).Microseconds()) / 1000,
+		P99MS:  float64(s.Quantile(0.99).Microseconds()) / 1000,
+	}
+}
+
+// LatencyStats reports user-visible request latency per endpoint, and expand
+// latency split by clustering quality tier.
+type LatencyStats struct {
+	Search  HistogramSummary            `json:"search"`
+	Expand  HistogramSummary            `json:"expand"`
+	Quality map[string]HistogramSummary `json:"quality"`
+}
+
+// KMeansStats totals the clustering driver's restart bookkeeping across all
+// expansion runs.
+type KMeansStats struct {
+	Restarts   int64 `json:"restarts"`
+	Iterations int64 `json:"iterations"`
+	Abandoned  int64 `json:"abandoned"`
+}
+
+// WorkerStats reports the expansion worker pool's instantaneous occupancy.
+type WorkerStats struct {
+	Capacity int   `json:"capacity"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Docs          int          `json:"docs"`
 	Requests      RequestStats `json:"requests"`
 	Cache         CacheStats   `json:"cache"`
+	Workers       WorkerStats  `json:"workers"`
+	Latency       LatencyStats `json:"latency"`
+	KMeans        KMeansStats  `json:"kmeans"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

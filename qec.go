@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/eval"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -153,6 +155,11 @@ type Engine struct {
 	expCache     *cache.Cache[string, *Expansion]
 	flight       cache.Group[string, *Expansion]
 	computations atomic.Int64
+
+	// metrics is the engine's pipeline telemetry (see telemetry.go). Plain
+	// embedded state — histograms and counters are lock-free, recording is
+	// allocation-free, and nothing here feeds back into the pipeline.
+	metrics ExpansionMetrics
 }
 
 // Option configures an Engine.
@@ -383,40 +390,40 @@ func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 // WithExpansionCache enabled, repeated calls are served from the LRU cache
 // and concurrent identical calls are coalesced into one computation; the
 // returned *Expansion is then shared and must be treated as immutable.
+// ExpandTraced (telemetry.go) is the same call with a per-request trace.
 func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
-	if e.expCache == nil {
-		return e.expand(raw, opts)
-	}
-	key := e.expandKey(raw, opts)
-	if exp, ok := e.expCache.Get(key); ok {
-		return exp, nil
-	}
-	exp, err, _ := e.flight.Do(key, func() (*Expansion, error) {
-		// Double-check under the flight: a concurrent computation may have
-		// landed between our Get miss and Do, and recomputing then would
-		// break the one-computation guarantee coalescing exists to give.
-		// Peek, not Get — the outer Get already counted this request.
-		if exp, ok := e.expCache.Peek(key); ok {
-			return exp, nil
-		}
-		exp, err := e.expand(raw, opts)
-		if err == nil {
-			e.expCache.Add(key, exp)
-		}
-		return exp, err
-	})
-	return exp, err
+	return e.ExpandTraced(raw, opts, nil)
 }
 
 // expand is the uncached pipeline: search, cluster, expand per cluster.
-func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
+// Each stage runs between a Begin/End span pair so traces and the per-stage
+// histograms see where the time went; the spans only read the clock — no
+// pipeline arithmetic depends on them, so instrumented output is
+// bit-identical to uninstrumented (pinned by TestInstrumentationBitIdentity
+// and the expansion goldens).
+func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
 	e.computations.Add(1)
 	e.Build()
+	// Per-stage metrics want durations even for untraced calls: borrow a
+	// pooled trace so the recording path is identical either way (and free
+	// of per-request allocations at steady state).
+	if tr == nil {
+		tr = obs.GetTrace()
+		defer obs.PutTrace(tr)
+	}
+	tr.MarkCache(obs.CacheComputed)
+	start := time.Now()
+
+	tr.Begin(obs.StageParse)
 	q := search.ParseQuery(e.idx, raw)
+	tr.End(obs.StageParse)
 	if q.Len() == 0 {
 		return nil, ErrEmptyQuery
 	}
+
+	tr.Begin(obs.StageSearch)
 	results := e.eng.Search(q, search.And, opts.TopK)
+	tr.End(obs.StageSearch)
 	if len(results) == 0 {
 		return nil, fmt.Errorf("%w for %q", ErrNoResults, raw)
 	}
@@ -424,6 +431,8 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 	if k <= 0 {
 		k = 3
 	}
+
+	tr.Begin(obs.StageProblem)
 	universe := search.ResultSet(results)
 	var weights eval.Weights
 	if !opts.Unweighted {
@@ -432,9 +441,14 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 			weights[r.Doc] = r.Score
 		}
 	}
+	tr.End(obs.StageProblem)
+
+	tr.Begin(obs.StageCluster)
 	cl := cluster.KMeans(e.idx, universe.IDs(), cluster.Options{
 		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5, Quality: opts.Quality,
 	})
+	tr.End(obs.StageCluster)
+	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
 
 	var expander core.Expander
 	switch opts.Method {
@@ -450,15 +464,26 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 
 	var res *core.QECResult
 	if opts.Interleave > 0 {
+		// Interleave alternates solving and re-clustering internally; its
+		// rounds are accounted wholly to the solve stage.
+		tr.Begin(obs.StageSolve)
 		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave}
 		res = it.Run(e.idx, q, cl, weights).Result
+		tr.End(obs.StageSolve)
 	} else {
+		// Problem construction continues the "problem" span started for the
+		// universe above; End accumulates across the two intervals.
+		tr.Begin(obs.StageProblem)
+		problems := core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions())
+		tr.End(obs.StageProblem)
 		// Solve fans per-cluster work across the process-wide worker budget
 		// (serial under contention), so the Parallel flag needs no branch.
-		res = core.Solve(expander,
-			core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions()))
+		tr.Begin(obs.StageSolve)
+		res = core.Solve(expander, problems)
+		tr.End(obs.StageSolve)
 	}
 
+	tr.Begin(obs.StageAssemble)
 	out := &Expansion{
 		Original: q.Terms,
 		Clusters: cl.Clusters,
@@ -473,5 +498,8 @@ func (e *Engine) expand(raw string, opts ExpandOptions) (*Expansion, error) {
 			F:         ce.Expanded.PRF.F,
 		})
 	}
+	tr.End(obs.StageAssemble)
+
+	e.metrics.observe(opts, tr, time.Since(start))
 	return out, nil
 }

@@ -1,0 +1,129 @@
+package qec
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Telemetry array sizes: the quality tiers (exact, serving) and expansion
+// methods (ISKR, PEBC, DeltaF, OR-ISKR) are closed enums, so the metrics
+// below are fixed arrays of lock-free histograms — no maps, no registration,
+// nothing to allocate per request.
+const (
+	// NumQualities is the number of clustering quality tiers.
+	NumQualities = 2
+	// NumMethods is the number of expansion methods.
+	NumMethods = 4
+)
+
+// QualityIndex maps a Quality to its metrics slot (0 = exact, 1 = serving).
+func QualityIndex(q Quality) int {
+	if q == QualityServing {
+		return 1
+	}
+	return 0
+}
+
+// QualityLabel names a metrics slot ("exact" / "serving").
+func QualityLabel(i int) string {
+	if i == 1 {
+		return "serving"
+	}
+	return "exact"
+}
+
+// MethodLabel names a method metrics slot in wire form ("iskr", "pebc",
+// "deltaf", "or").
+func MethodLabel(i int) string {
+	switch Method(i) {
+	case PEBC:
+		return "pebc"
+	case DeltaF:
+		return "deltaf"
+	case ORExpansion:
+		return "or"
+	default:
+		return "iskr"
+	}
+}
+
+// ExpansionMetrics aggregates the engine's pipeline telemetry. All fields
+// are lock-free obs primitives: recording is wait-free and allocation-free,
+// and reading produces mergeable snapshots. Latency histograms cover actual
+// pipeline runs only — cache hits and coalesced waits are excluded here and
+// measured by the serving layer, which sees user-visible latency per
+// endpoint.
+type ExpansionMetrics struct {
+	// PerQuality and PerMethod are cold-expansion latency histograms keyed
+	// by QualityIndex / Method ordinal.
+	PerQuality [NumQualities]obs.Histogram
+	PerMethod  [NumMethods]obs.Histogram
+	// PerStage holds one latency histogram per pipeline stage.
+	PerStage [obs.NumStages]obs.Histogram
+	// KMeansRestarts, KMeansIterations and AbandonedRestarts total the
+	// lockstep clustering driver's bookkeeping across all runs.
+	KMeansRestarts    obs.Counter
+	KMeansIterations  obs.Counter
+	AbandonedRestarts obs.Counter
+}
+
+// observe records one completed pipeline run.
+func (m *ExpansionMetrics) observe(opts ExpandOptions, tr *obs.Trace, total time.Duration) {
+	m.PerQuality[QualityIndex(opts.Quality)].Observe(total)
+	mi := int(opts.Method)
+	if mi < 0 || mi >= NumMethods {
+		mi = 0
+	}
+	m.PerMethod[mi].Observe(total)
+	for s := 0; s < obs.NumStages; s++ {
+		if d := tr.Durations[s]; d > 0 {
+			m.PerStage[s].Observe(d)
+		}
+	}
+	m.KMeansRestarts.Add(uint64(tr.KMeansRestarts))
+	m.KMeansIterations.Add(uint64(tr.KMeansIterations))
+	m.AbandonedRestarts.Add(uint64(tr.KMeansAbandoned))
+}
+
+// Metrics exposes the engine's telemetry for rendering (the HTTP server's
+// /metrics and /stats read it). The returned pointer is live — snapshot the
+// histograms to read consistent values. Safe for concurrent use.
+func (e *Engine) Metrics() *ExpansionMetrics { return &e.metrics }
+
+// ExpandTraced is Expand with a request trace attached: per-stage spans,
+// k-means restart bookkeeping and the cache disposition are recorded into
+// tr. A nil tr records engine metrics only (Expand delegates here with
+// nil). On a cache hit or a coalesced wait the trace carries the cache
+// state and no stage spans — the pipeline did not run for this caller.
+func (e *Engine) ExpandTraced(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
+	if e.expCache == nil {
+		return e.expand(raw, opts, tr)
+	}
+	key := e.expandKey(raw, opts)
+	if exp, ok := e.expCache.Get(key); ok {
+		tr.MarkCache(obs.CacheHit)
+		return exp, nil
+	}
+	exp, err, shared := e.flight.Do(key, func() (*Expansion, error) {
+		// Double-check under the flight: a concurrent computation may have
+		// landed between our Get miss and Do, and recomputing then would
+		// break the one-computation guarantee coalescing exists to give.
+		// Peek, not Get — the outer Get already counted this request.
+		if exp, ok := e.expCache.Peek(key); ok {
+			tr.MarkCache(obs.CacheHit)
+			return exp, nil
+		}
+		exp, err := e.expand(raw, opts, tr)
+		if err == nil {
+			e.expCache.Add(key, exp)
+		}
+		return exp, err
+	})
+	if shared {
+		// This caller's closure never ran; its result came from another
+		// caller's in-flight computation.
+		tr.MarkCache(obs.CacheCoalesced)
+	}
+	return exp, err
+}
