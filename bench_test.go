@@ -466,7 +466,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			tr.End(s)
 		}
 		tr.SetKMeans(5, 16, 0)
-		m.observe(opts, tr, time.Microsecond)
+		m.observe(opts, int(opts.Method), tr, time.Microsecond)
 		obs.PutTrace(tr)
 	}
 }

@@ -1,13 +1,17 @@
-// Command qec-expand runs the full pipeline of the paper on one query:
-// search → cluster → one expanded query per cluster, printing each expanded
-// query with its precision/recall/F against its cluster and the Eq. 1 score
+// Command qec-expand runs one expansion method on one query: search, then
+// the selected backend (clustered paper pipeline, vector-neighborhood,
+// lexical-synonym, or orthogonal coverage), printing each expanded query
+// with its precision/recall/F against its neighborhood and the Eq. 1 score
 // of the whole set.
 //
 // Usage:
 //
 //	qec-expand -dataset wikipedia -query "java" -method iskr
 //	qec-expand -dataset shopping -query "canon products" -method pebc -k 3
+//	qec-expand -dataset wikipedia -query "java" -method lexical -synonyms thesaurus.txt
+//	qec-expand -method help
 //
+// -method help prints the capability matrix of every built-in method.
 // -trace prints a per-stage timing table (parse, search, problem, cluster,
 // solve) to stderr after the run, reusing the serving layer's obs.Trace.
 package main
@@ -17,38 +21,73 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
+	qec "repro"
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	expander "repro/internal/expander"
 	"repro/internal/obs"
 	"repro/internal/search"
 )
 
 func main() {
 	var (
-		ds     = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
-		query  = flag.String("query", "", "keyword query (required)")
-		method = flag.String("method", "iskr", "iskr, pebc, fmeasure, cs, dataclouds, google")
-		k      = flag.Int("k", 3, "maximum number of clusters / expanded queries")
-		topK   = flag.Int("top", 30, "consider only the top-K results (0 = all)")
-		seed   = flag.Int64("seed", 2011, "dataset / clustering / PEBC seed")
-		scale  = flag.Int("scale", 1, "corpus scale multiplier")
-		trace  = flag.Bool("trace", false, "print a per-stage timing table to stderr")
+		ds       = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
+		query    = flag.String("query", "", "keyword query (required)")
+		method   = flag.String("method", "iskr", `expansion method ("help" prints the matrix); baselines: cs, dataclouds, google`)
+		k        = flag.Int("k", 3, "maximum number of clusters / expanded queries")
+		topK     = flag.Int("top", 30, "consider only the top-K results (0 = all)")
+		seed     = flag.Int64("seed", 2011, "dataset / clustering / PEBC seed")
+		scale    = flag.Int("scale", 1, "corpus scale multiplier")
+		synFile  = flag.String("synonyms", "", "thesaurus file for -method lexical (head: syn1, syn2 | a, b, c)")
+		traceOpt = flag.Bool("trace", false, "print a per-stage timing table to stderr")
 	)
 	flag.Parse()
+
+	if *method == "help" {
+		printMethodHelp(os.Stdout)
+		return
+	}
 	if *query == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	// Baselines are CLI-only comparison points, outside the method registry.
+	baselineMethod := *method == "cs" || *method == "dataclouds" || *method == "google"
+	var m qec.Method
+	if !baselineMethod {
+		var err error
+		if m, err = qec.ParseMethod(*method); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\nbaselines: cs, dataclouds, google; -method help prints the matrix\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var synonyms expander.SynonymSource
+	if *synFile != "" {
+		f, err := os.Open(*synFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		synonyms, err = expander.LoadTable(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	// tr stays nil without -trace; every obs.Trace method is nil-safe, so the
 	// pipeline below carries no flag checks.
 	var tr *obs.Trace
-	if *trace {
+	if *traceOpt {
 		tr = obs.GetTrace()
 		tr.ID = obs.NextTraceID()
 		defer func() {
@@ -103,6 +142,30 @@ func main() {
 		return
 	}
 
+	// Flat backends (no clustering stage) run through the Backend interface.
+	if !baselineMethod && !qec.Methods()[m].Clusters {
+		var backend expander.Backend
+		switch m {
+		case qec.VectorNeighborhood:
+			backend = expander.Vector{}
+		case qec.LexicalSynonym:
+			backend = expander.Lexical{}
+		case qec.Orthogonal:
+			backend = expander.Orthogonal{}
+		}
+		start := time.Now()
+		out := backend.Expand(&expander.Input{
+			Idx: d.Index, Eng: eng, Query: q, Results: results,
+			K: *k, Seed: *seed, Synonyms: synonyms, Trace: tr,
+		})
+		for i, s := range out.Suggestions {
+			fmt.Printf("q%d: %q  P=%.2f R=%.2f F=%.2f\n", i+1,
+				strings.Join(s.Terms, ", "), s.PRF.Precision, s.PRF.Recall, s.PRF.F)
+		}
+		fmt.Printf("score (Eq. 1): %.3f   expansion time: %v\n", out.Score, time.Since(start))
+		return
+	}
+
 	start := time.Now()
 	tr.Begin(obs.StageCluster)
 	cl := cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
@@ -120,26 +183,25 @@ func main() {
 		var fs []float64
 		for i, eq := range queries {
 			retrieved := baseline.RetrieveWithin(d.Index, eq, universe)
-			m := eval.Measure(retrieved, sets[i], weights)
-			fs = append(fs, m.F)
+			mm := eval.Measure(retrieved, sets[i], weights)
+			fs = append(fs, mm.F)
 			fmt.Printf("q%d: %q  P=%.2f R=%.2f F=%.2f\n", i+1,
-				strings.Join(eq.Terms, ", "), m.Precision, m.Recall, m.F)
+				strings.Join(eq.Terms, ", "), mm.Precision, mm.Recall, mm.F)
 		}
 		fmt.Printf("score (Eq. 1): %.3f\n", eval.Score(fs))
 		return
 	}
 
 	var ex core.Expander
-	switch *method {
-	case "iskr":
-		ex = &core.ISKR{}
-	case "pebc":
+	switch m {
+	case qec.PEBC:
 		ex = &core.PEBC{Seed: *seed}
-	case "fmeasure":
+	case qec.DeltaF:
 		ex = &core.FMeasureVariant{}
+	case qec.ORExpansion:
+		ex = &core.ORISKR{}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
-		os.Exit(2)
+		ex = &core.ISKR{}
 	}
 	tr.Begin(obs.StageProblem)
 	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
@@ -156,4 +218,37 @@ func main() {
 			prf.Precision, prf.Recall, prf.F, len(cl.Clusters[i]))
 	}
 	fmt.Printf("score (Eq. 1): %.3f   expansion time: %v\n", res.Score, elapsed)
+}
+
+// printMethodHelp renders the registry's capability matrix: one row per
+// built-in method plus the CLI-only baselines.
+func printMethodHelp(w *os.File) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "METHOD\tALIASES\tPARADIGM\tCLUSTERS\tKNOBS\tSUMMARY")
+	for _, mi := range qec.Methods() {
+		var knobs []string
+		if mi.UsesQuality {
+			knobs = append(knobs, "quality")
+		}
+		if mi.UsesSeed {
+			knobs = append(knobs, "seed")
+		}
+		if mi.UsesSynonyms {
+			knobs = append(knobs, "synonyms")
+		}
+		knob := strings.Join(knobs, ",")
+		if knob == "" {
+			knob = "-"
+		}
+		alias := strings.Join(mi.Aliases, ",")
+		if alias == "" {
+			alias = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%s\t%s\n",
+			mi.Name, alias, mi.Paradigm, mi.Clusters, knob, mi.Summary)
+	}
+	fmt.Fprintln(tw, "cs\t-\tbaseline\ttrue\tseed\tcluster-summary labels (CLI baseline)")
+	fmt.Fprintln(tw, "dataclouds\t-\tbaseline\tfalse\t-\tterm-frequency data clouds (CLI baseline)")
+	fmt.Fprintln(tw, "google\t-\tbaseline\tfalse\t-\tquery-log suggestions (CLI baseline)")
+	tw.Flush()
 }

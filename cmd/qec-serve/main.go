@@ -20,6 +20,13 @@
 //
 //	qec-serve -dataset wikipedia -quality serving
 //
+// Expand requests select their expansion backend with the wire field
+// "method" (iskr, pebc, deltaf, or, vector, lexical, orthogonal — aliases
+// accepted; see docs/EXPANDERS.md). -synonyms loads a thesaurus file for
+// method=lexical requests in place of the built-in demo table:
+//
+//	qec-serve -dataset wikipedia -synonyms thesaurus.txt
+//
 // With -pprof-addr a net/http/pprof debug listener starts on a separate
 // address (off by default), so serving hot paths can be profiled in place —
 // profiles are labeled per pipeline stage (qec_stage=...) while it is on:
@@ -70,6 +77,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "max concurrent expansions (0 = 2x GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		quality    = flag.String("quality", "exact", "default clustering quality for expand requests that don't set one: exact or serving")
+		synonyms   = flag.String("synonyms", "", `thesaurus file for method=lexical requests ("head: syn1, syn2" | "a, b, c"; empty = built-in demo table)`)
 		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof debug listener address (empty disables)")
 		accessLog  = flag.String("access-log", "", `JSON-lines access log: "stderr", "stdout" or a file path (empty disables)`)
 		slowMS     = flag.Int("slow-query-ms", 0, "log requests at or above this latency with their per-stage breakdown (0 disables)")
@@ -105,6 +113,18 @@ func main() {
 	opts = append(opts, qec.WithSeed(*seed))
 	if *cacheSize > 0 {
 		opts = append(opts, qec.WithExpansionCache(*cacheSize))
+	}
+	if *synonyms != "" {
+		f, err := os.Open(*synonyms)
+		if err != nil {
+			log.Fatalf("-synonyms: %v", err)
+		}
+		src, err := qec.LoadSynonyms(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("-synonyms: %v", err)
+		}
+		opts = append(opts, qec.WithSynonyms(src))
 	}
 
 	eng, err := loadEngine(*indexPath, *ds, *seed, *scale, opts)

@@ -50,6 +50,46 @@
 // GET /metrics — with per-request deadlines, a bounded expansion worker pool
 // and graceful shutdown; see README.md for a quick start.
 //
+// # Expansion paradigms
+//
+// Every expansion method — the paper's clustered pipeline included — is an
+// Expander backend selected per request, so all paradigms share the cache,
+// the coalescing layer, per-stage tracing and per-method histograms:
+//
+//   - Clustered (Method ISKR, PEBC, DeltaF, ORExpansion): the paper's
+//     pipeline — k-means over result TF vectors, one expansion problem per
+//     cluster, solved by the selected core algorithm. Expansion.Clusters
+//     carries the membership; Quality, Interleave and the engine seed apply.
+//   - VectorNeighborhood ("vector"): the TF-IDF centroid of the top results
+//     ranks neighborhood terms; top non-query terms become single-term
+//     expansions measured against the whole neighborhood. The classic
+//     pseudo-relevance-feedback baseline — no clustering, no seed.
+//   - LexicalSynonym ("lexical"): query terms map through a WordNet-style
+//     SynonymSource (WithSynonyms; built-in demo table by default),
+//     candidates are analyzer-normalized and vocabulary-filtered, and the
+//     corpus F-measure ranks the survivors.
+//   - Orthogonal ("orthogonal"): greedy coverage picks mutually dissimilar
+//     expansions — each pick is the keyword adding the most yet-uncovered
+//     result weight, so suggestions tend to land one per sense without
+//     running k-means.
+//
+// Methods parse from strings with ParseMethod (aliases included; one
+// canonical error lists the valid names), enumerate with Methods, and
+// select per request via ExpandOptions.Method or ExpandOptions.MethodName.
+// Custom backends register with WithExpander and are chosen by MethodName.
+//
+// Each backend carries its own determinism leg, all pinned by goldens and
+// cross-worker tests: the clustered family inherits the bit-identity
+// contract below (fixed seed ⇒ identical output at any worker count);
+// vector accumulates its centroid in ascending TermID order and ranks with
+// a stable sort keyed (weight desc, TermID asc); lexical generates
+// candidates in query-then-source order and ranks (F desc, term asc);
+// orthogonal's greedy argmax scans keywords in lexicographic pool order
+// with a strictly-greater tie-break. The method is a leg of the expansion
+// cache key ("m=..."; custom backends get a distinct "x:"-prefixed leg), so
+// no two methods can share a cache entry. See docs/EXPANDERS.md for the
+// full contract and a walkthrough of writing a backend.
+//
 // # Performance and determinism
 //
 // The index is built on a corpus-global term dictionary
@@ -166,7 +206,8 @@
 //
 // The internal packages implement the full substrate described in DESIGN.md:
 // analysis (tokenizer, stopwords, Porter stemmer), index, search, cluster,
-// eval, core (ISKR/PEBC), baseline (Data Clouds, TFICF cluster
+// eval, core (ISKR/PEBC), expander (the flat vector/lexical/orthogonal
+// backends), baseline (Data Clouds, TFICF cluster
 // summarization, query-log suggestion), dataset (synthetic shopping and
 // Wikipedia corpora), userstudy (simulated raters), experiment (the
 // figure-regeneration harness), cache (sharded LRU + request coalescing),

@@ -1,0 +1,42 @@
+package qec_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	qec "repro"
+)
+
+// TestDocsMethodConsistency pins the docs to the method registry: every
+// registered method name must appear (backticked, as in the matrices) in
+// the README and in docs/EXPANDERS.md, and every alias in docs/EXPANDERS.md
+// — so adding a backend without documenting it fails CI.
+func TestDocsMethodConsistency(t *testing.T) {
+	read := func(path string) string {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(b)
+	}
+	readme := read("README.md")
+	expanders := read("docs/EXPANDERS.md")
+
+	for _, mi := range qec.Methods() {
+		token := fmt.Sprintf("`%s`", mi.Name)
+		if !strings.Contains(readme, token) {
+			t.Errorf("README.md is missing method %s", token)
+		}
+		if !strings.Contains(expanders, token) {
+			t.Errorf("docs/EXPANDERS.md is missing method %s", token)
+		}
+		for _, alias := range mi.Aliases {
+			if !strings.Contains(expanders, fmt.Sprintf("`%s`", alias)) {
+				t.Errorf("docs/EXPANDERS.md is missing alias `%s` of %s", alias, token)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package qec_test
+
+import (
+	"fmt"
+	"slices"
+
+	qec "repro"
+)
+
+// exampleEngine builds the doc.go "apple" corpus: four documents per sense
+// (fruit, company), so every expansion paradigm has signal to work with.
+func exampleEngine(opts ...qec.Option) *qec.Engine {
+	e := qec.NewEngine(opts...)
+	for _, body := range []string{
+		"apple fruit orchard harvest",
+		"apple fruit pie cider",
+		"apple fruit tree juice",
+		"apple fruit crop farm",
+		"apple company iphone launch",
+		"apple company store retail",
+		"apple company laptop software",
+		"apple company stock shares",
+	} {
+		e.AddText("", body)
+	}
+	return e
+}
+
+// Method strings parse case-insensitively, aliases included; unknown names
+// get one canonical error enumerating every valid method.
+func ExampleParseMethod() {
+	m, _ := qec.ParseMethod("wordnet") // alias of "lexical"
+	fmt.Println(m)
+	_, err := qec.ParseMethod("nope")
+	fmt.Println(err)
+	// Output:
+	// Lexical
+	// qec: unknown method "nope" (valid: iskr, pebc, deltaf, or, vector, lexical, orthogonal)
+}
+
+// The vector-neighborhood backend suggests the TF-IDF-heaviest terms of the
+// result neighborhood — no clustering stage, so Expansion.Clusters is nil.
+func ExampleEngine_Expand_vector() {
+	e := exampleEngine()
+	exp, err := e.Expand("apple", qec.ExpandOptions{K: 2, Method: qec.VectorNeighborhood})
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range exp.Queries {
+		fmt.Println(q.Terms)
+	}
+	fmt.Println("clusters:", exp.Clusters == nil)
+	// Output:
+	// [apple company]
+	// [apple fruit]
+	// clusters: true
+}
+
+// The lexical backend expands through a synonym source: candidates come
+// from the thesaurus, the corpus F-measure picks the useful ones.
+func ExampleWithSynonyms() {
+	src := qec.NewSynonymTable(map[string][]string{
+		"apple": {"fruit", "company", "granny smith"},
+	})
+	e := exampleEngine(qec.WithSynonyms(src))
+	exp, err := e.Expand("apple", qec.ExpandOptions{K: 2, MethodName: "lexical"})
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range exp.Queries {
+		fmt.Println(q.Terms)
+	}
+	// Output:
+	// [apple company]
+	// [apple fruit]
+}
+
+// reverseExpander is the smallest complete custom backend: deterministic,
+// allocation-light, and honest about its (trivial) scoring. Real backends
+// follow the same shape — read ExpandInput, return an Expansion.
+type reverseExpander struct{}
+
+func (reverseExpander) Name() string { return "reverse" }
+
+func (reverseExpander) Expand(in qec.ExpandInput) (*qec.Expansion, error) {
+	terms := slices.Clone(in.Query.Terms)
+	slices.Reverse(terms)
+	return &qec.Expansion{
+		Original: in.Query.Terms,
+		Queries:  []qec.ExpandedQuery{{Terms: terms}},
+		Score:    1,
+	}, nil
+}
+
+// Custom backends register at construction and are selected per request by
+// MethodName; their results are cached under an "x:"-prefixed cache-key leg
+// that can never collide with a built-in method.
+func ExampleWithExpander() {
+	e := exampleEngine(qec.WithExpander(reverseExpander{}))
+	exp, err := e.Expand("apple fruit", qec.ExpandOptions{MethodName: "reverse"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(exp.Queries[0].Terms)
+	// Output: [fruit apple]
+}
+
+// Methods is the registry behind ParseMethod, qec-expand -method=help and
+// the docs-consistency test: one row per built-in method.
+func ExampleMethods() {
+	for _, mi := range qec.Methods() {
+		fmt.Printf("%-10s %s\n", mi.Name, mi.Paradigm)
+	}
+	// Output:
+	// iskr       clustered
+	// pebc       clustered
+	// deltaf     clustered
+	// or         clustered
+	// vector     vector
+	// lexical    lexical
+	// orthogonal coverage
+}

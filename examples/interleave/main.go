@@ -1,8 +1,12 @@
 // Interleave: the paper's Section 7 future-work idea — "interweaving the
 // clustering and query expansion process". Starting from a deliberately bad
 // clustering, the expanded queries themselves pull misplaced results into
-// the right clusters, raising the Eq. 1 score round by round. Also shows
-// saving/loading an engine so the index is not rebuilt on every start.
+// the right clusters, raising the Eq. 1 score round by round. Then the
+// same idea across paradigms: suggestions from the clustered, vector,
+// lexical, and orthogonal backends are interleaved round-robin into one
+// mixed list, so a UI can hedge across expansion philosophies instead of
+// betting on one. Also shows saving/loading an engine so the index is not
+// rebuilt on every start.
 package main
 
 import (
@@ -45,6 +49,38 @@ func main() {
 	fmt.Printf("interleaved    Eq.1 = %.3f\n", inter.Score)
 	for i, q := range inter.Queries {
 		fmt.Printf("  q%d: %q F=%.2f\n", i+1, strings.Join(q.Terms, ", "), q.F)
+	}
+
+	// Paradigm mixing: each backend reads the same query through a different
+	// lens — per-cluster refinement, neighborhood-centroid terms, thesaurus
+	// synonyms, coverage-orthogonal picks. Round-robin interleaving keeps
+	// each backend's own ranking while alternating paradigms in the mix.
+	fmt.Println("\nmixed paradigms (round-robin):")
+	methods := []string{"iskr", "vector", "lexical", "orthogonal"}
+	perMethod := make([][]string, len(methods))
+	for i, name := range methods {
+		exp, err := e.Expand("domino", qec.ExpandOptions{K: 3, MethodName: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(exp.Queries) == 0 {
+			log.Fatalf("method %s produced no suggestions", name)
+		}
+		for _, q := range exp.Queries {
+			perMethod[i] = append(perMethod[i], strings.Join(q.Terms, " "))
+		}
+	}
+	for round := 0; ; round++ {
+		advanced := false
+		for i, qs := range perMethod {
+			if round < len(qs) {
+				fmt.Printf("  [%-10s] %q\n", methods[i], qs[round])
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
 	}
 
 	// Persistence: serialize the engine, restore it, expand again.

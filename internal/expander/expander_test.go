@@ -1,0 +1,261 @@
+package expander
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/search"
+)
+
+// The golden file pins every backend's suggestions — terms and F-measure
+// bits — on the deterministic Wikipedia corpus, so any change to a
+// backend's candidate generation, ordering or measurement shows up as a
+// diff. F is compared via Float64bits: the determinism contract promises
+// bit-identity, not approximate equality.
+//
+// Regenerate with QEC_UPDATE_GOLDEN=1 go test ./internal/expander -run Golden
+// (only legitimate when a backend's semantics intentionally change).
+const goldenPath = "testdata/backends_golden.json"
+
+type goldenSuggestion struct {
+	Terms []string `json:"terms"`
+	FBits uint64   `json:"f_bits"`
+}
+
+type goldenCase struct {
+	Backend     string             `json:"backend"`
+	Query       string             `json:"query"`
+	K           int                `json:"k"`
+	TopK        int                `json:"top_k"`
+	Unweighted  bool               `json:"unweighted,omitempty"`
+	Suggestions []goldenSuggestion `json:"suggestions"`
+	ScoreBits   uint64             `json:"score_bits"`
+}
+
+var wikiOnce = sync.OnceValue(func() *dataset.Dataset {
+	return dataset.Wikipedia(1, 1)
+})
+
+func backends() map[string]Backend {
+	return map[string]Backend{
+		"vector":     Vector{},
+		"lexical":    Lexical{},
+		"orthogonal": Orthogonal{},
+	}
+}
+
+func newInput(t testing.TB, d *dataset.Dataset, raw string, k, topK int, unweighted bool) *Input {
+	t.Helper()
+	eng := search.NewEngine(d.Index)
+	q := search.ParseQuery(d.Index, raw)
+	results := eng.Search(q, search.And, topK)
+	if len(results) == 0 {
+		t.Fatalf("query %q matched nothing", raw)
+	}
+	return &Input{
+		Idx:     d.Index,
+		Eng:     eng,
+		Query:   q,
+		Results: results,
+		K:       k, Unweighted: unweighted,
+		Seed: 1,
+	}
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, name := range []string{"vector", "lexical", "orthogonal"} {
+		for _, q := range []string{"java", "domino", "mouse"} {
+			cases = append(cases, goldenCase{Backend: name, Query: q, K: 3, TopK: 30})
+		}
+		cases = append(cases, goldenCase{Backend: name, Query: "eclipse", K: 4, TopK: 0, Unweighted: true})
+	}
+	return cases
+}
+
+func (g *goldenCase) run(t testing.TB) *Output {
+	return backends()[g.Backend].Expand(newInput(t, wikiOnce(), g.Query, g.K, g.TopK, g.Unweighted))
+}
+
+func fill(g *goldenCase, out *Output) {
+	g.Suggestions = g.Suggestions[:0]
+	for _, s := range out.Suggestions {
+		g.Suggestions = append(g.Suggestions, goldenSuggestion{Terms: s.Terms, FBits: math.Float64bits(s.PRF.F)})
+	}
+	g.ScoreBits = math.Float64bits(out.Score)
+}
+
+func TestBackendGolden(t *testing.T) {
+	cases := goldenCases()
+	if os.Getenv("QEC_UPDATE_GOLDEN") != "" {
+		for i := range cases {
+			fill(&cases[i], cases[i].run(t))
+		}
+		buf, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(cases))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with QEC_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("golden has %d cases, test defines %d — regenerate", len(want), len(cases))
+	}
+	for _, w := range want {
+		w := w
+		t.Run(fmt.Sprintf("%s/%s", w.Backend, w.Query), func(t *testing.T) {
+			got := goldenCase{Backend: w.Backend, Query: w.Query, K: w.K, TopK: w.TopK, Unweighted: w.Unweighted}
+			fill(&got, got.run(t))
+			if len(got.Suggestions) != len(w.Suggestions) {
+				t.Fatalf("got %d suggestions, golden has %d", len(got.Suggestions), len(w.Suggestions))
+			}
+			for i := range w.Suggestions {
+				if strings.Join(got.Suggestions[i].Terms, " ") != strings.Join(w.Suggestions[i].Terms, " ") {
+					t.Errorf("suggestion %d terms = %v; golden %v", i, got.Suggestions[i].Terms, w.Suggestions[i].Terms)
+				}
+				if got.Suggestions[i].FBits != w.Suggestions[i].FBits {
+					t.Errorf("suggestion %d F bits = %x; golden %x", i, got.Suggestions[i].FBits, w.Suggestions[i].FBits)
+				}
+			}
+			if got.ScoreBits != w.ScoreBits {
+				t.Errorf("score bits = %x; golden %x", got.ScoreBits, w.ScoreBits)
+			}
+		})
+	}
+}
+
+// TestBackendDeterminism runs every backend repeatedly — serially and from
+// many concurrent goroutines sharing one index — and demands bit-identical
+// output every time. The concurrent leg catches hidden shared state (a
+// backend scribbling on index arenas or package scratch would interleave).
+func TestBackendDeterminism(t *testing.T) {
+	d := wikiOnce()
+	for name, b := range backends() {
+		t.Run(name, func(t *testing.T) {
+			base := render(b.Expand(newInput(t, d, "java", 3, 30, false)))
+			for run := 0; run < 3; run++ {
+				if got := render(b.Expand(newInput(t, d, "java", 3, 30, false))); got != base {
+					t.Fatalf("serial run %d diverged:\n%s\nwant:\n%s", run, got, base)
+				}
+			}
+			const workers = 8
+			got := make([]string, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					got[w] = render(b.Expand(newInput(t, d, "java", 3, 30, false)))
+				}(w)
+			}
+			wg.Wait()
+			for w, g := range got {
+				if g != base {
+					t.Fatalf("concurrent run %d diverged:\n%s\nwant:\n%s", w, g, base)
+				}
+			}
+		})
+	}
+}
+
+func render(o *Output) string {
+	var sb strings.Builder
+	for _, s := range o.Suggestions {
+		fmt.Fprintf(&sb, "%v %x\n", s.Terms, math.Float64bits(s.PRF.F))
+	}
+	fmt.Fprintf(&sb, "score %x", math.Float64bits(o.Score))
+	return sb.String()
+}
+
+// TestBackendsProduceSuggestions sanity-checks that each backend finds
+// something on every ambiguous demo query — the examples smoke test and the
+// CLI demos rely on non-empty output.
+func TestBackendsProduceSuggestions(t *testing.T) {
+	d := wikiOnce()
+	for name, b := range backends() {
+		for _, q := range []string{"java", "domino", "eclipse", "mouse", "cell"} {
+			out := b.Expand(newInput(t, d, q, 3, 30, false))
+			if len(out.Suggestions) == 0 {
+				t.Errorf("%s(%q): no suggestions", name, q)
+			}
+			for _, s := range out.Suggestions {
+				if len(s.Terms) <= 1 {
+					t.Errorf("%s(%q): suggestion %v has no expansion term", name, q, s.Terms)
+				}
+			}
+		}
+	}
+}
+
+func TestLexicalEmptySource(t *testing.T) {
+	d := wikiOnce()
+	out := Lexical{Source: Table{}}.Expand(newInput(t, d, "java", 3, 30, false))
+	if len(out.Suggestions) != 0 || out.Score != 0 {
+		t.Fatalf("empty source: got %d suggestions score %v; want none", len(out.Suggestions), out.Score)
+	}
+}
+
+func TestLoadTable(t *testing.T) {
+	src := `# thesaurus
+java: coffee, island   # directed
+a, b, c
+mouse: rodent
+`
+	tbl, err := LoadTable(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string][]string{
+		"java":  {"coffee", "island"},
+		"mouse": {"rodent"},
+		"a":     {"b", "c"},
+		"b":     {"a", "c"},
+		"c":     {"a", "b"},
+	}
+	for head, want := range wants {
+		got := tbl.Synonyms(head)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("Synonyms(%q) = %v; want %v", head, got, want)
+		}
+	}
+	if got := tbl.Synonyms("JAVA"); strings.Join(got, ",") != "coffee,island" {
+		t.Errorf("lookup not case-insensitive: %v", got)
+	}
+
+	for _, bad := range []string{": x", "solo", "java:", "java:  ,  "} {
+		if _, err := LoadTable(strings.NewReader(bad)); err == nil {
+			t.Errorf("LoadTable(%q): expected error", bad)
+		}
+	}
+}
+
+func TestNewTableNormalizes(t *testing.T) {
+	tbl := NewTable(map[string][]string{
+		" Java ": {"Coffee", "coffee", "java", "", "Island"},
+	})
+	if got := tbl.Synonyms("java"); strings.Join(got, ",") != "coffee,island" {
+		t.Fatalf("Synonyms(java) = %v; want [coffee island]", got)
+	}
+}

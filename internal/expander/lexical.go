@@ -1,0 +1,231 @@
+package expander
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SynonymSource supplies synonym candidates for a query term. It is the
+// lexical backend's stand-in for a WordNet synset lookup: Pal et al. pull
+// candidates from lexical relations and then let corpus statistics pick the
+// useful ones, and the backend follows the same two-phase shape.
+//
+// Implementations must be deterministic: for a given term, Synonyms returns
+// the same slice contents on every call, sorted ascending, never containing
+// the term itself. Table and LoadTable enforce this; custom sources must
+// uphold it or the backend's determinism contract breaks.
+type SynonymSource interface {
+	Synonyms(term string) []string
+}
+
+// Table is an in-memory SynonymSource keyed by lowercase headword. Build it
+// with NewTable (or LoadTable) so entries satisfy the SynonymSource
+// ordering/no-self guarantees.
+type Table map[string][]string
+
+// Synonyms implements SynonymSource.
+func (t Table) Synonyms(term string) []string { return t[strings.ToLower(term)] }
+
+// NewTable normalizes a raw headword → synonyms mapping into a Table:
+// headwords and synonyms are lowercased and trimmed, duplicates and
+// self-references dropped, and each entry sorted ascending.
+func NewTable(raw map[string][]string) Table {
+	t := make(Table, len(raw))
+	for head, syns := range raw {
+		head = strings.ToLower(strings.TrimSpace(head))
+		if head == "" {
+			continue
+		}
+		t.add(head, syns)
+	}
+	return t
+}
+
+func (t Table) add(head string, syns []string) {
+	entry := t[head]
+	for _, s := range syns {
+		s = strings.ToLower(strings.TrimSpace(s))
+		if s == "" || s == head || slices.Contains(entry, s) {
+			continue
+		}
+		entry = append(entry, s)
+	}
+	slices.Sort(entry)
+	if len(entry) > 0 {
+		t[head] = entry
+	}
+}
+
+// LoadTable parses a synonym file into a Table. Two line forms are
+// accepted, mirroring common thesaurus-file conventions:
+//
+//	head: syn1, syn2     # directed — syn1/syn2 suggested for head only
+//	a, b, c              # symmetric group — each suggests all the others
+//
+// Blank lines and #-comments (full-line or trailing) are ignored. Parse
+// errors report the 1-based line number.
+func LoadTable(r io.Reader) (Table, error) {
+	t := make(Table)
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if head, rest, ok := strings.Cut(line, ":"); ok {
+			head = strings.ToLower(strings.TrimSpace(head))
+			if head == "" {
+				return nil, fmt.Errorf("synonyms: line %d: empty headword", lineNo)
+			}
+			syns := splitList(rest)
+			if len(syns) == 0 {
+				return nil, fmt.Errorf("synonyms: line %d: headword %q has no synonyms", lineNo, head)
+			}
+			t.add(head, syns)
+			continue
+		}
+		group := splitList(line)
+		if len(group) < 2 {
+			return nil, fmt.Errorf("synonyms: line %d: symmetric group needs at least two terms", lineNo)
+		}
+		for _, head := range group {
+			t.add(strings.ToLower(head), group)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("synonyms: %w", err)
+	}
+	return t, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DefaultSynonyms is the built-in demo table used when no synonym source is
+// configured: a miniature WordNet stand-in covering the synthetic corpora's
+// ambiguous headwords (each entry spans the senses the datasets give the
+// word), so the lexical backend produces meaningful suggestions out of the
+// box. Production deployments load a real thesaurus via LoadTable.
+func DefaultSynonyms() Table {
+	return NewTable(map[string][]string{
+		"apple":    {"fruit", "company", "iphone", "mac", "orchard"},
+		"java":     {"coffee", "island", "language", "software"},
+		"domino":   {"game", "tile", "pizza", "record"},
+		"eclipse":  {"shadow", "solar", "ide", "car"},
+		"cell":     {"battery", "membrane", "phone", "organism"},
+		"mouse":    {"rodent", "cursor", "button", "cartoon"},
+		"rockets":  {"launch", "missile", "nba", "space"},
+		"cvs":      {"pharmacy", "repository", "store"},
+		"columbia": {"university", "river", "album"},
+		"san":      {"city"},
+		"jose":     {"california"},
+		"coffee":   {"brew", "bean", "drink"},
+		"island":   {"sea", "volcano"},
+		"game":     {"player", "tile", "rules"},
+		"phone":    {"mobile", "network", "signal"},
+		"camera":   {"lens", "photo", "shutter"},
+		"tablet":   {"screen", "battery", "stylus"},
+		"laptop":   {"notebook", "keyboard", "screen"},
+	})
+}
+
+// Lexical is the lexical-synonym backend: query terms map to synonym
+// candidates through the SynonymSource, candidates are normalized by the
+// corpus analyzer and filtered to the corpus vocabulary, and the survivors
+// are ranked by the F-measure of the expanded query against the result
+// neighborhood. Stage accounting: candidate generation runs under the
+// "problem" span, measurement + ranking under "solve".
+type Lexical struct {
+	// Source supplies synonym candidates (nil falls back to the Input's
+	// Synonyms source, then DefaultSynonyms).
+	Source SynonymSource
+}
+
+// Name implements Backend.
+func (Lexical) Name() string { return "lexical" }
+
+// Expand implements Backend. Determinism: candidates are generated in query
+// order then source order (both fixed), measured with the shared
+// sorted-order fold, and ranked by F descending with ascending-term
+// tie-break under a stable sort.
+func (l Lexical) Expand(in *Input) *Output {
+	tr := in.Trace
+
+	src := l.Source
+	if src == nil {
+		src = in.Synonyms
+	}
+	if src == nil {
+		src = DefaultSynonyms()
+	}
+
+	tr.Begin(obs.StageProblem)
+	// Candidate generation: each query term's synonyms, analyzer-normalized
+	// and vocabulary-checked, excluding the query's own terms, deduplicated
+	// in encounter order.
+	queryTerm := make(map[string]bool, len(in.Query.Terms))
+	for _, t := range in.Query.Terms {
+		queryTerm[t] = true
+	}
+	var candidates []string
+	seen := make(map[string]bool)
+	for _, t := range in.Query.Terms {
+		for _, syn := range src.Synonyms(t) {
+			for _, norm := range in.Idx.Analyzer().UniqueTerms(syn) {
+				if seen[norm] || queryTerm[norm] {
+					continue
+				}
+				seen[norm] = true
+				if _, ok := in.Idx.LookupTerm(norm); ok {
+					candidates = append(candidates, norm)
+				}
+			}
+		}
+	}
+	tr.End(obs.StageProblem)
+
+	tr.Begin(obs.StageSolve)
+	universe, w := neighborhood(in)
+	scored := make([]Suggestion, 0, len(candidates))
+	for _, c := range candidates {
+		q := in.Query.With(c)
+		scored = append(scored, Suggestion{Terms: q.Terms, PRF: measure(in, q, universe, w)})
+	}
+	// Rank by F descending; ascending expansion term on ties (the pre-sort
+	// by term supplies the base order, the stable sort preserves it).
+	slices.SortFunc(scored, func(a, b Suggestion) int {
+		return strings.Compare(a.Terms[len(a.Terms)-1], b.Terms[len(b.Terms)-1])
+	})
+	slices.SortStableFunc(scored, func(a, b Suggestion) int {
+		switch {
+		case a.PRF.F > b.PRF.F:
+			return -1
+		case a.PRF.F < b.PRF.F:
+			return 1
+		}
+		return 0
+	})
+	if len(scored) > in.K {
+		scored = scored[:in.K]
+	}
+	tr.End(obs.StageSolve)
+	return assemble(scored)
+}
+
+var _ Backend = Lexical{}

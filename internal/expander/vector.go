@@ -1,0 +1,96 @@
+package expander
+
+import (
+	"slices"
+
+	"repro/internal/obs"
+	"repro/internal/termdict"
+)
+
+// Vector is the vector-neighborhood backend: embed the top-ranked result
+// documents as TF-IDF vectors over the corpus-global TermID space, average
+// them into a neighborhood centroid, and suggest the highest-weight centroid
+// terms outside the query. Stage accounting: centroid accumulation runs
+// under the "cluster" span, term ranking + measurement under "solve".
+type Vector struct {
+	// Neighbors caps how many top results form the neighborhood centroid
+	// (<= 0 means DefaultNeighbors). The embedding-search recipe this
+	// follows averages a handful of nearest neighbors, not the whole result
+	// set — a small cap keeps the centroid on the query's dominant senses.
+	Neighbors int
+}
+
+// DefaultNeighbors is the neighborhood size when Vector.Neighbors is unset.
+const DefaultNeighbors = 10
+
+// Name implements Backend.
+func (Vector) Name() string { return "vector" }
+
+// Expand implements Backend. Determinism: documents accumulate into the
+// centroid in ascending rank order (the engine's result order is already
+// deterministic), candidate terms rank by weight descending with ascending
+// TermID tie-break, and measurement reuses the shared sorted-order fold.
+func (v Vector) Expand(in *Input) *Output {
+	tr := in.Trace
+
+	tr.Begin(obs.StageCluster)
+	n := v.Neighbors
+	if n <= 0 {
+		n = DefaultNeighbors
+	}
+	if n > len(in.Results) {
+		n = len(in.Results)
+	}
+	// The neighborhood centroid, accumulated term-by-term over an
+	// epoch-stamped dense buffer (first touch zero-initializes, so the sums
+	// equal a fresh buffer's). The mean's 1/n scale is a positive constant
+	// factor on every component — it cannot change the ranking below — so
+	// it is folded away entirely.
+	var s termdict.DenseScratch
+	s.Reset(in.Idx.NumTerms())
+	for _, r := range in.Results[:n] {
+		tids := in.Idx.DocTermIDs(r.Doc)
+		freqs := in.Idx.DocTermFreqs(r.Doc)
+		for i, tid := range tids {
+			s.Add(tid, float64(freqs[i])*in.Idx.IDFByID(tid))
+		}
+	}
+	tr.End(obs.StageCluster)
+
+	tr.Begin(obs.StageSolve)
+	// Rank the touched terms by centroid weight descending, TermID
+	// ascending on ties (the pre-sort supplies the ascending base order and
+	// the stable sort preserves it within equal weights); the query's own
+	// terms never become suggestions.
+	qids := termdict.ResolveSorted(in.Idx.Dict(), in.Query.Terms)
+	ranked := s.Touched
+	slices.Sort(ranked)
+	slices.SortStableFunc(ranked, func(a, b termdict.TermID) int {
+		switch {
+		case s.Vals[a] > s.Vals[b]:
+			return -1
+		case s.Vals[a] < s.Vals[b]:
+			return 1
+		}
+		return 0
+	})
+	universe, w := neighborhood(in)
+	suggestions := make([]Suggestion, 0, in.K)
+	for _, tid := range ranked {
+		if len(suggestions) == in.K {
+			break
+		}
+		if _, isQueryTerm := slices.BinarySearch(qids, tid); isQueryTerm {
+			continue
+		}
+		q := in.Query.With(in.Idx.TermByID(tid))
+		suggestions = append(suggestions, Suggestion{
+			Terms: q.Terms,
+			PRF:   measure(in, q, universe, w),
+		})
+	}
+	tr.End(obs.StageSolve)
+	return assemble(suggestions)
+}
+
+var _ Backend = Vector{}

@@ -27,8 +27,12 @@ type engineMetrics interface {
 // no label strings.
 var (
 	qualityLabels = [qec.NumQualities]string{`quality="exact"`, `quality="serving"`}
-	methodLabels  = [qec.NumMethods]string{`method="iskr"`, `method="pebc"`, `method="deltaf"`, `method="or"`}
-	stageLabels   = [obs.NumStages]string{
+	methodLabels  = [qec.NumMethodSlots]string{
+		`method="iskr"`, `method="pebc"`, `method="deltaf"`, `method="or"`,
+		`method="vector"`, `method="lexical"`, `method="orthogonal"`,
+		`method="custom"`,
+	}
+	stageLabels = [obs.NumStages]string{
 		`stage="parse"`, `stage="search"`, `stage="problem"`,
 		`stage="cluster"`, `stage="solve"`, `stage="assemble"`,
 	}

@@ -33,6 +33,11 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	// Second exact request: a cache hit, so hit counters move too.
 	postJSON(t, client, ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2, Quality: "exact"})
+	// One request per alternative paradigm, so the per-method histograms
+	// carry every backend family.
+	for _, method := range []string{"vector", "lexical", "orthogonal"} {
+		postJSON(t, client, ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2, Method: method})
+	}
 
 	resp, err := client.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -55,12 +60,17 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	for _, want := range []string{
 		"qec_http_requests_total",
-		`qec_http_endpoint_requests_total{endpoint="expand"} 3`,
+		`qec_http_endpoint_requests_total{endpoint="expand"} 6`,
 		"qec_cache_hits_total 1",
 		"qec_workers_capacity",
 		`qec_http_request_duration_seconds_bucket{endpoint="search",le="+Inf"} 1`,
 		`qec_expand_request_duration_seconds_count{quality="serving"} 1`,
-		`qec_expand_pipeline_duration_seconds_count{quality="exact"} 1`,
+		`qec_expand_pipeline_duration_seconds_count{quality="exact"} 4`,
+		`qec_expand_method_duration_seconds_count{method="iskr"} 2`,
+		`qec_expand_method_duration_seconds_count{method="vector"} 1`,
+		`qec_expand_method_duration_seconds_count{method="lexical"} 1`,
+		`qec_expand_method_duration_seconds_count{method="orthogonal"} 1`,
+		`qec_expand_method_duration_seconds_count{method="custom"} 0`,
 		`qec_stage_duration_seconds_bucket{stage="cluster",`,
 		"qec_kmeans_restarts_total",
 		"qec_core_fans_total",
@@ -282,5 +292,10 @@ func TestStatsLatencyAndWorkers(t *testing.T) {
 	}
 	if stats.KMeans.Restarts == 0 || stats.KMeans.Iterations == 0 {
 		t.Fatalf("kmeans totals = %+v", stats.KMeans)
+	}
+	// Both pipeline runs used the default method; methods never run are
+	// omitted from the per-method split.
+	if m := stats.Latency.Method; m["iskr"].Count != 2 || len(m) != 1 {
+		t.Fatalf("per-method latency = %+v; want iskr:2 only", m)
 	}
 }

@@ -247,6 +247,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Iterations: int64(m.KMeansIterations.Load()),
 			Abandoned:  int64(m.AbandonedRestarts.Load()),
 		}
+		// Per-method split of *uncached pipeline-run* latency (the engine
+		// only observes actual backend runs, never cache hits or coalesced
+		// waits). Methods with no runs yet are omitted.
+		method := make(map[string]HistogramSummary, qec.NumMethodSlots)
+		for mi := range m.PerMethod {
+			if snap := m.PerMethod[mi].Snapshot(); snap.Count > 0 {
+				method[qec.MethodLabel(mi)] = summarize(snap)
+			}
+		}
+		resp.Latency.Method = method
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

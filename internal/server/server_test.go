@@ -102,7 +102,11 @@ func TestSearchRoundTrip(t *testing.T) {
 func TestExpandRoundTrip(t *testing.T) {
 	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
 	defer ts.Close()
-	for _, method := range []string{"", "iskr", "pebc", "deltaf", "or"} {
+	// Clustered methods return one query per cluster; the alternative
+	// paradigms (vector, lexical, orthogonal) return a flat suggestion list
+	// with no clusters.
+	clustered := map[string]bool{"": true, "iskr": true, "pebc": true, "deltaf": true, "or": true}
+	for _, method := range []string{"", "iskr", "pebc", "deltaf", "or", "vector", "lexical", "orthogonal"} {
 		resp, data := postJSON(t, ts.Client(), ts.URL+"/expand",
 			ExpandRequest{Query: "apple", K: 2, Method: method})
 		if resp.StatusCode != http.StatusOK {
@@ -112,8 +116,15 @@ func TestExpandRoundTrip(t *testing.T) {
 		if len(er.Original) == 0 || er.Original[0] != "apple" {
 			t.Fatalf("method %q: original = %v", method, er.Original)
 		}
-		if len(er.Queries) == 0 || len(er.Clusters) != len(er.Queries) {
-			t.Fatalf("method %q: %d queries, %d clusters", method, len(er.Queries), len(er.Clusters))
+		if len(er.Queries) == 0 {
+			t.Fatalf("method %q: no queries", method)
+		}
+		if clustered[method] {
+			if len(er.Clusters) != len(er.Queries) {
+				t.Fatalf("method %q: %d queries, %d clusters", method, len(er.Queries), len(er.Clusters))
+			}
+		} else if len(er.Clusters) != 0 {
+			t.Fatalf("method %q: non-clustered paradigm returned %d clusters", method, len(er.Clusters))
 		}
 		if er.Score <= 0 {
 			t.Fatalf("method %q: score = %v; want > 0", method, er.Score)
@@ -157,8 +168,18 @@ func TestErrorPaths(t *testing.T) {
 		if resp.StatusCode != tc.wantCode {
 			t.Errorf("%s: status = %d; want %d (body %s)", tc.name, resp.StatusCode, tc.wantCode, data)
 		}
-		if e := decode[ErrorResponse](t, data); e.Error == "" {
+		e := decode[ErrorResponse](t, data)
+		if e.Error == "" {
 			t.Errorf("%s: error body should carry a message, got %s", tc.name, data)
+		}
+		if tc.name == "unknown method" {
+			// The rejection is qec's one canonical error: it must enumerate
+			// every valid method so the caller can self-correct.
+			for _, name := range qec.MethodNames() {
+				if !strings.Contains(e.Error, name) {
+					t.Errorf("unknown-method error %q does not enumerate %q", e.Error, name)
+				}
+			}
 		}
 	}
 }

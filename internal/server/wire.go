@@ -38,7 +38,10 @@ type ExpandRequest struct {
 	K int `json:"k,omitempty"`
 	// TopK considers only the top-ranked results (0 = all).
 	TopK int `json:"top_k,omitempty"`
-	// Method is "iskr" (default), "pebc", "deltaf" or "or".
+	// Method selects the expansion backend: "iskr" (default), "pebc",
+	// "deltaf", "or", "vector", "lexical" or "orthogonal" (aliases accepted
+	// — see qec.Methods). Unknown names are rejected with a 400 enumerating
+	// the valid methods.
 	Method string `json:"method,omitempty"`
 	// Unweighted disables rank-weighted precision/recall.
 	Unweighted bool `json:"unweighted,omitempty"`
@@ -60,12 +63,13 @@ type ExpandRequest struct {
 // server's default clustering quality, applied when the request leaves the
 // field empty.
 func (r *ExpandRequest) Options(def qec.Quality) (qec.ExpandOptions, error) {
-	method, ok := qec.ParseMethod(r.Method)
-	if !ok {
-		return qec.ExpandOptions{}, fmt.Errorf("unknown method %q", r.Method)
+	method, err := qec.ParseMethod(r.Method)
+	if err != nil {
+		return qec.ExpandOptions{}, err
 	}
 	quality := def
 	if r.Quality != "" {
+		var ok bool
 		if quality, ok = qec.ParseQuality(r.Quality); !ok {
 			return qec.ExpandOptions{}, fmt.Errorf("unknown quality %q", r.Quality)
 		}
@@ -233,12 +237,15 @@ func summarize(s obs.HistSnapshot) HistogramSummary {
 	}
 }
 
-// LatencyStats reports user-visible request latency per endpoint, and expand
-// latency split by clustering quality tier.
+// LatencyStats reports user-visible request latency per endpoint, expand
+// latency split by clustering quality tier, and uncached pipeline-run
+// latency split by expansion method (cache hits and coalesced waits are
+// excluded from the method split — they never ran a backend).
 type LatencyStats struct {
 	Search  HistogramSummary            `json:"search"`
 	Expand  HistogramSummary            `json:"expand"`
 	Quality map[string]HistogramSummary `json:"quality"`
+	Method  map[string]HistogramSummary `json:"method"`
 }
 
 // KMeansStats totals the clustering driver's restart bookkeeping across all

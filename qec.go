@@ -42,6 +42,9 @@ var (
 	ErrEmptyQuery = errors.New("qec: empty query")
 	// ErrNoResults means the query matched no documents.
 	ErrNoResults = errors.New("qec: no results")
+	// ErrUnknownMethod means a method name matched no built-in method (and,
+	// for ExpandOptions.MethodName, no registered custom backend).
+	ErrUnknownMethod = errors.New("qec: unknown method")
 )
 
 // Quality selects the clustering speed/accuracy trade of the expansion
@@ -93,24 +96,41 @@ const (
 	// cluster. The returned queries stand alone (they do not include the
 	// original query's terms).
 	ORExpansion
+	// VectorNeighborhood expands toward the TF-IDF centroid of the top
+	// results' term vectors: the centroid's heaviest non-query terms become
+	// the suggestions (the embedding-search neighborhood recipe, computed on
+	// the index's own arenas).
+	VectorNeighborhood
+	// LexicalSynonym expands through a WordNet-style synonym source: the
+	// query terms' synonyms that exist in the corpus vocabulary, ranked by
+	// F-measure against the result neighborhood (after Pal et al.).
+	LexicalSynonym
+	// Orthogonal picks mutually dissimilar expansions by greedy weighted
+	// coverage of the result set — each suggestion targets results the
+	// previous ones miss (after Ackerman et al.).
+	Orthogonal
 )
 
-// ParseMethod maps a method name (as printed by Method.String, plus common
-// aliases like "fmeasure" and "or") back to a Method. Matching is
-// case-insensitive; ok is false for unknown names.
-func ParseMethod(s string) (Method, bool) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "", "iskr":
-		return ISKR, true
-	case "pebc":
-		return PEBC, true
-	case "deltaf", "delta-f", "fmeasure", "f-measure":
-		return DeltaF, true
-	case "or", "oriskr", "or-iskr":
-		return ORExpansion, true
-	default:
-		return ISKR, false
+// ParseMethod maps a method name — a canonical wire string from Methods()
+// or one of its aliases, case-insensitively; "" means the default (ISKR) —
+// back to a Method. Unknown names return one canonical error wrapping
+// ErrUnknownMethod and enumerating every valid method.
+func ParseMethod(s string) (Method, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	if name == "" {
+		return ISKR, nil
 	}
+	for _, mi := range methodRegistry {
+		if name == mi.Name {
+			return mi.Method, nil
+		}
+		for _, alias := range mi.Aliases {
+			if name == alias {
+				return mi.Method, nil
+			}
+		}
+	}
+	return ISKR, fmt.Errorf("%w %q (valid: %s)", ErrUnknownMethod, s, strings.Join(MethodNames(), ", "))
 }
 
 // String names the method.
@@ -122,6 +142,12 @@ func (m Method) String() string {
 		return "DeltaF"
 	case ORExpansion:
 		return "OR-ISKR"
+	case VectorNeighborhood:
+		return "Vector"
+	case LexicalSynonym:
+		return "Lexical"
+	case Orthogonal:
+		return "Orthogonal"
 	default:
 		return "ISKR"
 	}
@@ -160,6 +186,13 @@ type Engine struct {
 	// embedded state — histograms and counters are lock-free, recording is
 	// allocation-free, and nothing here feeds back into the pipeline.
 	metrics ExpansionMetrics
+
+	// synonyms feeds the lexical backend (nil = built-in demo table);
+	// custom holds WithExpander-registered backends by lowercased name.
+	// Both are configured at construction only — never mutated afterwards —
+	// so concurrent Expand calls read them without synchronization.
+	synonyms SynonymSource
+	custom   map[string]Expander
 }
 
 // Option configures an Engine.
@@ -288,6 +321,11 @@ type ExpandOptions struct {
 	TopK int
 	// Method selects the algorithm (default ISKR).
 	Method Method
+	// MethodName, when non-empty, selects the backend by name instead of
+	// Method: first the engine's WithExpander-registered custom backends,
+	// then the built-in method names and aliases (see Methods). An unknown
+	// name makes Expand fail with ErrUnknownMethod.
+	MethodName string
 	// Unweighted disables rank-weighted precision/recall.
 	Unweighted bool
 	// Parallel is retained for API compatibility: per-cluster expansion now
@@ -372,7 +410,9 @@ func (e *Engine) CacheStats() CacheStats {
 // expandKey canonicalizes (raw, opts) into a cache key: the parsed query's
 // term list — produced by search.ParseQuery itself, so cache identity can
 // never drift from query identity — plus every result-affecting option.
-// Parallel is deliberately excluded — it changes scheduling, not results.
+// The method leg is the backend's canonical label (custom backends are
+// "x:"-prefixed), so two backends can never share a cached entry. Parallel
+// is deliberately excluded — it changes scheduling, not results.
 func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 	e.Build()
 	var sb strings.Builder
@@ -380,8 +420,8 @@ func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 		sb.WriteString(term)
 		sb.WriteByte(' ')
 	}
-	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%d|uw=%t|il=%d|q=%d",
-		opts.K, opts.TopK, opts.Method, opts.Unweighted, opts.Interleave, opts.Quality)
+	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%s|uw=%t|il=%d|q=%d",
+		opts.K, opts.TopK, e.methodLeg(opts), opts.Unweighted, opts.Interleave, opts.Quality)
 	return sb.String()
 }
 
@@ -395,15 +435,19 @@ func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
 	return e.ExpandTraced(raw, opts, nil)
 }
 
-// expand is the uncached pipeline: search, cluster, expand per cluster.
-// Each stage runs between a Begin/End span pair so traces and the per-stage
-// histograms see where the time went; the spans only read the clock — no
-// pipeline arithmetic depends on them, so instrumented output is
-// bit-identical to uninstrumented (pinned by TestInstrumentationBitIdentity
-// and the expansion goldens).
+// expand is the uncached pipeline: the shared parse + search preamble, then
+// the request's backend (see backendFor). Each stage runs between a
+// Begin/End span pair so traces and the per-stage histograms see where the
+// time went; the spans only read the clock — no pipeline arithmetic depends
+// on them, so instrumented output is bit-identical to uninstrumented
+// (pinned by TestInstrumentationBitIdentity and the expansion goldens).
 func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
 	e.computations.Add(1)
 	e.Build()
+	backend, slot, err := e.backendFor(opts)
+	if err != nil {
+		return nil, err
+	}
 	// Per-stage metrics want durations even for untraced calls: borrow a
 	// pooled trace so the recording path is identical either way (and free
 	// of per-request allocations at steady state).
@@ -427,17 +471,43 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 	if len(results) == 0 {
 		return nil, fmt.Errorf("%w for %q", ErrNoResults, raw)
 	}
-	k := opts.K
-	if k <= 0 {
-		k = 3
+
+	out, err := backend.Expand(ExpandInput{
+		Engine:  e,
+		Query:   q,
+		Results: results,
+		Opts:    opts,
+		Seed:    e.seed,
+		trace:   tr,
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	e.metrics.observe(opts, slot, tr, time.Since(start))
+	return out, nil
+}
+
+// clusteredExpander runs the paper's pipeline — cluster the results, build
+// one Definition 2.2 problem per cluster, solve with the selected core
+// algorithm — behind the Expander interface. One instance per clustered
+// Method lives in builtinExpanders; the body is the historical expand tail,
+// so output is bit-identical to the pre-interface engine (pinned by the
+// expansion goldens).
+type clusteredExpander struct{ method Method }
+
+func (c clusteredExpander) Name() string { return methodRegistry[c.method].Name }
+
+func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
+	e, q, opts, tr := in.Engine, in.Query, in.Opts, in.trace
+	k := in.SuggestionCount()
+
 	tr.Begin(obs.StageProblem)
-	universe := search.ResultSet(results)
+	universe := search.ResultSet(in.Results)
 	var weights eval.Weights
 	if !opts.Unweighted {
 		weights = eval.Weights{}
-		for _, r := range results {
+		for _, r := range in.Results {
 			weights[r.Doc] = r.Score
 		}
 	}
@@ -450,8 +520,11 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 	tr.End(obs.StageCluster)
 	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
 
+	// The core algorithm follows c.method — the dispatch identity, which
+	// backendFor resolved from Method or MethodName — never opts.Method,
+	// which may disagree when MethodName is set.
 	var expander core.Expander
-	switch opts.Method {
+	switch c.method {
 	case PEBC:
 		expander = &core.PEBC{Seed: e.seed}
 	case DeltaF:
@@ -499,7 +572,5 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 		})
 	}
 	tr.End(obs.StageAssemble)
-
-	e.metrics.observe(opts, tr, time.Since(start))
 	return out, nil
 }

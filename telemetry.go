@@ -6,15 +6,22 @@ import (
 	"repro/internal/obs"
 )
 
-// Telemetry array sizes: the quality tiers (exact, serving) and expansion
-// methods (ISKR, PEBC, DeltaF, OR-ISKR) are closed enums, so the metrics
-// below are fixed arrays of lock-free histograms — no maps, no registration,
-// nothing to allocate per request.
+// Telemetry array sizes: the quality tiers (exact, serving) and built-in
+// expansion methods (ISKR, PEBC, DeltaF, OR-ISKR, Vector, Lexical,
+// Orthogonal) are closed enums, so the metrics below are fixed arrays of
+// lock-free histograms — no maps, no registration, nothing to allocate per
+// request. Custom backends registered with WithExpander share one extra
+// "custom" slot.
 const (
 	// NumQualities is the number of clustering quality tiers.
 	NumQualities = 2
-	// NumMethods is the number of expansion methods.
-	NumMethods = 4
+	// NumMethods is the number of built-in expansion methods.
+	NumMethods = 7
+	// CustomMethodSlot is the shared telemetry slot of all custom backends.
+	CustomMethodSlot = NumMethods
+	// NumMethodSlots is the per-method metrics array size: the built-in
+	// methods plus the custom slot.
+	NumMethodSlots = NumMethods + 1
 )
 
 // QualityIndex maps a Quality to its metrics slot (0 = exact, 1 = serving).
@@ -34,18 +41,16 @@ func QualityLabel(i int) string {
 }
 
 // MethodLabel names a method metrics slot in wire form ("iskr", "pebc",
-// "deltaf", "or").
+// "deltaf", "or", "vector", "lexical", "orthogonal", and "custom" for the
+// shared WithExpander slot).
 func MethodLabel(i int) string {
-	switch Method(i) {
-	case PEBC:
-		return "pebc"
-	case DeltaF:
-		return "deltaf"
-	case ORExpansion:
-		return "or"
-	default:
-		return "iskr"
+	if i == CustomMethodSlot {
+		return "custom"
 	}
+	if i >= 0 && i < NumMethods {
+		return methodRegistry[i].Name
+	}
+	return "iskr"
 }
 
 // ExpansionMetrics aggregates the engine's pipeline telemetry. All fields
@@ -56,9 +61,10 @@ func MethodLabel(i int) string {
 // endpoint.
 type ExpansionMetrics struct {
 	// PerQuality and PerMethod are cold-expansion latency histograms keyed
-	// by QualityIndex / Method ordinal.
+	// by QualityIndex / Method ordinal (custom backends land in the shared
+	// CustomMethodSlot).
 	PerQuality [NumQualities]obs.Histogram
-	PerMethod  [NumMethods]obs.Histogram
+	PerMethod  [NumMethodSlots]obs.Histogram
 	// PerStage holds one latency histogram per pipeline stage.
 	PerStage [obs.NumStages]obs.Histogram
 	// KMeansRestarts, KMeansIterations and AbandonedRestarts total the
@@ -68,14 +74,15 @@ type ExpansionMetrics struct {
 	AbandonedRestarts obs.Counter
 }
 
-// observe records one completed pipeline run.
-func (m *ExpansionMetrics) observe(opts ExpandOptions, tr *obs.Trace, total time.Duration) {
+// observe records one completed pipeline run. slot is the dispatched
+// backend's metrics slot, as resolved by backendFor — the Method ordinal
+// for built-ins, CustomMethodSlot for custom backends.
+func (m *ExpansionMetrics) observe(opts ExpandOptions, slot int, tr *obs.Trace, total time.Duration) {
 	m.PerQuality[QualityIndex(opts.Quality)].Observe(total)
-	mi := int(opts.Method)
-	if mi < 0 || mi >= NumMethods {
-		mi = 0
+	if slot < 0 || slot >= NumMethodSlots {
+		slot = 0
 	}
-	m.PerMethod[mi].Observe(total)
+	m.PerMethod[slot].Observe(total)
 	for s := 0; s < obs.NumStages; s++ {
 		if d := tr.Durations[s]; d > 0 {
 			m.PerStage[s].Observe(d)

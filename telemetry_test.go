@@ -134,7 +134,7 @@ func TestQualityAndMethodLabels(t *testing.T) {
 	if QualityLabel(0) != "exact" || QualityLabel(1) != "serving" {
 		t.Fatal("quality labels changed")
 	}
-	want := []string{"iskr", "pebc", "deltaf", "or"}
+	want := []string{"iskr", "pebc", "deltaf", "or", "vector", "lexical", "orthogonal", "custom"}
 	for i, w := range want {
 		if MethodLabel(i) != w {
 			t.Fatalf("MethodLabel(%d) = %q; want %q", i, MethodLabel(i), w)
