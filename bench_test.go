@@ -424,6 +424,60 @@ func BenchmarkColdExpansionScale1(b *testing.B) { benchColdExpansion(b, 1) }
 func BenchmarkColdExpansionScale2(b *testing.B) { benchColdExpansion(b, 2) }
 func BenchmarkColdExpansionScale4(b *testing.B) { benchColdExpansion(b, 4) }
 
+// --- Exact top-K retrieval -------------------------------------------------------
+
+var (
+	deepOnce sync.Once
+	deepData *dataset.Dataset
+	deepEng  *search.Engine
+)
+
+// deepSearchBench is a heavily scaled Wikipedia corpus — posting lists span
+// many score blocks, so the block-max pruning actually has blocks to skip.
+func deepSearchBench(b *testing.B) (*search.Engine, *dataset.Dataset) {
+	b.Helper()
+	deepOnce.Do(func() {
+		deepData = dataset.Wikipedia(3, 16)
+		deepEng = search.NewEngine(deepData.Index)
+	})
+	return deepEng, deepData
+}
+
+// benchSearchTopK measures one (semantics, topK) cell of the pruned exact
+// top-K path; topK 0 is the full-scoring reference the pruned cells are
+// measured against (pre-pruning, every topK paid this).
+func benchSearchTopK(b *testing.B, sem search.Semantics, topK int) {
+	eng, d := deepSearchBench(b)
+	q := search.ParseQuery(d.Index, "java software platform")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := eng.Search(q, sem, topK); len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSearchTopKDeepAnd10(b *testing.B)   { benchSearchTopK(b, search.And, 10) }
+func BenchmarkSearchTopKDeepAnd100(b *testing.B)  { benchSearchTopK(b, search.And, 100) }
+func BenchmarkSearchTopKDeepAndFull(b *testing.B) { benchSearchTopK(b, search.And, 0) }
+func BenchmarkSearchTopKDeepOr10(b *testing.B)    { benchSearchTopK(b, search.Or, 10) }
+func BenchmarkSearchTopKDeepOr100(b *testing.B)   { benchSearchTopK(b, search.Or, 100) }
+func BenchmarkSearchTopKDeepOrFull(b *testing.B)  { benchSearchTopK(b, search.Or, 0) }
+
+// BenchmarkSearchOrMerge measures the unscored OR union on its own: the
+// k-way sorted posting merge that replaced the map-backed accumulator
+// (Eval returns ascending IDs with one allocation).
+func BenchmarkSearchOrMerge(b *testing.B) {
+	eng, d := deepSearchBench(b)
+	q := search.ParseQuery(d.Index, "java software platform")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids := eng.Eval(q, search.Or); len(ids) == 0 {
+			b.Fatal("empty union")
+		}
+	}
+}
+
 // --- Observability overhead -----------------------------------------------------
 
 // BenchmarkColdExpansionInstrumented is BenchmarkColdExpansionScale1 with a

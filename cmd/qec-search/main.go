@@ -5,6 +5,11 @@
 //
 //	qec-search -dataset wikipedia -query "java" -top 10
 //	qec-search -dataset shopping -query "canon products"
+//	qec-search -dataset shopping -query "canon printer" -sem or -topk 5
+//
+// A positive -topk (or -top) takes the engine's pruned exact top-K path —
+// identical results to full scoring, skipping most of the postings. -sem
+// selects AND (every keyword) or OR (any keyword) matching.
 package main
 
 import (
@@ -21,12 +26,28 @@ func main() {
 		ds    = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
 		query = flag.String("query", "", "keyword query (required)")
 		top   = flag.Int("top", 10, "number of results to print (0 = all)")
+		topk  = flag.Int("topk", -1, "exact top-K result count; overrides -top when set (0 = all)")
+		sem   = flag.String("sem", "and", "match semantics: \"and\" (every keyword) or \"or\" (any keyword)")
 		seed  = flag.Int64("seed", 2011, "dataset seed")
 		scale = flag.Int("scale", 1, "corpus scale multiplier")
 	)
 	flag.Parse()
 	if *query == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	k := *top
+	if *topk >= 0 {
+		k = *topk
+	}
+	var semantics search.Semantics
+	switch *sem {
+	case "and":
+		semantics = search.And
+	case "or":
+		semantics = search.Or
+	default:
+		fmt.Fprintf(os.Stderr, "unknown semantics %q (want \"and\" or \"or\")\n", *sem)
 		os.Exit(2)
 	}
 
@@ -43,7 +64,7 @@ func main() {
 
 	eng := search.NewEngine(d.Index)
 	q := search.ParseQuery(d.Index, *query)
-	results := eng.Search(q, search.And, *top)
+	results := eng.Search(q, semantics, k)
 	fmt.Printf("%d results for %q (parsed: %v) on %s (%d docs)\n",
 		len(results), *query, q.Terms, d.Name, d.Corpus.Len())
 	for i, r := range results {

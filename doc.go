@@ -102,6 +102,22 @@
 // galloping merge; candidate-pool scoring accumulates TF-IDF in a flat
 // []float64 indexed by TermID (no string map anywhere on the hot path).
 //
+// Bounded retrievals (topK > 0) take a max-score/block-max pruned path:
+// the index carries a per-term score upper bound and per-128-posting
+// block maxima (recomputed from the postings on every Build and Load, so
+// the snapshot format is unchanged), and Search drives a bounded top-K
+// heap that skips whole blocks (AND) or demotes low-bound terms to
+// verification-only (OR) once the heap's floor exceeds what they can
+// contribute. The pruning is exact, not approximate: bounds are only
+// ever compared strictly against the running threshold, every surviving
+// document's score is accumulated in the same order and from the same
+// float expressions as the full-scoring path, and ties break on
+// ascending DocID exactly as the full sort does — so for every query,
+// semantics and topK the pruned result slice is bit-identical to a
+// prefix of the full ranking (pinned by a property test over random
+// corpora with duplicated documents, and by Validate cross-checking
+// every stored bound against the postings).
+//
 // The clustering hot path runs on sparse points against dense centroids,
 // both over the global TermID space. A document's vector shares the index's
 // term arena slice directly (no per-run dictionary interning) with its norm

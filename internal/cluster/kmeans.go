@@ -199,14 +199,25 @@ func fanEach(n int, fn func(i int)) {
 // deterministic accuracy delta for latency (fewer restarts, bound-pruned
 // assignment).
 func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
+	vecs := make([]*Vector, len(docs))
+	for i, id := range docs {
+		vecs[i] = VectorFromDocGlobal(idx, id)
+	}
+	return KMeansVecs(idx.NumTerms(), vecs, docs, opts)
+}
+
+// KMeansVecs is KMeans over pre-built document vectors: vecs[i] is the
+// TF vector of docs[i] over a dim-sized TermID space (what
+// VectorFromDocGlobal builds). Callers that already hold a resolved
+// universe snapshot — the engine's expansion pipeline shares one between
+// clustering and problem construction — use this to skip the per-document
+// arena walk. The vectors are treated as read-only; output is bit-identical
+// to KMeans over the same documents.
+func KMeansVecs(dim int, vecs []*Vector, docs []document.DocID, opts Options) *Clustering {
 	opts.defaults()
 	n := len(docs)
 	if n == 0 {
 		return &Clustering{Assign: map[document.DocID]int{}}
-	}
-	vecs := make([]*Vector, n)
-	for i, id := range docs {
-		vecs[i] = VectorFromDocGlobal(idx, id)
 	}
 	restarts := opts.Restarts
 	if restarts < 1 {
@@ -224,7 +235,7 @@ func KMeans(idx *index.Index, docs []document.DocID, opts Options) *Clustering {
 	// that currently trails the best completed one can still end up winning —
 	// abandoning it is deterministic but (rarely) selects a slightly worse
 	// clustering. Exact mode therefore runs every restart to convergence.
-	return kmeansDrive(idx.NumTerms(), vecs, docs, opts, restarts, pruned, pruned && restarts > 1)
+	return kmeansDrive(dim, vecs, docs, opts, restarts, pruned, pruned && restarts > 1)
 }
 
 // kmeansDrive runs restarts k-means runs over the shared vectors in

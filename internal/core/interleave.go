@@ -22,7 +22,14 @@ type Interleave struct {
 	// MaxRounds bounds the alternation (0 means 5).
 	MaxRounds int
 	// PoolOptions configures candidate keywords for each round's problems.
+	// Ignored when Universe is set (the snapshot bakes its own options in).
 	PoolOptions PoolOptions
+	// Universe optionally supplies the request's resolved universe snapshot.
+	// The engine sets it so the interleaved rounds reuse the pool and
+	// incidence already computed for clustering; nil builds one from the
+	// initial clustering's sets. The clustering must cover exactly the
+	// snapshot's documents.
+	Universe *Universe
 }
 
 // InterleaveResult is the converged outcome.
@@ -50,17 +57,24 @@ func (it *Interleave) Run(idx *index.Index, userQuery search.Query,
 	}
 
 	sets := cl.Sets()
-	var universe document.DocSet = document.DocSet{}
-	for _, s := range sets {
-		universe = universe.Union(s)
+	// Re-assignment moves results between clusters but never in or out of
+	// the universe, so one snapshot serves every round's problems.
+	u := it.Universe
+	if u == nil {
+		all := document.DocSet{}
+		for _, s := range sets {
+			all = all.Union(s)
+		}
+		u = NewUniverse(idx, userQuery, all.IDs(), weights, opts)
 	}
+	universe := u.Set
 
 	var best *QECResult
 	bestSets := sets
 	rounds := 0
 	for round := 0; round < maxRounds; round++ {
 		rounds = round + 1
-		problems := problemsFromSets(idx, userQuery, sets, weights, opts)
+		problems := u.Problems(sets)
 		res := Solve(ex, problems)
 		if best == nil || res.Score > best.Score {
 			best = res
@@ -118,23 +132,20 @@ func (it *Interleave) Run(idx *index.Index, userQuery search.Query,
 	return &InterleaveResult{Result: best, Clusters: bestSets, Rounds: rounds}
 }
 
-// problemsFromSets builds one Definition 2.2 problem per cluster set. The
-// per-cluster constructions are independent and fan out across GOMAXPROCS
-// workers, each writing its index-addressed slot.
+// problemsFromSets builds one Definition 2.2 problem per cluster set. Every
+// problem's universe is the union of all sets, so the pool scoring and the
+// incidence scan are resolved once into a shared snapshot and only the
+// cluster-dependent state is built per problem (previously every cluster
+// re-walked DocTermIDs over the same result set).
 func problemsFromSets(idx *index.Index, userQuery search.Query,
 	sets []document.DocSet, weights eval.Weights, opts PoolOptions) []*Problem {
 
-	problems := make([]*Problem, len(sets))
-	ParallelFor(len(sets), func(i int) {
-		u := document.DocSet{}
-		for j, other := range sets {
-			if j != i {
-				u = u.Union(other)
-			}
-		}
-		problems[i] = NewProblem(idx, userQuery, sets[i], u, weights, opts)
-	})
-	return problems
+	all := document.DocSet{}
+	for _, s := range sets {
+		all = all.Union(s)
+	}
+	u := NewUniverse(idx, userQuery, all.IDs(), weights, opts)
+	return u.Problems(sets)
 }
 
 func cloneSets(sets []document.DocSet) []document.DocSet {

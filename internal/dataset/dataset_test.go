@@ -36,7 +36,7 @@ func TestShoppingQueriesRetrieve(t *testing.T) {
 	for _, tq := range d.Queries {
 		q := search.ParseQuery(d.Index, tq.Raw)
 		res := eng.Eval(q, search.And)
-		if res.Len() == 0 {
+		if len(res) == 0 {
 			t.Errorf("%s %q retrieved nothing", tq.ID, tq.Raw)
 		}
 	}
@@ -47,7 +47,7 @@ func TestShoppingQS1RetrievesThreeCanonCategories(t *testing.T) {
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.ParseQuery(d.Index, "canon products"), search.And)
 	cats := map[string]bool{}
-	for id := range res {
+	for _, id := range res {
 		cats[d.Labels[id]] = true
 	}
 	for _, want := range []string{"canon-camera", "canon-camcorder", "canon-printer"} {
@@ -69,10 +69,10 @@ func TestShoppingCompositeTermsSearchable(t *testing.T) {
 	d := Shopping(1, 1)
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.NewQuery("canonproducts:category:camcorders"), search.And)
-	if res.Len() == 0 {
+	if len(res) == 0 {
 		t.Fatal("composite triplet term retrieves nothing")
 	}
-	for id := range res {
+	for _, id := range res {
 		if d.Labels[id] != "canon-camcorder" {
 			t.Errorf("composite term retrieved %s", d.Labels[id])
 		}
@@ -85,7 +85,7 @@ func TestShoppingCategoriesClusterCleanly(t *testing.T) {
 	d := Shopping(1, 1)
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.ParseQuery(d.Index, "canon products"), search.And)
-	cl := cluster.KMeans(d.Index, res.IDs(), cluster.Options{K: 3, Seed: 7, PlusPlus: true})
+	cl := cluster.KMeans(d.Index, res, cluster.Options{K: 3, Seed: 7, PlusPlus: true})
 	p := cluster.Purity(cl, d.Labels)
 	if p < 0.9 {
 		t.Errorf("canon cluster purity = %v, want >= 0.9", p)
@@ -96,10 +96,10 @@ func TestShoppingQS8MemorySizes(t *testing.T) {
 	d := Shopping(1, 1)
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.ParseQuery(d.Index, "memory 8gb"), search.And)
-	if res.Len() == 0 {
+	if len(res) == 0 {
 		t.Fatal("QS8 empty")
 	}
-	for id := range res {
+	for _, id := range res {
 		if !d.Index.HasTerm(id, "8gb") {
 			t.Errorf("doc %d retrieved without 8gb", id)
 		}
@@ -139,11 +139,11 @@ func TestWikipediaQueriesRetrieveAllSenses(t *testing.T) {
 	for _, tq := range d.Queries {
 		q := search.ParseQuery(d.Index, tq.Raw)
 		res := eng.Eval(q, search.And)
-		if res.Len() < 20 {
-			t.Errorf("%s retrieved only %d results", tq.ID, res.Len())
+		if len(res) < 20 {
+			t.Errorf("%s retrieved only %d results", tq.ID, len(res))
 		}
 		senses := map[string]bool{}
-		for id := range res {
+		for _, id := range res {
 			senses[d.Labels[id]] = true
 		}
 		if len(senses) < 2 {
@@ -156,7 +156,7 @@ func TestWikipediaSensesSeparate(t *testing.T) {
 	d := Wikipedia(2, 1)
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.ParseQuery(d.Index, "java"), search.And)
-	cl := cluster.KMeans(d.Index, res.IDs(),
+	cl := cluster.KMeans(d.Index, res,
 		cluster.Options{K: 3, Seed: 3, PlusPlus: true, Restarts: 5})
 	if p := cluster.Purity(cl, d.Labels); p < 0.8 {
 		t.Errorf("java sense purity = %v, want >= 0.8", p)
@@ -168,8 +168,8 @@ func TestWikipediaScaleSupportsScalabilitySweep(t *testing.T) {
 	d := Wikipedia(2, 15)
 	eng := search.NewEngine(d.Index)
 	res := eng.Eval(search.ParseQuery(d.Index, "columbia"), search.And)
-	if res.Len() < 500 {
-		t.Errorf("columbia at scale 15 = %d results, want >= 500", res.Len())
+	if len(res) < 500 {
+		t.Errorf("columbia at scale 15 = %d results, want >= 500", len(res))
 	}
 }
 

@@ -98,6 +98,33 @@ func Measure(retrieved, cluster document.DocSet, w Weights) PRF {
 	return PRF{Precision: p, Recall: r, F: FMeasure(p, r)}
 }
 
+// MeasureIDs is Measure with the retrieved set in the search layer's sorted
+// Eval form: ascending document IDs instead of a map-backed DocSet. The
+// S(R ∩ C) and S(R) sums fold over the given slice in its ascending order —
+// exactly the sorted-ID order Weights.S iterates — so the result is
+// bit-identical to Measure over the equivalent DocSet.
+func MeasureIDs(retrieved []document.DocID, cluster document.DocSet, w Weights) PRF {
+	if len(retrieved) == 0 || cluster.Len() == 0 {
+		return PRF{}
+	}
+	inter, sR := 0.0, 0.0
+	for _, id := range retrieved {
+		wt := 1.0
+		if w != nil {
+			if s, ok := w[id]; ok && s > 0 {
+				wt = s
+			}
+		}
+		sR += wt
+		if cluster.Contains(id) {
+			inter += wt
+		}
+	}
+	p := inter / sR
+	r := inter / w.S(cluster)
+	return PRF{Precision: p, Recall: r, F: FMeasure(p, r)}
+}
+
 // MeasureBits is Measure over dense-ID bitsets — the expansion core's hot
 // path. retrieved and cluster share a universe; w is the dense weight table
 // (nil = unranked); sCluster is S(cluster), which callers cache because the

@@ -117,11 +117,12 @@ func neighborhood(in *Input) (document.DocSet, eval.Weights) {
 }
 
 // measure evaluates one expanded query by full-corpus AND retrieval against
-// the result neighborhood. eval.Measure sums in sorted document order, so
-// the measure is bit-identical across runs.
+// the result neighborhood. Eval returns ascending document IDs and
+// eval.MeasureIDs folds in that sorted order, so the measure is
+// bit-identical across runs (and to the map-backed form it replaced).
 func measure(in *Input, q search.Query, universe document.DocSet, w eval.Weights) eval.PRF {
 	retrieved := in.Eng.Eval(q, search.And)
-	return eval.Measure(retrieved, universe, w)
+	return eval.MeasureIDs(retrieved, universe, w)
 }
 
 // assemble ranks nothing — callers pass suggestions in final order — and

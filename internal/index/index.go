@@ -25,6 +25,13 @@ import (
 // saturates rather than overflows.
 const maxFreq = 1<<16 - 1
 
+// ScoreBlockSize is the posting-block granularity of the block-max score
+// tables: every run of ScoreBlockSize consecutive postings of a term shares
+// one precomputed maximum normalized score contribution. 128 keeps the
+// tables under 1% of the postings arena while letting top-K search skip
+// whole cache lines of postings at a time.
+const ScoreBlockSize = 128
+
 // Posting records one document's occurrences of a term.
 type Posting struct {
 	Doc document.DocID
@@ -92,6 +99,16 @@ type Index struct {
 	docLen []int32
 	// totalLen is the sum of docLen (for average document length).
 	totalLen int
+
+	// Score-upper-bound tables for exact top-K pruning, derived from the
+	// arenas above (never serialized; rebuilt at Build and Load).
+	// termMaxScore[t] is the largest normalized score contribution
+	// tf·idf/(1+len/avgLen) any single document receives from term t; the
+	// blocks blockMax[blockOff[t]:blockOff[t+1]] hold the same maximum per
+	// run of ScoreBlockSize postings, aligned with PostingsDocs(t).
+	termMaxScore []float64
+	blockMax     []float64
+	blockOff     []int32 // len = dict.Len()+1
 }
 
 // Build indexes every document of the corpus with the given analyzer.
@@ -186,6 +203,7 @@ func Build(corpus *document.Corpus, analyzer *analysis.Analyzer) *Index {
 	}
 
 	idx.buildIDF()
+	idx.buildScoreBounds()
 	return idx
 }
 
@@ -198,6 +216,62 @@ func (idx *Index) buildIDF() {
 			idx.idf[t] = math.Log(1 + nd/float64(df))
 		}
 	}
+}
+
+// postingScoreBound is the normalized score contribution one posting gives
+// its document: tf·idf divided by the document-length normalizer. The
+// divisor is a per-document constant, so summing these contributions over a
+// document's query terms bounds the document's search score — which is what
+// makes the per-term and per-block maxima below valid pruning bounds.
+func (idx *Index) postingScoreBound(doc int32, freq uint16, tid termdict.TermID) float64 {
+	c := float64(freq) * idx.idf[tid]
+	if n := idx.DocLen(document.DocID(doc)); n > 0 {
+		c /= 1 + float64(n)/idx.AvgDocLen()
+	}
+	return c
+}
+
+// buildScoreBounds fills the termMaxScore/blockMax tables from the postings
+// arena and the IDF table. It is a pure function of the stored arenas, so
+// the snapshot loader recomputes it instead of serializing it.
+func (idx *Index) buildScoreBounds() {
+	v := idx.dict.Len()
+	idx.termMaxScore = make([]float64, v)
+	idx.blockOff = make([]int32, v+1)
+	for t := 0; t < v; t++ {
+		n := int(idx.postOff[t+1] - idx.postOff[t])
+		idx.blockOff[t+1] = idx.blockOff[t] + int32((n+ScoreBlockSize-1)/ScoreBlockSize)
+	}
+	idx.blockMax = make([]float64, idx.blockOff[v])
+	for t := 0; t < v; t++ {
+		tid := termdict.TermID(t)
+		docs := idx.PostingsDocs(tid)
+		freqs := idx.PostingsFreqs(tid)
+		blocks := idx.blockMax[idx.blockOff[t]:idx.blockOff[t+1]]
+		tmax := 0.0
+		for i := range docs {
+			c := idx.postingScoreBound(docs[i], freqs[i], tid)
+			if b := i / ScoreBlockSize; c > blocks[b] {
+				blocks[b] = c
+			}
+			if c > tmax {
+				tmax = c
+			}
+		}
+		idx.termMaxScore[t] = tmax
+	}
+}
+
+// TermMaxScore returns the largest normalized score contribution
+// (tf·idf/(1+len/avgLen)) any document receives from term tid — the
+// max-score upper bound used by top-K pruning.
+func (idx *Index) TermMaxScore(tid termdict.TermID) float64 { return idx.termMaxScore[tid] }
+
+// BlockMaxScores returns the block-max table of term tid: entry b bounds the
+// contributions of postings [b*ScoreBlockSize, (b+1)*ScoreBlockSize) of
+// PostingsDocs(tid). The slice is shared and must not be mutated.
+func (idx *Index) BlockMaxScores(tid termdict.TermID) []float64 {
+	return idx.blockMax[idx.blockOff[tid]:idx.blockOff[tid+1]]
 }
 
 // Corpus returns the indexed corpus.
@@ -484,6 +558,64 @@ func (idx *Index) Validate() error {
 				return fmt.Errorf("docFreqs misaligned for %q in doc %d: %d vs posting %d",
 					idx.dict.Term(tid), d, freqs[i], idx.PostingsFreqs(tid)[j])
 			}
+		}
+	}
+	// Score-bound tables: blockOff must mirror postOff at ScoreBlockSize
+	// granularity, every block max must equal the true maximum contribution
+	// of its member postings (in particular, bound every member), and
+	// termMaxScore must be the maximum over the term's blocks. These run
+	// last: they recompute contributions through the same arena accessors the
+	// checks above have already proven safe to slice.
+	if len(idx.termMaxScore) != v {
+		return fmt.Errorf("termMaxScore has %d entries for %d terms", len(idx.termMaxScore), v)
+	}
+	if len(idx.blockOff) != v+1 {
+		return fmt.Errorf("blockOff has %d entries for %d terms", len(idx.blockOff), v)
+	}
+	for t := 0; t < v; t++ {
+		tid := termdict.TermID(t)
+		n := idx.DocFreqByID(tid)
+		blocks := (n + ScoreBlockSize - 1) / ScoreBlockSize
+		if idx.blockOff[t+1]-idx.blockOff[t] != int32(blocks) {
+			return fmt.Errorf("blockOff for %q spans %d blocks, want %d for %d postings",
+				idx.dict.Term(tid), idx.blockOff[t+1]-idx.blockOff[t], blocks, n)
+		}
+	}
+	if idx.blockOff[0] != 0 || int(idx.blockOff[v]) != len(idx.blockMax) {
+		return fmt.Errorf("blockMax offsets do not span the arena: [%d, %d] over %d entries",
+			idx.blockOff[0], idx.blockOff[v], len(idx.blockMax))
+	}
+	for t := 0; t < v; t++ {
+		tid := termdict.TermID(t)
+		docs := idx.PostingsDocs(tid)
+		freqs := idx.PostingsFreqs(tid)
+		blocks := idx.BlockMaxScores(tid)
+		tmax := 0.0
+		for b := range blocks {
+			lo, hi := b*ScoreBlockSize, (b+1)*ScoreBlockSize
+			if hi > len(docs) {
+				hi = len(docs)
+			}
+			bmax := 0.0
+			for i := lo; i < hi; i++ {
+				c := idx.postingScoreBound(docs[i], freqs[i], tid)
+				if c > blocks[b] {
+					return fmt.Errorf("block max for %q block %d is %v, below member contribution %v (doc %d)",
+						idx.dict.Term(tid), b, blocks[b], c, docs[i])
+				}
+				if c > bmax {
+					bmax = c
+				}
+			}
+			if blocks[b] != bmax {
+				return fmt.Errorf("block max for %q block %d is %v, want %v", idx.dict.Term(tid), b, blocks[b], bmax)
+			}
+			if bmax > tmax {
+				tmax = bmax
+			}
+		}
+		if idx.termMaxScore[t] != tmax {
+			return fmt.Errorf("termMaxScore for %q is %v, want %v", idx.dict.Term(tid), idx.termMaxScore[t], tmax)
 		}
 	}
 	return nil

@@ -136,10 +136,38 @@ func loadV2(corpus *document.Corpus, analyzer *analysis.Analyzer, snap *snapshot
 	// IDF table empty in that case — Validate flags the offsets.
 	if len(idx.postOff) == idx.dict.Len()+1 {
 		idx.buildIDF()
+		// The score-bound tables additionally slice the postings arena
+		// through postOff, so they need the offsets to actually be sane —
+		// not just correctly sized — before recomputation is safe. On a
+		// hostile stream the tables stay empty and Validate reports the
+		// offset corruption first.
+		if idx.postingOffsetsSane() {
+			idx.buildScoreBounds()
+		}
 	} else {
 		idx.idf = []float64{}
 	}
 	return idx
+}
+
+// postingOffsetsSane reports whether postOff can be used to slice the
+// postings arena without panicking: zero-based, monotone, spanning exactly
+// the (aligned) postDocs/postFreqs slices. A subset of Validate's checks,
+// needed before Validate runs.
+func (idx *Index) postingOffsetsSane() bool {
+	v := idx.dict.Len()
+	if len(idx.postDocs) != len(idx.postFreqs) {
+		return false
+	}
+	if idx.postOff[0] != 0 || int(idx.postOff[v]) != len(idx.postDocs) {
+		return false
+	}
+	for t := 0; t < v; t++ {
+		if idx.postOff[t] > idx.postOff[t+1] {
+			return false
+		}
+	}
+	return true
 }
 
 // migrateV1 rebuilds the arena layout from a version-1 snapshot's maps. The
@@ -206,6 +234,9 @@ func migrateV1(corpus *document.Corpus, analyzer *analysis.Analyzer, snap *snaps
 	}
 	idx.normalizeEmpty(n)
 	idx.buildIDF()
+	// The migration built the offsets itself, so they are sane by
+	// construction and the score bounds can always be recomputed.
+	idx.buildScoreBounds()
 	return idx, nil
 }
 

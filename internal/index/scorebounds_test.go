@@ -1,0 +1,143 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+)
+
+// multiBlockIndex builds a corpus where the shared term's posting list spans
+// several score blocks, with varied frequencies and document lengths so the
+// per-block maxima actually differ.
+func multiBlockIndex(t *testing.T) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	c := document.NewCorpus()
+	for d := 0; d < 3*ScoreBlockSize+17; d++ {
+		text := "common"
+		for r := rng.Intn(4); r > 0; r-- {
+			text += " common"
+		}
+		for p := rng.Intn(6); p > 0; p-- {
+			text += fmt.Sprintf(" filler%d", rng.Intn(20))
+		}
+		c.AddText("", text)
+	}
+	return Build(c, analysis.Simple())
+}
+
+func TestScoreBoundsMultiBlock(t *testing.T) {
+	idx := multiBlockIndex(t)
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tid, ok := idx.Dict().Lookup("common")
+	if !ok {
+		t.Fatal("common missing from dictionary")
+	}
+	docs := idx.PostingsDocs(tid)
+	freqs := idx.PostingsFreqs(tid)
+	blocks := idx.BlockMaxScores(tid)
+	wantBlocks := (len(docs) + ScoreBlockSize - 1) / ScoreBlockSize
+	if wantBlocks < 4 {
+		t.Fatalf("corpus too small: %d postings span %d blocks, want >= 4", len(docs), wantBlocks)
+	}
+	if len(blocks) != wantBlocks {
+		t.Fatalf("BlockMaxScores has %d blocks for %d postings, want %d", len(blocks), len(docs), wantBlocks)
+	}
+	// Every posting's contribution is bounded by its block max, every block
+	// max is attained by a member, and the term max is the max over blocks.
+	tmax := 0.0
+	for b, bm := range blocks {
+		lo, hi := b*ScoreBlockSize, min((b+1)*ScoreBlockSize, len(docs))
+		attained := false
+		for i := lo; i < hi; i++ {
+			c := idx.postingScoreBound(docs[i], freqs[i], tid)
+			if c > bm {
+				t.Fatalf("block %d: contribution %v of doc %d exceeds block max %v", b, c, docs[i], bm)
+			}
+			if c == bm {
+				attained = true
+			}
+		}
+		if !attained {
+			t.Errorf("block %d: max %v not attained by any member", b, bm)
+		}
+		tmax = max(tmax, bm)
+	}
+	if got := idx.TermMaxScore(tid); got != tmax {
+		t.Errorf("TermMaxScore = %v, want max over blocks %v", got, tmax)
+	}
+}
+
+func TestScoreBoundsSurviveSnapshot(t *testing.T) {
+	idx := multiBlockIndex(t)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, analysis.Simple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot format does not carry the bound tables; Load recomputes
+	// them and must land on the same values bit for bit.
+	if !reflect.DeepEqual(loaded.termMaxScore, idx.termMaxScore) {
+		t.Error("termMaxScore differs after Save/Load round trip")
+	}
+	if !reflect.DeepEqual(loaded.blockMax, idx.blockMax) {
+		t.Error("blockMax differs after Save/Load round trip")
+	}
+	if !reflect.DeepEqual(loaded.blockOff, idx.blockOff) {
+		t.Error("blockOff differs after Save/Load round trip")
+	}
+}
+
+func TestValidateDetectsUnderstatedBlockMax(t *testing.T) {
+	// A too-small block max no longer bounds its members — the corruption
+	// that would make pruning skip documents that belong in the top K.
+	corrupt(t, "below member contribution", func(idx *Index) {
+		idx.blockMax[0] /= 2
+	})
+}
+
+func TestValidateDetectsOverstatedBlockMax(t *testing.T) {
+	corrupt(t, "block max", func(idx *Index) {
+		idx.blockMax[0] *= 2
+	})
+}
+
+func TestValidateDetectsTermMaxScoreDrift(t *testing.T) {
+	corrupt(t, "termMaxScore", func(idx *Index) {
+		idx.termMaxScore[0] *= 2
+	})
+}
+
+func TestValidateDetectsBlockOffSpanDrift(t *testing.T) {
+	corrupt(t, "blocks", func(idx *Index) {
+		idx.blockOff[len(idx.blockOff)-1]++
+	})
+}
+
+func TestValidateDetectsMissingScoreBounds(t *testing.T) {
+	corrupt(t, "termMaxScore", func(idx *Index) {
+		idx.termMaxScore = nil
+	})
+}
+
+// TestScoreBoundsEmptyIndex pins that a term-free index still carries
+// well-formed (empty) bound tables.
+func TestScoreBoundsEmptyIndex(t *testing.T) {
+	idx := Build(document.NewCorpus(), analysis.Simple())
+	if err := idx.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(idx.termMaxScore) != 0 || len(idx.blockMax) != 0 {
+		t.Errorf("empty index has %d term maxima, %d block maxima", len(idx.termMaxScore), len(idx.blockMax))
+	}
+}

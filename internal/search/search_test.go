@@ -24,7 +24,7 @@ func buildEngine(t *testing.T) *Engine {
 
 func TestEvalAnd(t *testing.T) {
 	e := buildEngine(t)
-	got := e.Eval(NewQuery("apple", "fruit"), And).IDs()
+	got := e.Eval(NewQuery("apple", "fruit"), And)
 	want := []document.DocID{0, 4}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Eval = %v, want %v", got, want)
@@ -33,29 +33,29 @@ func TestEvalAnd(t *testing.T) {
 
 func TestEvalAndNoMatch(t *testing.T) {
 	e := buildEngine(t)
-	if got := e.Eval(NewQuery("apple", "banana"), And); got.Len() != 0 {
-		t.Errorf("Eval = %v, want empty", got.IDs())
+	if got := e.Eval(NewQuery("apple", "banana"), And); len(got) != 0 {
+		t.Errorf("Eval = %v, want empty", got)
 	}
-	if got := e.Eval(NewQuery("nosuchterm"), And); got.Len() != 0 {
-		t.Errorf("Eval unseen term = %v, want empty", got.IDs())
+	if got := e.Eval(NewQuery("nosuchterm"), And); len(got) != 0 {
+		t.Errorf("Eval unseen term = %v, want empty", got)
 	}
 }
 
 func TestEvalAndEmptyQueryMatchesAll(t *testing.T) {
 	e := buildEngine(t)
-	if got := e.Eval(NewQuery(), And).Len(); got != 5 {
+	if got := len(e.Eval(NewQuery(), And)); got != 5 {
 		t.Errorf("empty AND query matched %d docs, want 5", got)
 	}
 }
 
 func TestEvalOr(t *testing.T) {
 	e := buildEngine(t)
-	got := e.Eval(NewQuery("banana", "orchard"), Or).IDs()
+	got := e.Eval(NewQuery("banana", "orchard"), Or)
 	want := []document.DocID{0, 3}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Eval = %v, want %v", got, want)
 	}
-	if got := e.Eval(NewQuery(), Or).Len(); got != 0 {
+	if got := len(e.Eval(NewQuery(), Or)); got != 0 {
 		t.Errorf("empty OR query matched %d docs, want 0", got)
 	}
 }
@@ -185,7 +185,10 @@ func TestSearchPropertyAndSemantics(t *testing.T) {
 		}
 		q := NewQuery(terms...)
 		res := e.Eval(q, And)
-		for id := range res {
+		if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i] < res[j] }) {
+			t.Fatalf("AND Eval not ascending: %v", res)
+		}
+		for _, id := range res {
 			for _, term := range q.Terms {
 				if !idx.HasTerm(id, term) {
 					t.Fatalf("doc %d in R(%v) but lacks %q", id, q.Terms, term)
@@ -195,18 +198,26 @@ func TestSearchPropertyAndSemantics(t *testing.T) {
 		// anti-monotonicity
 		extended := q.With(words[rng.Intn(len(words))])
 		sub := e.Eval(extended, And)
-		if sub.Len() > res.Len() {
-			t.Fatalf("adding a keyword grew the result set: %d -> %d", res.Len(), sub.Len())
+		if len(sub) > len(res) {
+			t.Fatalf("adding a keyword grew the result set: %d -> %d", len(res), len(sub))
 		}
-		if sub.Subtract(res).Len() != 0 {
-			t.Fatalf("R(q∪k) ⊄ R(q)")
+		resSet := document.NewDocSet(res...)
+		for _, id := range sub {
+			if !resSet.Contains(id) {
+				t.Fatalf("R(q∪k) ⊄ R(q)")
+			}
 		}
 		// OR is the dual: superset of every single-term result set.
 		orRes := e.Eval(q, Or)
+		if !sort.SliceIsSorted(orRes, func(i, j int) bool { return orRes[i] < orRes[j] }) {
+			t.Fatalf("OR Eval not ascending: %v", orRes)
+		}
+		orSet := document.NewDocSet(orRes...)
 		for _, term := range q.Terms {
-			single := e.Eval(NewQuery(term), Or)
-			if single.Subtract(orRes).Len() != 0 {
-				t.Fatalf("R(%q) ⊄ OR result", term)
+			for _, id := range e.Eval(NewQuery(term), Or) {
+				if !orSet.Contains(id) {
+					t.Fatalf("R(%q) ⊄ OR result", term)
+				}
 			}
 		}
 	}

@@ -1,0 +1,114 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/document"
+	"repro/internal/index"
+)
+
+// TestSearchTopKMatchesFullScoring is the pruning soundness property: for
+// every (query, semantics, topK), the block-max pruned paths must return
+// bit-identical results to scoring every match and truncating — same
+// documents, same float scores, same (score desc, DocID asc) order. Corpora
+// include duplicated documents (exactly tied scores, so the DocID tie-break
+// is load-bearing) and queries include out-of-vocabulary terms.
+func TestSearchTopKMatchesFullScoring(t *testing.T) {
+	for _, corpus := range []struct {
+		seed  int64
+		docs  int
+		vocab int
+	}{
+		{seed: 7, docs: 40, vocab: 4},    // dense overlap, many ties
+		{seed: 13, docs: 200, vocab: 10}, // multi-block posting lists
+		{seed: 29, docs: 75, vocab: 25},  // sparse overlap, short lists
+	} {
+		t.Run(fmt.Sprintf("seed%d", corpus.seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(corpus.seed))
+			words := make([]string, corpus.vocab)
+			for i := range words {
+				words[i] = fmt.Sprintf("w%d", i)
+			}
+			c := document.NewCorpus()
+			prev := words[0]
+			for i := 0; i < corpus.docs; i++ {
+				if i > 0 && rng.Intn(4) == 0 {
+					// Duplicate the previous document verbatim: identical
+					// term stats, identical score, distinct DocID.
+					c.AddText("", prev)
+					continue
+				}
+				n := 1 + rng.Intn(7)
+				text := ""
+				for j := 0; j < n; j++ {
+					if j > 0 {
+						text += " "
+					}
+					text += words[rng.Intn(len(words))]
+				}
+				c.AddText("", text)
+				prev = text
+			}
+			e := NewEngine(index.Build(c, analysis.Simple()))
+
+			for trial := 0; trial < 60; trial++ {
+				nt := 1 + rng.Intn(3)
+				terms := make([]string, nt)
+				for i := range terms {
+					terms[i] = words[rng.Intn(len(words))]
+				}
+				if rng.Intn(5) == 0 {
+					terms = append(terms, "zzz-out-of-vocabulary")
+				}
+				q := NewQuery(terms...)
+				for _, sem := range []Semantics{And, Or} {
+					full := e.Search(q, sem, 0)
+					for _, topK := range []int{1, 5, 10, 0} {
+						got := e.Search(q, sem, topK)
+						want := full
+						if topK > 0 && topK < len(want) {
+							want = want[:topK]
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("Search(%v, %v, %d) diverges from full scoring:\n got %v\nwant %v",
+								q.Terms, sem, topK, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchTopKEdgeQueries pins the paths the property grid can miss: the
+// empty AND query (full-corpus retrieval stays on the unpruned path), a
+// purely out-of-vocabulary query, and topK larger than the corpus.
+func TestSearchTopKEdgeQueries(t *testing.T) {
+	c := document.NewCorpus()
+	c.AddText("", "apple fruit")
+	c.AddText("", "apple computer")
+	c.AddText("", "banana fruit")
+	e := NewEngine(index.Build(c, analysis.Simple()))
+
+	empty := NewQuery()
+	if got, want := e.Search(empty, And, 2), e.Search(empty, And, 0)[:2]; !reflect.DeepEqual(got, want) {
+		t.Errorf("empty AND query with topK: got %v, want %v", got, want)
+	}
+
+	oov := NewQuery("zzz")
+	for _, sem := range []Semantics{And, Or} {
+		got := e.Search(oov, sem, 5)
+		if got == nil || len(got) != 0 {
+			t.Errorf("OOV query (%v) = %v, want non-nil empty", sem, got)
+		}
+	}
+
+	big := e.Search(NewQuery("fruit"), Or, 100)
+	if len(big) != 2 {
+		t.Errorf("topK beyond corpus returned %d results, want 2", len(big))
+	}
+}

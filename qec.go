@@ -503,7 +503,6 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 	k := in.SuggestionCount()
 
 	tr.Begin(obs.StageProblem)
-	universe := search.ResultSet(in.Results)
 	var weights eval.Weights
 	if !opts.Unweighted {
 		weights = eval.Weights{}
@@ -511,10 +510,16 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 			weights[r.Doc] = r.Score
 		}
 	}
+	// One resolved universe snapshot serves the whole request: clustering
+	// consumes its document vectors and every per-cluster problem shares its
+	// candidate pool and keyword incidence (previously recomputed per
+	// cluster — see core.Universe).
+	u := core.NewUniverse(e.idx, q, search.ResultIDs(in.Results), weights,
+		core.DefaultPoolOptions())
 	tr.End(obs.StageProblem)
 
 	tr.Begin(obs.StageCluster)
-	cl := cluster.KMeans(e.idx, universe.IDs(), cluster.Options{
+	cl := cluster.KMeansVecs(e.idx.NumTerms(), u.Vectors(), u.Docs(), cluster.Options{
 		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5, Quality: opts.Quality,
 	})
 	tr.End(obs.StageCluster)
@@ -540,14 +545,14 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		// Interleave alternates solving and re-clustering internally; its
 		// rounds are accounted wholly to the solve stage.
 		tr.Begin(obs.StageSolve)
-		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave}
+		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave, Universe: u}
 		res = it.Run(e.idx, q, cl, weights).Result
 		tr.End(obs.StageSolve)
 	} else {
 		// Problem construction continues the "problem" span started for the
 		// universe above; End accumulates across the two intervals.
 		tr.Begin(obs.StageProblem)
-		problems := core.BuildProblems(e.idx, q, cl, weights, core.DefaultPoolOptions())
+		problems := u.Problems(cl.Sets())
 		tr.End(obs.StageProblem)
 		// Solve fans per-cluster work across the process-wide worker budget
 		// (serial under contention), so the Parallel flag needs no branch.

@@ -341,7 +341,7 @@ func TestInterleaveAcrossBackends(t *testing.T) {
 	}
 	var retrieved []document.DocSet
 	for _, s := range first {
-		retrieved = append(retrieved, e.eng.Eval(search.NewQuery(s.terms...), search.And))
+		retrieved = append(retrieved, document.NewDocSet(e.eng.Eval(search.NewQuery(s.terms...), search.And)...))
 	}
 	comp := eval.Comprehensiveness(retrieved, universe, weights)
 	div := eval.Diversity(retrieved)
