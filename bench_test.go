@@ -503,6 +503,31 @@ func BenchmarkColdExpansionInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkExplainOff is BenchmarkColdExpansionInstrumented run through the
+// post-explain pipeline with explain off — every stage now carries nil-guarded
+// trail collectors (search.PruneStats, cluster trail, solver trail, the
+// explain pointer on ExpandInput), and this benchmark pins their disabled
+// cost. The benchdiff gates hold it within 5% ns/op and zero extra allocs/op
+// of the instrumented cold path: asking for explainability must cost nothing
+// until a request actually asks to be explained.
+func BenchmarkExplainOff(b *testing.B) {
+	e := NewEngine(WithSeed(3))
+	d := dataset.Wikipedia(3, 1)
+	for _, doc := range d.Corpus.Docs() {
+		e.AddText(doc.Title, doc.Body)
+	}
+	e.Build()
+	tr := obs.GetTrace()
+	defer obs.PutTrace(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		if _, err := e.ExpandTraced("java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObsOverhead isolates the telemetry layer's fixed per-request cost:
 // a pooled trace cycle, six Begin/End stage spans, the cache mark, k-means
 // bookkeeping and the full ExpansionMetrics record. The benchdiff alloc gate

@@ -14,12 +14,18 @@
 // -method help prints the capability matrix of every built-in method.
 // -trace prints a per-stage timing table (parse, search, problem, cluster,
 // solve) to stderr after the run, reusing the serving layer's obs.Trace.
+// -explain prints the decision trail: top-K pruning counters, each k-means
+// restart's fate, the candidate pool each cluster's solver saw (benefit,
+// cost, value), the moves/samples it applied, and what every rejected
+// alternative scored — the CLI face of the server's "explain": true.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -46,6 +52,7 @@ func main() {
 		scale    = flag.Int("scale", 1, "corpus scale multiplier")
 		synFile  = flag.String("synonyms", "", "thesaurus file for -method lexical (head: syn1, syn2 | a, b, c)")
 		traceOpt = flag.Bool("trace", false, "print a per-stage timing table to stderr")
+		explain  = flag.Bool("explain", false, "print the decision trail: pruning counters, k-means restart fates, candidate pools, picked keywords and rejected-alternative scores")
 	)
 	flag.Parse()
 
@@ -111,9 +118,14 @@ func main() {
 	tr.Begin(obs.StageParse)
 	q := search.ParseQuery(d.Index, *query)
 	tr.End(obs.StageParse)
+	var prune *search.PruneStats
+	if *explain {
+		prune = &search.PruneStats{}
+	}
 	tr.Begin(obs.StageSearch)
-	results := eng.Search(q, search.And, *topK)
+	results := eng.SearchPruned(q, search.And, *topK, prune)
 	tr.End(obs.StageSearch)
+	printPruneStats(prune, *topK, len(results))
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "no results for %q\n", *query)
 		os.Exit(1)
@@ -167,11 +179,14 @@ func main() {
 	}
 
 	start := time.Now()
+	copts := cluster.Options{K: *k, Seed: *seed, PlusPlus: true, Restarts: 5}
+	if *explain {
+		copts.Trail = &cluster.Trail{}
+	}
 	tr.Begin(obs.StageCluster)
-	cl := cluster.KMeans(d.Index, universe.IDs(), cluster.Options{
-		K: *k, Seed: *seed, PlusPlus: true, Restarts: 5,
-	})
+	cl := cluster.KMeans(d.Index, universe.IDs(), copts)
 	tr.End(obs.StageCluster)
+	printKMeansTrail(copts.Trail, cl)
 	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
 	fmt.Printf("%d results, %d clusters (k-means, %v)\n",
 		len(results), cl.K(), time.Since(start))
@@ -206,6 +221,11 @@ func main() {
 	tr.Begin(obs.StageProblem)
 	problems := core.BuildProblems(d.Index, q, cl, weights, core.DefaultPoolOptions())
 	tr.End(obs.StageProblem)
+	if *explain {
+		for _, p := range problems {
+			p.Trail = &core.Trail{}
+		}
+	}
 	start = time.Now()
 	tr.Begin(obs.StageSolve)
 	res := core.Solve(ex, problems)
@@ -218,6 +238,92 @@ func main() {
 			prf.Precision, prf.Recall, prf.F, len(cl.Clusters[i]))
 	}
 	fmt.Printf("score (Eq. 1): %.3f   expansion time: %v\n", res.Score, elapsed)
+	if *explain {
+		printSolveTrails(problems, res)
+	}
+}
+
+// printPruneStats renders the retrieval leg of -explain: what the top-K
+// pruned path skipped and the heap-threshold trajectory. Nil-safe (no
+// -explain, or a full scan that records nothing).
+func printPruneStats(ps *search.PruneStats, topK, results int) {
+	if ps == nil {
+		return
+	}
+	if !ps.Pruned {
+		fmt.Printf("search: full scan (top %d), %d results — no pruning possible\n", topK, results)
+		return
+	}
+	fmt.Printf("search: top-%d pruned path: %d blocks skipped, %d cursor advances, %d docs scored, %d skipped by bound\n",
+		topK, ps.BlocksSkipped, ps.CursorAdvances, ps.DocsScored, ps.DocsSkipped)
+	if len(ps.Thresholds) > 0 {
+		fmt.Printf("search: heap threshold %.4f -> %.4f over %d raises\n",
+			ps.Thresholds[0], ps.Thresholds[len(ps.Thresholds)-1], len(ps.Thresholds))
+	}
+}
+
+// printKMeansTrail renders the clustering leg of -explain: each restart's
+// fate under the lockstep driver. Nil-safe.
+func printKMeansTrail(trail *cluster.Trail, cl *cluster.Clustering) {
+	if trail == nil {
+		return
+	}
+	fmt.Printf("kmeans: distortion %.4f after %d restarts, %d iterations total\n",
+		cl.Distortion, cl.Restarts, cl.TotalIterations)
+	for i, r := range trail.Restarts {
+		mark := ""
+		if r.Won {
+			mark = "  [won]"
+		}
+		if r.Abandoned {
+			mark = "  [abandoned]"
+		}
+		fmt.Printf("  restart %d: seed %d, %d iterations, distortion %.4f%s\n",
+			i, r.Seed, r.Iterations, r.Distortion, mark)
+	}
+}
+
+// printSolveTrails renders the per-cluster solver leg of -explain: the
+// candidate pool each solver saw, the moves it applied (ISKR) or samples it
+// probed (PEBC), and what every rejected alternative scored.
+func printSolveTrails(problems []*core.Problem, res *core.QECResult) {
+	for i, p := range problems {
+		if p.Trail == nil || i >= len(res.Expansions) {
+			continue
+		}
+		trail := p.Trail
+		final := res.Expansions[i].Expanded.Query
+		fmt.Printf("\ncluster %d: %q\n", i, strings.Join(final.Terms, ", "))
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  POOL\tBENEFIT\tCOST\tVALUE")
+		for _, row := range trail.Pool {
+			fmt.Fprintf(tw, "  %s\t%.3f\t%.3f\t%s\n", row.Keyword, row.Benefit, row.Cost, fmtValue(row.Value))
+		}
+		tw.Flush()
+		for _, s := range trail.Steps {
+			fmt.Printf("  step: %s %q value=%s F=%.3f\n", s.Op, s.Keyword, fmtValue(s.Value), s.F)
+		}
+		for _, s := range trail.Samples {
+			fmt.Printf("  sample: x=%.1f%% %q F=%.3f\n", s.X, strings.Join(s.Terms, ", "), s.F)
+		}
+		if len(trail.Rejected) > 0 {
+			tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  REJECTED\tBENEFIT\tCOST\tVALUE")
+			for _, row := range trail.Rejected {
+				fmt.Fprintf(tw, "  %s\t%.3f\t%.3f\t%s\n", row.Keyword, row.Benefit, row.Cost, fmtValue(row.Value))
+			}
+			tw.Flush()
+		}
+	}
+}
+
+// fmtValue renders a benefit/cost ratio, spelling out the zero-cost +Inf
+// case.
+func fmtValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
 }
 
 // printMethodHelp renders the registry's capability matrix: one row per

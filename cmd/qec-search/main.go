@@ -9,7 +9,10 @@
 //
 // A positive -topk (or -top) takes the engine's pruned exact top-K path —
 // identical results to full scoring, skipping most of the postings. -sem
-// selects AND (every keyword) or OR (any keyword) matching.
+// selects AND (every keyword) or OR (any keyword) matching. -explain prints
+// the pruning counters after the run: blocks skipped wholesale, cursor
+// advances, docs scored versus skipped by the block-max bound, and the
+// heap-threshold trajectory.
 package main
 
 import (
@@ -23,13 +26,14 @@ import (
 
 func main() {
 	var (
-		ds    = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
-		query = flag.String("query", "", "keyword query (required)")
-		top   = flag.Int("top", 10, "number of results to print (0 = all)")
-		topk  = flag.Int("topk", -1, "exact top-K result count; overrides -top when set (0 = all)")
-		sem   = flag.String("sem", "and", "match semantics: \"and\" (every keyword) or \"or\" (any keyword)")
-		seed  = flag.Int64("seed", 2011, "dataset seed")
-		scale = flag.Int("scale", 1, "corpus scale multiplier")
+		ds      = flag.String("dataset", "wikipedia", "corpus: shopping or wikipedia")
+		query   = flag.String("query", "", "keyword query (required)")
+		top     = flag.Int("top", 10, "number of results to print (0 = all)")
+		topk    = flag.Int("topk", -1, "exact top-K result count; overrides -top when set (0 = all)")
+		sem     = flag.String("sem", "and", "match semantics: \"and\" (every keyword) or \"or\" (any keyword)")
+		seed    = flag.Int64("seed", 2011, "dataset seed")
+		scale   = flag.Int("scale", 1, "corpus scale multiplier")
+		explain = flag.Bool("explain", false, "print the top-K pruning counters after the results")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -64,7 +68,11 @@ func main() {
 
 	eng := search.NewEngine(d.Index)
 	q := search.ParseQuery(d.Index, *query)
-	results := eng.Search(q, semantics, k)
+	var prune *search.PruneStats
+	if *explain {
+		prune = &search.PruneStats{}
+	}
+	results := eng.SearchPruned(q, semantics, k, prune)
 	fmt.Printf("%d results for %q (parsed: %v) on %s (%d docs)\n",
 		len(results), *query, q.Terms, d.Name, d.Corpus.Len())
 	for i, r := range results {
@@ -78,5 +86,20 @@ func main() {
 		}
 		fmt.Printf("%3d. [%.3f] #%-4d %-24s %s\n", i+1, r.Score, r.Doc,
 			d.Labels[r.Doc], text)
+	}
+	if prune != nil {
+		if !prune.Pruned {
+			fmt.Println("explain: full scan — no pruning possible (topk 0 or single-block postings)")
+			return
+		}
+		fmt.Printf("explain: %d blocks skipped, %d cursor advances, %d docs scored, %d skipped by bound\n",
+			prune.BlocksSkipped, prune.CursorAdvances, prune.DocsScored, prune.DocsSkipped)
+		if semantics == search.Or {
+			fmt.Printf("explain: %d non-essential cursors parked by max-score\n", prune.NonEssential)
+		}
+		if n := len(prune.Thresholds); n > 0 {
+			fmt.Printf("explain: heap threshold %.4f -> %.4f over %d raises\n",
+				prune.Thresholds[0], prune.Thresholds[n-1], n)
+		}
 	}
 }

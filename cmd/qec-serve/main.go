@@ -34,12 +34,22 @@
 //	qec-serve -dataset wikipedia -pprof-addr 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
 //
-// Telemetry: GET /metrics serves Prometheus text exposition; GET /stats adds
-// latency quantiles. -access-log writes one JSON line per request (trace ID,
-// endpoint, query, latency, cache disposition, status); -slow-query-ms marks
-// requests over the threshold and attaches their per-stage breakdown:
+// Telemetry: GET /metrics serves Prometheus text exposition (including
+// windowed 1m/5m QPS and error-rate gauges and build info); GET /stats adds
+// latency quantiles and the same windowed rates. -access-log writes one JSON
+// line per request (trace ID, endpoint, query, latency, cache disposition,
+// status); -slow-query-ms marks requests over the threshold and attaches
+// their per-stage breakdown:
 //
 //	qec-serve -dataset wikipedia -access-log access.jsonl -slow-query-ms 50
+//
+// Request introspection: GET /debug/requests lists the flight recorder's
+// most recent completed requests (filterable by endpoint, min_ms and
+// outcome; slow and failed requests survive sampling) plus everything
+// currently in flight; GET /debug/requests/{trace_id} fetches one record.
+// -flight sizes the recorder. Expand requests with "explain": true receive
+// the pipeline's full decision trail inline (see docs/OBSERVABILITY.md).
+// SIGUSR1 dumps the in-flight request registry to the access log.
 //
 // The server drains gracefully on SIGINT/SIGTERM.
 package main
@@ -67,6 +77,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		flightCap  = flag.Int("flight", 256, "flight recorder capacity: completed request records retained for GET /debug/requests")
 		indexPath  = flag.String("index", "", "load a persisted index snapshot instead of generating a dataset")
 		writeIndex = flag.String("write-index", "", "after building, save the index snapshot here")
 		ds         = flag.String("dataset", "wikipedia", "generated corpus when -index is unset: shopping or wikipedia")
@@ -149,6 +160,11 @@ func main() {
 		log.Printf("index snapshot written to %s", *writeIndex)
 	}
 
+	if *slowMS <= 0 && accessW == nil && slowW == nil {
+		// The active-request dump (SIGUSR1) needs a destination even when no
+		// access log was configured.
+		slowW = os.Stderr
+	}
 	srv := server.New(eng, server.Options{
 		RequestTimeout: *timeout,
 		MaxConcurrent:  *workers,
@@ -156,9 +172,22 @@ func main() {
 		AccessLog:      accessW,
 		SlowQuery:      time.Duration(*slowMS) * time.Millisecond,
 		SlowLog:        slowW,
+		FlightCapacity: *flightCap,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGUSR1 dumps the in-flight request registry to the access log — the
+	// "what is this server doing right now" signal, answerable without
+	// restarting or attaching a debugger.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			n := srv.DumpActive()
+			log.Printf("SIGUSR1: dumped %d active request(s)", n)
+		}
+	}()
 	log.Printf("serving on %s (cache %d entries, timeout %v, quality %s)",
 		*addr, *cacheSize, *timeout, defQuality)
 	if err := srv.Run(ctx, *addr); err != nil {

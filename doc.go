@@ -200,13 +200,33 @@
 // path allocates nothing extra, and its overhead is gated in CI within 5%
 // ns/op and +0 allocs/op of the uninstrumented cold path.
 //
+// Engine.ExpandExplained goes beyond timings to the decision trail itself:
+// the retrieval leg's pruning counters, each k-means restart's seed,
+// iteration count and fate, and per-cluster solver detail — the candidate
+// pool with benefit/cost/F per keyword, the picked keywords, the rejected
+// alternatives' scores and the move sequence. The trail is strictly
+// read-along: collectors observe decisions without participating in them,
+// so the explained expansion is bit-identical to the plain one (pinned by
+// TestExpandExplainedBitIdentical over the same options grid), and with
+// explain off every collector pointer is nil — the off path is branch-only
+// and gated in CI at +0 allocs/op and within 5% ns/op of the instrumented
+// cold path (BenchmarkExplainOff).
+//
 // The server renders these as a Prometheus text exposition on GET /metrics
-// (validated structurally in CI against a live scrape), quantile summaries
-// on GET /stats, an X-Trace-Id header per request, JSON-lines access and
-// slow-query logs, and an inline per-stage breakdown on expand responses
-// that set "debug": true. With a pprof listener enabled, expansion
-// goroutines carry per-stage pprof labels so CPU profiles split by
-// pipeline stage.
+// (validated structurally in CI against a live scrape; includes build info
+// and windowed 1m/5m QPS/error/abandon rates from a ring of periodic
+// counter snapshots), quantile summaries and the same windowed rates on
+// GET /stats, an X-Trace-Id header per request (inbound 16-hex IDs are
+// adopted), JSON-lines access and slow-query logs, an inline per-stage
+// breakdown on expand responses that set "debug": true, and the full
+// explain trail on responses that set "explain": true. A lock-free flight
+// recorder retains the most recent completed request records — sampled
+// under load, but slow and failed requests always survive — served on
+// GET /debug/requests (filterable, plus the in-flight registry) and
+// GET /debug/requests/{trace_id}; SIGUSR1 dumps the in-flight registry to
+// the access log. With a pprof listener enabled, expansion goroutines
+// carry per-stage pprof labels so CPU profiles split by pipeline stage.
+// docs/OBSERVABILITY.md is the operator's tour.
 //
 // # Snapshot versioning
 //

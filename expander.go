@@ -56,6 +56,10 @@ type ExpandInput struct {
 	// trace carries the per-request stage spans; built-in adapters record
 	// into it and custom backends are spanned by the engine.
 	trace *obs.Trace
+	// explain, when non-nil, asks the backend to fill the decision trail as
+	// it goes. Collection must be read-along only: the expansion returned
+	// with an explain attached must be bit-identical to one without.
+	explain *Explain
 }
 
 // SuggestionCount resolves Opts.K against its default (3).

@@ -96,6 +96,33 @@ type Options struct {
 	Restarts int
 	// Quality selects the speed/accuracy trade (default QualityExact).
 	Quality Quality
+	// Trail, when non-nil, receives the per-restart decision record (seed,
+	// iterations, final distortion, abandoned, winner) after the drive
+	// completes — the EXPLAIN surface. Recording is post-hoc bookkeeping
+	// only: it never touches the clustering arithmetic, so runs with and
+	// without a trail are bit-identical.
+	Trail *Trail
+}
+
+// Trail is the clustering leg of a query EXPLAIN: one entry per restart the
+// lockstep driver launched, in restart index order.
+type Trail struct {
+	Restarts []RestartTrail
+}
+
+// RestartTrail describes one restart's fate.
+type RestartTrail struct {
+	// Seed is the restart's derived RNG seed (base seed + index·7919).
+	Seed int64
+	// Iterations is how many refinement rounds the restart ran before
+	// converging, hitting MaxIter, or being abandoned.
+	Iterations int
+	// Distortion is the restart's final (or at-abandonment) distortion.
+	Distortion float64
+	// Abandoned marks restarts the serving-mode driver cut early.
+	Abandoned bool
+	// Won marks the restart whose clustering was selected.
+	Won bool
 }
 
 func (o *Options) defaults() {
@@ -302,10 +329,22 @@ func kmeansDrive(dim int, vecs []*Vector, docs []document.DocID, opts Options,
 	}
 	cl := buildClustering(docs, best.assign, best.k, best.distortion, best.iters)
 	cl.Restarts = restarts
-	for _, st := range states {
+	if opts.Trail != nil {
+		opts.Trail.Restarts = make([]RestartTrail, restarts)
+	}
+	for r, st := range states {
 		cl.TotalIterations += st.iters
 		if st.abandoned {
 			cl.AbandonedRestarts++
+		}
+		if opts.Trail != nil {
+			opts.Trail.Restarts[r] = RestartTrail{
+				Seed:       opts.Seed + int64(r)*7919,
+				Iterations: st.iters,
+				Distortion: st.distortion,
+				Abandoned:  st.abandoned,
+				Won:        st == best,
+			}
 		}
 		st.release()
 	}

@@ -106,6 +106,10 @@ func (a *ISKR) Expand(p *Problem) Expanded {
 		st.evaluations++
 	}
 
+	if p.Trail != nil {
+		p.Trail.Pool = keywordTable(p.Pool, st.addBenefit, st.addCost, nil)
+	}
+
 	maxIter := a.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 4*len(p.Pool) + 16
@@ -125,14 +129,30 @@ func (a *ISKR) Expand(p *Problem) Expanded {
 		} else {
 			st.apply(ki, false)
 		}
-		if f := p.FMeasure(st.q); f > bestF {
+		f := p.FMeasure(st.q)
+		if f > bestF {
 			bestF = f
 			best = st.q
+		}
+		if p.Trail != nil {
+			op := "add"
+			if kind == moveRemove {
+				op = "remove"
+			}
+			p.Trail.Steps = append(p.Trail.Steps, StepTrail{
+				Op: op, Keyword: p.Pool[ki], Value: v, F: f,
+			})
 		}
 	}
 	out := st.q // Algorithm 1 returns the terminal refined query
 	if a.KeepBest {
 		out = best
+	}
+	if p.Trail != nil {
+		// What each rejected alternative scored: the maintained add table at
+		// termination, restricted to keywords outside the returned query.
+		p.Trail.Rejected = keywordTable(p.Pool, st.addBenefit, st.addCost,
+			func(ki int) bool { return out.Contains(p.Pool[ki]) })
 	}
 	return Expanded{
 		Query:       out,

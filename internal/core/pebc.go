@@ -88,14 +88,26 @@ func (a *PEBC) Expand(p *Problem) Expanded {
 		f float64
 	}
 
+	if p.Trail != nil {
+		b, c, _ := p.baseTables()
+		p.Trail.Pool = keywordTable(p.Pool, b, c, nil)
+	}
+
 	evals := 0
 	gen := func(x float64) sample {
 		q := a.partialElimination(p, x, rng)
 		evals++
-		return sample{x: x, q: q, f: p.FMeasure(q)}
+		s := sample{x: x, q: q, f: p.FMeasure(q)}
+		if p.Trail != nil {
+			p.Trail.Samples = append(p.Trail.Samples, SampleTrail{X: s.x, Terms: s.q.Terms, F: s.f})
+		}
+		return s
 	}
 
 	best := sample{x: 0, q: p.UserQuery, f: p.FMeasure(p.UserQuery)}
+	if p.Trail != nil {
+		p.Trail.Samples = append(p.Trail.Samples, SampleTrail{X: 0, Terms: best.q.Terms, F: best.f})
+	}
 	left, right := 0.0, 100.0
 	iterations := 0
 	for it := 0; it < nit; it++ {
@@ -122,6 +134,15 @@ func (a *PEBC) Expand(p *Problem) Expanded {
 		left, right = samples[bestPair].x, samples[bestPair+1].x
 	}
 
+	if p.Trail != nil {
+		// PEBC keeps no incremental per-keyword table for the winning query;
+		// the rejected-alternative view is the shared base table (benefit and
+		// cost against the unrefined query) restricted to keywords the
+		// winning sample did not use.
+		b, c, _ := p.baseTables()
+		p.Trail.Rejected = keywordTable(p.Pool, b, c,
+			func(ki int) bool { return best.q.Contains(p.Pool[ki]) })
+	}
 	return Expanded{
 		Query:       best.q,
 		PRF:         p.Measure(best.q),

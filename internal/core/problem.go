@@ -51,6 +51,12 @@ type Problem struct {
 	// its dense keyword ID.
 	Pool []string
 
+	// Trail, when non-nil, receives the solver's decision record (initial
+	// candidate table, applied moves / probed samples, rejected
+	// alternatives) — the EXPLAIN surface. nil (the default) records
+	// nothing and costs nothing; see Trail for the bit-identity contract.
+	Trail *Trail
+
 	// Dense ID space: docs lists the universe in ascending DocID order (the
 	// dense doc ID is the position; denseID inverts it by binary search) and
 	// w holds the per-document ranking weight (nil when unranked; missing or

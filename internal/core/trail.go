@@ -1,0 +1,73 @@
+package core
+
+// Trail is the per-cluster solver leg of a query EXPLAIN: the candidate
+// pool's initial benefit/cost table, the refinement moves ISKR chose (or the
+// samples PEBC probed), and what every rejected alternative scored when the
+// solver stopped. A Problem with a nil Trail (the default) records nothing;
+// recording only copies values the solver already computed — it never
+// touches the solve arithmetic — so runs with and without a trail produce
+// bit-identical Expanded output.
+type Trail struct {
+	// Pool is the initial candidate table: benefit, cost and value of
+	// adding each pool keyword to the seed query, in keyword-ID
+	// (lexicographic) order. Filled by ISKR; PEBC fills it from its shared
+	// base tables.
+	Pool []KeywordTrail
+	// Steps are the refinement moves in the order ISKR applied them.
+	Steps []StepTrail
+	// Rejected is the final candidate table at termination: what each
+	// keyword that did NOT make the expanded query would have scored as
+	// the next addition. Keywords in the final query are excluded.
+	Rejected []KeywordTrail
+	// Samples are PEBC's probes: target elimination percentage, the
+	// generated query and its F-measure, in generation order.
+	Samples []SampleTrail
+}
+
+// KeywordTrail is one candidate keyword's benefit/cost/value line.
+type KeywordTrail struct {
+	Keyword       string
+	Benefit, Cost float64
+	// Value is benefit/cost under the paper's conventions (0 when both
+	// are 0, +Inf when only cost is 0).
+	Value float64
+}
+
+// StepTrail is one applied ISKR move.
+type StepTrail struct {
+	// Op is "add" or "remove".
+	Op      string
+	Keyword string
+	// Value is the move's benefit/cost ratio at selection time.
+	Value float64
+	// F is the F-measure of the query after applying the move.
+	F float64
+}
+
+// SampleTrail is one PEBC partial-elimination probe.
+type SampleTrail struct {
+	// X is the target elimination percentage of U.
+	X float64
+	// Terms is the generated sample query.
+	Terms []string
+	// F is the sample's F-measure.
+	F float64
+}
+
+// keywordTable renders a benefit/cost slice pair as KeywordTrail lines,
+// optionally skipping keywords for which skip returns true.
+func keywordTable(pool []string, benefit, cost []float64, skip func(ki int) bool) []KeywordTrail {
+	out := make([]KeywordTrail, 0, len(pool))
+	for ki, k := range pool {
+		if skip != nil && skip(ki) {
+			continue
+		}
+		out = append(out, KeywordTrail{
+			Keyword: k,
+			Benefit: benefit[ki],
+			Cost:    cost[ki],
+			Value:   value(benefit[ki], cost[ki]),
+		})
+	}
+	return out
+}

@@ -73,6 +73,67 @@ func TestValidatePromTextRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestValidatePromTextEscapedLabels pins the linter's label parser: values
+// containing commas, escaped quotes, escaped backslashes and escaped
+// newlines are legal exposition and must not confuse series keying.
+func TestValidatePromTextEscapedLabels(t *testing.T) {
+	good := []string{
+		"# TYPE qec_build_info gauge\n" +
+			`qec_build_info{version="0.9.0",goversion="go1.24.0, linux/amd64"} 1`,
+		"# TYPE qec_esc counter\n" +
+			`qec_esc{msg="say \"hi\", twice"} 2`,
+		"# TYPE qec_esc2 counter\n" +
+			`qec_esc2{path="C:\\tmp",note="line\nbreak"} 1`,
+	}
+	for _, text := range good {
+		if err := ValidatePromText(text); err != nil {
+			t.Errorf("valid escaped labels rejected: %v\n%s", err, text)
+		}
+	}
+	bad := []string{
+		"# TYPE qec_b counter\n" + `qec_b{msg="unterminated} 1`,
+		"# TYPE qec_b counter\n" + `qec_b{msg="bad \q escape"} 1`,
+		"# TYPE qec_b counter\n" + `qec_b{msg=unquoted} 1`,
+		"# TYPE qec_b counter\n" + `qec_b{9bad="x"} 1`,
+		"# TYPE qec_b counter\n" + `qec_b{a="x" b="y"} 1`,
+		"# TYPE qec_b counter\n" + `qec_b{a="x",} 1`,
+	}
+	for _, text := range bad {
+		if err := ValidatePromText(text); err == nil {
+			t.Errorf("malformed labels accepted:\n%s", text)
+		}
+	}
+	// An escaped quote inside an le-adjacent label must not break the
+	// histogram's cumulative check.
+	hist := "# TYPE qec_h histogram\n" +
+		`qec_h_bucket{tag="a,\"b\"",le="0.1"} 1` + "\n" +
+		`qec_h_bucket{tag="a,\"b\"",le="+Inf"} 2` + "\n" +
+		`qec_h_sum{tag="a,\"b\""} 0.5` + "\n" +
+		`qec_h_count{tag="a,\"b\""} 2`
+	if err := ValidatePromText(hist); err != nil {
+		t.Errorf("escaped labels inside histogram rejected: %v", err)
+	}
+}
+
+// TestValidatePromTextRejectsNonFinite: NaN and ±Inf sample values are
+// structural errors — nothing in this codebase legitimately emits them, so
+// their appearance means a rate or mean divided by zero upstream.
+func TestValidatePromTextRejectsNonFinite(t *testing.T) {
+	for _, val := range []string{"NaN", "+Inf", "-Inf", "nan", "inf"} {
+		text := "# TYPE qec_v gauge\nqec_v " + val
+		if err := ValidatePromText(text); err == nil {
+			t.Errorf("non-finite value %q accepted", val)
+		}
+	}
+	// le="+Inf" stays legal: it is a label, not a sample value.
+	hist := "# TYPE qec_h histogram\n" +
+		`qec_h_bucket{le="+Inf"} 1` + "\n" +
+		"qec_h_sum 0.5\nqec_h_count 1"
+	if err := ValidatePromText(hist); err != nil {
+		t.Errorf("le=+Inf label rejected: %v", err)
+	}
+}
+
 func TestAppendPromAllocFree(t *testing.T) {
 	var h Histogram
 	h.Observe(time.Millisecond)

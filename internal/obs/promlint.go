@@ -2,16 +2,105 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
 
+// promLabel is one parsed name="value" pair from a sample's label set, with
+// the value unescaped.
+type promLabel struct {
+	name, value string
+}
+
+// parsePromLabels parses the inside of a {...} label set. Unlike a naive
+// comma split it honors the exposition-format escaping rules: label values
+// are double-quoted and may contain commas, escaped quotes (\"), escaped
+// backslashes (\\) and escaped newlines (\n).
+func parsePromLabels(labels string) ([]promLabel, error) {
+	var out []promLabel
+	i := 0
+	for i < len(labels) {
+		// Label name up to '='.
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", labels[i:])
+		}
+		name := labels[i : i+eq]
+		if name == "" {
+			return nil, fmt.Errorf("empty label name in %q", labels)
+		}
+		for j, c := range name {
+			if !(c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (j > 0 && c >= '0' && c <= '9')) {
+				return nil, fmt.Errorf("invalid label name %q", name)
+			}
+		}
+		i += eq + 1
+		if i >= len(labels) || labels[i] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(labels) {
+			c := labels[i]
+			if c == '\\' {
+				if i+1 >= len(labels) {
+					return nil, fmt.Errorf("label %q value ends mid-escape", name)
+				}
+				switch labels[i+1] {
+				case '"':
+					val.WriteByte('"')
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q has invalid escape \\%c", name, labels[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q value is unterminated", name)
+		}
+		out = append(out, promLabel{name: name, value: val.String()})
+		if i < len(labels) {
+			if labels[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", labels[i:])
+			}
+			i++
+			if i == len(labels) {
+				return nil, fmt.Errorf("trailing ',' in label set %q", labels)
+			}
+		}
+	}
+	return out, nil
+}
+
+// escapePromLabelValue re-escapes a label value for series-key rebuilding.
+func escapePromLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // ValidatePromText is a strict structural check of Prometheus text exposition
 // used by the obs and server tests (and by the CI scrape step via
 // qec-benchdiff -promlint): every line must be a well-formed HELP/TYPE header
-// or a sample with a parseable value, samples must follow a TYPE header for
-// their metric, histogram buckets must be cumulative with a +Inf rollup equal
-// to _count, and no metric name may repeat a header.
+// or a sample with a parseable finite value (NaN and ±Inf samples are
+// rejected — nothing in this codebase legitimately emits them), label sets
+// must parse under the exposition escaping rules, samples must follow a TYPE
+// header for their metric, histogram buckets must be cumulative with a +Inf
+// rollup equal to _count, and no metric name may repeat a header.
 func ValidatePromText(text string) error {
 	types := map[string]string{}
 	lastBucket := map[string]uint64{} // series (name+labels sans le) → cumulative
@@ -53,8 +142,11 @@ func ValidatePromText(text string) error {
 		}
 		series, valText := line[:sp], line[sp+1:]
 		val, err := strconv.ParseFloat(valText, 64)
-		if err != nil && valText != "+Inf" && valText != "-Inf" && valText != "NaN" {
+		if err != nil {
 			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valText, err)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return fmt.Errorf("line %d: non-finite sample value %q", lineNo, valText)
 		}
 		name := series
 		labels := ""
@@ -67,6 +159,12 @@ func ValidatePromText(text string) error {
 		for _, c := range name {
 			if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
 				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+		}
+		var pairs []promLabel
+		if labels != "" {
+			if pairs, err = parsePromLabels(labels); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
 			}
 		}
 		base := name
@@ -89,11 +187,11 @@ func ValidatePromText(text string) error {
 		case strings.HasSuffix(name, "_bucket"):
 			le := ""
 			rest := make([]string, 0, 4)
-			for _, l := range strings.Split(labels, ",") {
-				if v, isLE := strings.CutPrefix(l, `le="`); isLE {
-					le = strings.TrimSuffix(v, `"`)
+			for _, l := range pairs {
+				if l.name == "le" {
+					le = l.value
 				} else {
-					rest = append(rest, l)
+					rest = append(rest, l.name+`="`+escapePromLabelValue(l.value)+`"`)
 				}
 			}
 			if le == "" {

@@ -229,6 +229,31 @@ func IDString(id uint64) string {
 	return string(AppendID(buf[:0], id))
 }
 
+// ParseID parses the canonical 16-hex-digit rendering of a trace ID
+// (uppercase digits accepted). Used to validate inbound X-Trace-Id headers:
+// anything that does not parse gets a fresh server-generated ID instead.
+func ParseID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		var d uint64
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	return id, true
+}
+
 // --- pprof stage labels -----------------------------------------------------
 
 // labelsOn gates per-stage pprof labels. Off by default: swapping goroutine

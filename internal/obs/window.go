@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowSample is one periodic snapshot of a set of monotonic counters and
+// instantaneous gauges, timestamped at capture. The caller defines what each
+// index means and must keep the layout stable across ticks.
+type WindowSample struct {
+	At       time.Time
+	Counters []uint64
+	Gauges   []int64
+}
+
+// RateWindow derives windowed rates from a ring of periodic counter
+// snapshots: QPS over the last minute, error rate over five, queue-depth
+// trends — the derivative signals a point-in-time scrape cannot give.
+// The serving layer ticks it on a fixed interval; readers ask for the rate
+// of any counter over any window.
+//
+// A zero-valued baseline sample stamped at construction time anchors the
+// ring, so rates are well-defined (counted from process start) before the
+// first tick lands and the 1m QPS a fresh server reports is already
+// non-zero once it has served anything.
+type RateWindow struct {
+	mu      sync.Mutex
+	samples []WindowSample
+	head    int // next write position
+	n       int // samples stored
+}
+
+// NewRateWindow returns a window keeping the last capacity samples. The
+// baseline sample holds nCounters zero counters (and no gauges) stamped now.
+// With a 10s tick, capacity 32 spans >5 minutes.
+func NewRateWindow(capacity, nCounters int) *RateWindow {
+	if capacity < 2 {
+		capacity = 2
+	}
+	w := &RateWindow{samples: make([]WindowSample, 0, capacity)}
+	w.Tick(WindowSample{At: time.Now(), Counters: make([]uint64, nCounters)})
+	return w
+}
+
+// Tick appends one snapshot, evicting the oldest beyond capacity. The
+// sample's slices are retained; the caller must hand over fresh ones.
+func (w *RateWindow) Tick(s WindowSample) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < cap(w.samples) {
+		w.samples = append(w.samples, s)
+		w.n++
+		w.head = w.n % cap(w.samples)
+		return
+	}
+	w.samples[w.head] = s
+	w.head = (w.head + 1) % w.n
+}
+
+// at returns the stored sample i ticks back from the newest (0 = newest).
+// Caller holds mu.
+func (w *RateWindow) at(i int) *WindowSample {
+	idx := (w.head - 1 - i + 2*w.n) % w.n
+	return &w.samples[idx]
+}
+
+// base returns the newest stored sample at least window older than now;
+// if every sample is newer than that horizon, the oldest stored sample.
+// Caller holds mu.
+func (w *RateWindow) base(now time.Time, window time.Duration) *WindowSample {
+	horizon := now.Add(-window)
+	for i := 0; i < w.n; i++ {
+		s := w.at(i)
+		if !s.At.After(horizon) {
+			return s
+		}
+	}
+	return w.at(w.n - 1)
+}
+
+// Rate returns the per-second rate of counter idx over the trailing window:
+// (current − value at the window's base sample) / elapsed. current is the
+// counter's live value now (the window only stores history). Returns 0 when
+// the base sample is too fresh for a meaningful rate (<1s elapsed) or does
+// not carry idx.
+func (w *RateWindow) Rate(now time.Time, window time.Duration, idx int, current uint64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	s := w.base(now, window)
+	elapsed := now.Sub(s.At).Seconds()
+	if elapsed < 1 || idx >= len(s.Counters) || current < s.Counters[idx] {
+		return 0
+	}
+	return float64(current-s.Counters[idx]) / elapsed
+}
+
+// Ratio returns the fraction numIdx/denIdx of counter deltas over the
+// trailing window (for example errors per request, abandoned restarts per
+// restart). Returns 0 when the denominator delta is zero.
+func (w *RateWindow) Ratio(now time.Time, window time.Duration, numIdx, denIdx int, numCur, denCur uint64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	s := w.base(now, window)
+	if numIdx >= len(s.Counters) || denIdx >= len(s.Counters) {
+		return 0
+	}
+	if numCur < s.Counters[numIdx] || denCur < s.Counters[denIdx] {
+		return 0
+	}
+	den := denCur - s.Counters[denIdx]
+	if den == 0 {
+		return 0
+	}
+	return float64(numCur-s.Counters[numIdx]) / float64(den)
+}
+
+// GaugeTrend returns the mean and max of gauge idx across the samples inside
+// the trailing window (the baseline sample carries no gauges and is skipped).
+// ok is false when no stored sample in the window carries the gauge.
+func (w *RateWindow) GaugeTrend(now time.Time, window time.Duration, idx int) (mean float64, max int64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	horizon := now.Add(-window)
+	var sum int64
+	var count int
+	for i := 0; i < w.n; i++ {
+		s := w.at(i)
+		if s.At.Before(horizon) {
+			break
+		}
+		if idx >= len(s.Gauges) {
+			continue
+		}
+		v := s.Gauges[idx]
+		sum += v
+		if !ok || v > max {
+			max = v
+		}
+		ok = true
+		count++
+	}
+	if count == 0 {
+		return 0, 0, false
+	}
+	return float64(sum) / float64(count), max, true
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateWindowBasics(t *testing.T) {
+	w := NewRateWindow(8, 2)
+	base := time.Now()
+	// Ticks every 10s: counter 0 grows by 50/tick, counter 1 by 1/tick.
+	for i := 1; i <= 6; i++ {
+		w.Tick(WindowSample{
+			At:       base.Add(time.Duration(i) * 10 * time.Second),
+			Counters: []uint64{uint64(i) * 50, uint64(i)},
+			Gauges:   []int64{int64(i * 2)},
+		})
+	}
+	now := base.Add(60 * time.Second)
+	// 1m window: base sample is the baseline at t=0 (60s old) → 300/60 = 5/s.
+	if got := w.Rate(now, time.Minute, 0, 300); got < 4.9 || got > 5.1 {
+		t.Errorf("1m rate = %v, want ~5", got)
+	}
+	// 30s window: base sample is t=30 (150) → (300-150)/30 = 5/s.
+	if got := w.Rate(now, 30*time.Second, 0, 300); got < 4.9 || got > 5.1 {
+		t.Errorf("30s rate = %v, want ~5", got)
+	}
+	// Ratio of counter 1 to counter 0 over the window: 6/300.
+	if got := w.Ratio(now, time.Minute, 1, 0, 6, 300); got < 0.019 || got > 0.021 {
+		t.Errorf("ratio = %v, want 0.02", got)
+	}
+	mean, max, ok := w.GaugeTrend(now, time.Minute, 0)
+	if !ok {
+		t.Fatal("gauge trend missing")
+	}
+	if max != 12 {
+		t.Errorf("gauge max = %d, want 12", max)
+	}
+	if mean < 6.9 || mean > 7.1 { // (2+4+6+8+10+12)/6
+		t.Errorf("gauge mean = %v, want 7", mean)
+	}
+}
+
+// TestRateWindowBaselineFallback: before any tick lands, rates fall back to
+// the construction-time baseline, so a fresh server still reports non-zero
+// QPS once it has served anything.
+func TestRateWindowBaselineFallback(t *testing.T) {
+	w := NewRateWindow(8, 1)
+	now := time.Now().Add(5 * time.Second)
+	if got := w.Rate(now, time.Minute, 0, 50); got < 9 || got > 11 {
+		t.Errorf("baseline-fallback rate = %v, want ~10 (50 over ~5s)", got)
+	}
+	// A sub-second-old baseline yields 0, not a nonsense spike.
+	w2 := NewRateWindow(8, 1)
+	if got := w2.Rate(time.Now(), time.Minute, 0, 50); got != 0 {
+		t.Errorf("sub-second rate = %v, want 0", got)
+	}
+}
+
+func TestRateWindowEviction(t *testing.T) {
+	w := NewRateWindow(4, 1)
+	base := time.Now()
+	for i := 1; i <= 10; i++ {
+		w.Tick(WindowSample{
+			At:       base.Add(time.Duration(i) * time.Second),
+			Counters: []uint64{uint64(i) * 10},
+		})
+	}
+	// Only samples 7..10 remain; a huge window clamps to the oldest stored
+	// sample (t=7, value 70).
+	now := base.Add(10 * time.Second)
+	got := w.Rate(now, time.Hour, 0, 100)
+	if got < 9.9 || got > 10.1 { // (100-70)/3s
+		t.Errorf("clamped rate = %v, want ~10", got)
+	}
+	// Counter reset (current < base) reports 0 rather than underflowing.
+	if got := w.Rate(now, time.Hour, 0, 5); got != 0 {
+		t.Errorf("reset counter rate = %v, want 0", got)
+	}
+	// Out-of-range index.
+	if got := w.Rate(now, time.Hour, 7, 100); got != 0 {
+		t.Errorf("out-of-range rate = %v, want 0", got)
+	}
+}

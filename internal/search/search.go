@@ -271,6 +271,78 @@ func (e *Engine) Score(id document.DocID, q Query) float64 {
 	return e.scoreIDs(id, e.resolveTerms(q))
 }
 
+// PruneStats collects the top-K pruning counters of one Search: how many
+// driving-list blocks the block-max check skipped wholesale, how many cursor
+// advances the galloping skips performed, how many candidates were scored
+// versus dropped by a bound check, and the heap-threshold trajectory (the
+// K-th best score each time it moved, capped at maxThresholdSamples). A nil
+// *PruneStats is valid everywhere — every method no-ops — so the pruned
+// paths carry no explain branches beyond a nil test. Recording never touches
+// the score arithmetic: SearchPruned with a collector is bit-identical to
+// Search.
+type PruneStats struct {
+	// Pruned reports whether a pruned top-K path ran at all (false for
+	// topK <= 0 and the empty AND query, which scan fully).
+	Pruned bool
+	// BlocksSkipped counts driving-list blocks skipped wholesale by the
+	// AND path's block-max check.
+	BlocksSkipped int
+	// CursorAdvances counts posting-cursor moves: galloping advances in
+	// the AND intersection, per-list pops in the OR merge.
+	CursorAdvances int
+	// DocsScored and DocsSkipped split the candidates that survived the
+	// traversal: fully scored versus dropped by a bound check just before
+	// scoring.
+	DocsScored, DocsSkipped int
+	// NonEssential is the OR path's final non-essential prefix size.
+	NonEssential int
+	// Thresholds is the heap-threshold trajectory: the K-th best score
+	// each time it changed, oldest first.
+	Thresholds []float64
+}
+
+// maxThresholdSamples bounds the recorded threshold trajectory.
+const maxThresholdSamples = 64
+
+func (ps *PruneStats) markPruned() {
+	if ps != nil {
+		ps.Pruned = true
+	}
+}
+
+func (ps *PruneStats) blockSkipped() {
+	if ps != nil {
+		ps.BlocksSkipped++
+	}
+}
+
+func (ps *PruneStats) advanced() {
+	if ps != nil {
+		ps.CursorAdvances++
+	}
+}
+
+func (ps *PruneStats) scored() {
+	if ps != nil {
+		ps.DocsScored++
+	}
+}
+
+func (ps *PruneStats) skipped() {
+	if ps != nil {
+		ps.DocsSkipped++
+	}
+}
+
+func (ps *PruneStats) noteThreshold(v float64) {
+	if ps == nil {
+		return
+	}
+	if n := len(ps.Thresholds); n < maxThresholdSamples && (n == 0 || ps.Thresholds[n-1] != v) {
+		ps.Thresholds = append(ps.Thresholds, v)
+	}
+}
+
 // Search evaluates q and returns results ranked by descending TF-IDF score
 // (ties broken by ascending DocID for determinism). topK <= 0 returns all.
 // Query strings are resolved to TermIDs once.
@@ -282,13 +354,21 @@ func (e *Engine) Score(id document.DocID, q Query) float64 {
 // scoring the entire result and truncating, which topK <= 0 (and the empty
 // AND query, whose result is the whole corpus) still does.
 func (e *Engine) Search(q Query, sem Semantics, topK int) []Result {
+	return e.SearchPruned(q, sem, topK, nil)
+}
+
+// SearchPruned is Search with an optional pruning-counter collector for the
+// EXPLAIN surface. ps may be nil (then this is exactly Search); with a
+// collector attached the results are still bit-identical — only counters and
+// the threshold trajectory are recorded.
+func (e *Engine) SearchPruned(q Query, sem Semantics, topK int, ps *PruneStats) []Result {
 	tids := e.resolveTerms(q)
 	if topK > 0 {
 		if sem == Or {
-			return e.searchTopKOr(tids, topK)
+			return e.searchTopKOr(tids, topK, ps)
 		}
 		if len(tids) > 0 {
-			return e.searchTopKAnd(tids, topK)
+			return e.searchTopKAnd(tids, topK, ps)
 		}
 	}
 	var results []Result
@@ -434,7 +514,8 @@ func advancePostings(docs []int32, pos int, target int32) int {
 // contributions in original query-term order, exactly scoreIDs' fold
 // (TFIDFByID is float64(tf)·idf), so the output is bit-identical to the
 // full-scoring path.
-func (e *Engine) searchTopKAnd(qtids []termdict.TermID, topK int) []Result {
+func (e *Engine) searchTopKAnd(qtids []termdict.TermID, topK int, ps *PruneStats) []Result {
+	ps.markPruned()
 	type andCursor struct {
 		docs  []int32
 		freqs []uint16
@@ -478,6 +559,7 @@ outer:
 			b := i / index.ScoreBlockSize
 			if (drive.bm[b]+restUB)*boundSlack < h.threshold() {
 				i = (b + 1) * index.ScoreBlockSize
+				ps.blockSkipped()
 				continue
 			}
 		}
@@ -487,6 +569,7 @@ outer:
 		for j := 1; j < len(curs); j++ {
 			c := &curs[j]
 			c.pos = advancePostings(c.docs, c.pos, d)
+			ps.advanced()
 			if c.pos >= len(c.docs) {
 				break outer
 			}
@@ -507,6 +590,12 @@ outer:
 				s /= 1 + float64(n)/avg
 			}
 			h.push(Result{Doc: id, Score: s})
+			ps.scored()
+			if h.full() {
+				ps.noteThreshold(h.threshold())
+			}
+		} else {
+			ps.skipped()
 		}
 		i++
 	}
@@ -523,7 +612,8 @@ outer:
 // Candidates arrive in ascending DocID order and survivors are scored by
 // the unchanged scoreIDs fold, so the output is bit-identical to scoring
 // the whole union.
-func (e *Engine) searchTopKOr(qtids []termdict.TermID, topK int) []Result {
+func (e *Engine) searchTopKOr(qtids []termdict.TermID, topK int, ps *PruneStats) []Result {
+	ps.markPruned()
 	type orCursor struct {
 		docs []int32
 		bm   []float64
@@ -573,17 +663,25 @@ func (e *Engine) searchTopKOr(qtids []termdict.TermID, topK int) []Result {
 			if c.pos < len(c.docs) && c.docs[c.pos] == d {
 				bound += c.bm[c.pos/index.ScoreBlockSize]
 				c.pos++
+				ps.advanced()
 			}
 		}
 		if !h.full() || bound*boundSlack >= h.threshold() {
 			id := document.DocID(d)
 			h.push(Result{Doc: id, Score: e.scoreIDs(id, qtids)})
+			ps.scored()
 			if h.full() {
+				ps.noteThreshold(h.threshold())
 				for ness < len(curs) && prefixUB[ness]*boundSlack < h.threshold() {
 					ness++
 				}
 			}
+		} else {
+			ps.skipped()
 		}
+	}
+	if ps != nil {
+		ps.NonEssential = ness
 	}
 	return h.sorted()
 }

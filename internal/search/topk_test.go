@@ -84,6 +84,58 @@ func TestSearchTopKMatchesFullScoring(t *testing.T) {
 	}
 }
 
+// TestSearchPrunedBitIdentical pins the EXPLAIN leg of the pruning
+// contract: attaching a PruneStats collector must not change a single bit of
+// the results, and on corpora deep enough to fill the heap the collector
+// actually observes the traversal (candidates scored, threshold trajectory).
+func TestSearchPrunedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	words := []string{"w0", "w1", "w2", "w3", "w4"}
+	c := document.NewCorpus()
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(6)
+		text := ""
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				text += " "
+			}
+			text += words[rng.Intn(len(words))]
+		}
+		c.AddText("", text)
+	}
+	e := NewEngine(index.Build(c, analysis.Simple()))
+	for _, sem := range []Semantics{And, Or} {
+		q := NewQuery("w0", "w1")
+		want := e.Search(q, sem, 10)
+		var ps PruneStats
+		got := e.SearchPruned(q, sem, 10, &ps)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SearchPruned(%v) diverges from Search:\n got %v\nwant %v", sem, got, want)
+		}
+		if !ps.Pruned {
+			t.Errorf("%v: pruned path did not run", sem)
+		}
+		if ps.DocsScored == 0 {
+			t.Errorf("%v: no candidates scored", sem)
+		}
+		if ps.DocsScored+ps.DocsSkipped < len(want) {
+			t.Errorf("%v: scored %d + skipped %d < %d results", sem, ps.DocsScored, ps.DocsSkipped, len(want))
+		}
+		if len(ps.Thresholds) == 0 {
+			t.Errorf("%v: empty threshold trajectory on a heap-filling corpus", sem)
+		}
+		if ps.CursorAdvances == 0 {
+			t.Errorf("%v: no cursor advances recorded", sem)
+		}
+	}
+	// The full-scan paths report Pruned=false and touch nothing else.
+	var ps PruneStats
+	e.SearchPruned(NewQuery("w0"), And, 0, &ps)
+	if ps.Pruned || ps.DocsScored != 0 {
+		t.Errorf("full scan recorded pruning stats: %+v", ps)
+	}
+}
+
 // TestSearchTopKEdgeQueries pins the paths the property grid can miss: the
 // empty AND query (full-corpus retrieval stays on the unpruned path), a
 // purely out-of-vocabulary query, and topK larger than the corpus.

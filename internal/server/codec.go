@@ -16,6 +16,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -380,6 +381,8 @@ func (r *ExpandRequest) decodeJSON(data []byte) error {
 			return s.strField(&r.Quality)
 		case "debug":
 			return s.boolField(&r.Debug)
+		case "explain":
+			return s.boolField(&r.Explain)
 		default:
 			return unknownField(key)
 		}
@@ -576,6 +579,16 @@ func (r *ExpandResponse) appendJSON(dst []byte) []byte {
 		dst = append(dst, `,"abandoned":`...)
 		dst = strconv.AppendInt(dst, int64(d.KMeans.Abandoned), 10)
 		dst = append(dst, '}', '}')
+	}
+	if r.Explain != nil {
+		// Explain requests are rare and their payload is deep, so the
+		// subtree goes through encoding/json instead of growing the
+		// hand-rolled encoder; the surrounding shape stays byte-identical
+		// for every non-explain response.
+		if sub, err := json.Marshal(r.Explain); err == nil {
+			dst = append(dst, `,"explain":`...)
+			dst = append(dst, sub...)
+		}
 	}
 	return append(dst, '}', '\n')
 }

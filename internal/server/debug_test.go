@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	qec "repro"
+	"repro/internal/obs"
+)
+
+func getJSON[T any](t *testing.T, ts *httptest.Server, path string) T {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", path, resp.StatusCode, data)
+	}
+	return decode[T](t, data)
+}
+
+func TestDebugRequestsListAndFetch(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/search", SearchRequest{Query: "apple fruit"})
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2})
+	expandTrace := resp.Header.Get("X-Trace-Id")
+	if len(expandTrace) != 16 {
+		t.Fatalf("X-Trace-Id = %q; want 16 hex digits", expandTrace)
+	}
+
+	dr := getJSON[DebugRequestsResponse](t, ts, "/debug/requests")
+	if dr.Count != 2 || len(dr.Records) != 2 {
+		t.Fatalf("count = %d, records = %d; want 2", dr.Count, len(dr.Records))
+	}
+	// Newest first: the expand came last.
+	if dr.Records[0].Endpoint != "expand" || dr.Records[1].Endpoint != "search" {
+		t.Fatalf("order = %s, %s; want expand, search", dr.Records[0].Endpoint, dr.Records[1].Endpoint)
+	}
+	if dr.Records[0].Trace != expandTrace {
+		t.Fatalf("record trace = %q; want %q", dr.Records[0].Trace, expandTrace)
+	}
+	if dr.Records[0].Outcome != "ok" || dr.Records[0].Status != http.StatusOK {
+		t.Fatalf("expand record = %+v; want ok/200", dr.Records[0])
+	}
+	if dr.Records[0].Method == "" || dr.Records[0].Quality == "" {
+		t.Fatalf("expand record should carry method/quality: %+v", dr.Records[0])
+	}
+	if len(dr.Records[0].Stages) == 0 {
+		t.Fatalf("uncached expand record should carry stage spans: %+v", dr.Records[0])
+	}
+	if dr.Sampling.Recorded != 2 || dr.Sampling.Shift != 0 {
+		t.Fatalf("sampling = %+v; want recorded=2 shift=0", dr.Sampling)
+	}
+
+	// Endpoint filter.
+	only := getJSON[DebugRequestsResponse](t, ts, "/debug/requests?endpoint=search")
+	if only.Count != 1 || only.Records[0].Endpoint != "search" {
+		t.Fatalf("endpoint filter: %+v", only.Records)
+	}
+
+	// Single-record fetch by trace ID.
+	rec := getJSON[FlightRecordWire](t, ts, "/debug/requests/"+expandTrace)
+	if rec.Trace != expandTrace || rec.Endpoint != "expand" {
+		t.Fatalf("fetched record = %+v", rec)
+	}
+
+	// Bad and missing IDs.
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/debug/requests/zzz", http.StatusBadRequest},
+		{"/debug/requests/00000000000000ff", http.StatusNotFound},
+		{"/debug/requests?n=0", http.StatusBadRequest},
+		{"/debug/requests?outcome=bogus", http.StatusBadRequest},
+		{"/debug/requests?min_ms=-1", http.StatusBadRequest},
+	} {
+		resp, err := ts.Client().Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d; want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// slowExpandEngine delays expansions so tests can manufacture slow requests.
+type slowExpandEngine struct {
+	*qec.Engine
+	delay time.Duration
+}
+
+func (g *slowExpandEngine) ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
+	time.Sleep(g.delay)
+	return g.Engine.ExpandTraced(raw, opts, tr)
+}
+
+// TestDebugSlowRequestSurvivesFastTraffic is the acceptance check for the
+// notable ring: after 2x main-ring-capacity fast requests, the most recent
+// slow request must still be retrievable.
+func TestDebugSlowRequestSurvivesFastTraffic(t *testing.T) {
+	const capacity = 8
+	eng := &slowExpandEngine{Engine: ambiguousEngine(t), delay: 30 * time.Millisecond}
+	ts := httptest.NewServer(New(eng, Options{
+		FlightCapacity: capacity,
+		SlowQuery:      20 * time.Millisecond,
+	}).Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2})
+	slowTrace := resp.Header.Get("X-Trace-Id")
+
+	for i := 0; i < 2*capacity; i++ {
+		postJSON(t, ts.Client(), ts.URL+"/search", SearchRequest{Query: "apple fruit"})
+	}
+
+	rec := getJSON[FlightRecordWire](t, ts, "/debug/requests/"+slowTrace)
+	if rec.Trace != slowTrace || !rec.Notable {
+		t.Fatalf("slow record = %+v; want notable with trace %s", rec, slowTrace)
+	}
+	dr := getJSON[DebugRequestsResponse](t, ts, "/debug/requests?min_ms=20")
+	found := false
+	for _, r := range dr.Records {
+		if r.Trace == slowTrace {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slow request %s missing from min_ms listing: %+v", slowTrace, dr.Records)
+	}
+}
+
+func TestDebugRequestsErrorRetained(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "zzzznosuchterm", K: 2})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d; want 404", resp.StatusCode)
+	}
+	dr := getJSON[DebugRequestsResponse](t, ts, "/debug/requests?outcome=error")
+	if dr.Count != 1 || !dr.Records[0].Notable || dr.Records[0].Status != http.StatusNotFound {
+		t.Fatalf("error record = %+v; want one notable 404", dr.Records)
+	}
+}
+
+func TestInboundTraceID(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SearchRequest{Query: "apple"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
+	req.Header.Set("X-Trace-Id", "00c0ffee00c0ffee")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "00c0ffee00c0ffee" {
+		t.Fatalf("echoed trace = %q; want the inbound one", got)
+	}
+	// The flight record must be filed under the inbound ID.
+	rec := getJSON[FlightRecordWire](t, ts, "/debug/requests/00c0ffee00c0ffee")
+	if rec.Query != "apple" {
+		t.Fatalf("record = %+v", rec)
+	}
+
+	// Invalid inbound IDs (wrong length, non-hex, zero) get replaced.
+	for _, bad := range []string{"short", "zzzzzzzzzzzzzzzz", "0000000000000000", strings.Repeat("a", 17)} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
+		req.Header.Set("X-Trace-Id", bad)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get("X-Trace-Id")
+		if got == bad || len(got) != 16 {
+			t.Fatalf("inbound %q: echoed %q; want a fresh generated ID", bad, got)
+		}
+	}
+}
+
+func TestExpandExplainWire(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+
+	// Baseline: no explain section without the flag.
+	_, plain := postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2})
+	if bytes.Contains(plain, []byte(`"explain"`)) {
+		t.Fatalf("unexplained response carries explain: %s", plain)
+	}
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/expand",
+		ExpandRequest{Query: "apple", K: 2, Explain: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	er := decode[ExpandResponse](t, data)
+	if er.Explain == nil {
+		t.Fatalf("no explain section: %s", data)
+	}
+	ex := er.Explain
+	if len(ex.Query) == 0 || ex.Query[0] != "apple" {
+		t.Fatalf("explain query = %v", ex.Query)
+	}
+	if ex.Method == "" || ex.Quality == "" || ex.Results == 0 {
+		t.Fatalf("explain header incomplete: %+v", ex)
+	}
+	if ex.KMeans == nil || len(ex.KMeans.Restarts) == 0 {
+		t.Fatalf("explain kmeans leg missing: %+v", ex.KMeans)
+	}
+	if len(ex.Clusters) != len(er.Queries) {
+		t.Fatalf("explain clusters = %d, queries = %d", len(ex.Clusters), len(er.Queries))
+	}
+	for i, cx := range ex.Clusters {
+		if len(cx.Pool) == 0 {
+			t.Fatalf("cluster %d: empty pool", i)
+		}
+	}
+
+	// The expansion payload itself must be bit-identical to the unexplained
+	// response (minus took_ms, which is wall time, and the explain subtree).
+	per := decode[ExpandResponse](t, plain)
+	er.TookMS, per.TookMS = 0, 0
+	er.Explain = nil
+	a, _ := json.Marshal(er)
+	b, _ := json.Marshal(per)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("explained expansion differs from plain:\n%s\n%s", a, b)
+	}
+}
+
+func TestStatsRatesNonZero(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/search", SearchRequest{Query: "apple"})
+	postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2})
+	// The rate window refuses sub-second baselines (a rate over 50ms of
+	// history is noise); wait out the guard.
+	time.Sleep(1100 * time.Millisecond)
+	st := getJSON[StatsResponse](t, ts, "/stats")
+	if st.Rates.QPS1M <= 0 {
+		t.Fatalf("qps_1m = %v; want > 0 after traffic", st.Rates.QPS1M)
+	}
+	if st.Rates.QPS5M <= 0 {
+		t.Fatalf("qps_5m = %v; want > 0 after traffic", st.Rates.QPS5M)
+	}
+	if st.Rates.ErrorRate1M != 0 {
+		t.Fatalf("error_rate_1m = %v; want 0 with no errors", st.Rates.ErrorRate1M)
+	}
+}
+
+func TestMetricsBuildInfoAndRates(t *testing.T) {
+	ts := httptest.NewServer(New(ambiguousEngine(t), Options{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, want := range []string{
+		"qec_build_info{version=", `goversion="go`, "gomaxprocs=",
+		"qec_start_time_seconds", "qec_qps_1m", "qec_qps_5m",
+		"qec_error_ratio_1m", "qec_flight_recorded_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+	if err := obs.ValidatePromText(text); err != nil {
+		t.Fatalf("metrics page malformed: %v", err)
+	}
+}
+
+func TestDumpActive(t *testing.T) {
+	buf := newSyncBuffer()
+	gate := &gateEngine{
+		Engine:  ambiguousEngine(t),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	srv := New(gate, Options{AccessLog: buf})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		postJSON(t, ts.Client(), ts.URL+"/expand", ExpandRequest{Query: "apple", K: 2})
+	}()
+	<-gate.entered
+	n := srv.DumpActive()
+	close(gate.release)
+	<-donec
+	if n != 1 {
+		t.Fatalf("DumpActive = %d; want 1 in-flight request", n)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"dump":"active"`) || !strings.Contains(line, `"query":"apple"`) {
+		t.Fatalf("dump line = %q", line)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &parsed); err != nil {
+		t.Fatalf("dump line is not JSON: %v: %q", err, line)
+	}
+	// After completion the registry is empty again.
+	if n := srv.DumpActive(); n != 0 {
+		t.Fatalf("DumpActive after completion = %d; want 0", n)
+	}
+}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -52,13 +54,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(wb.enc)
 }
 
+// buildInfoLabels is the qec_build_info label set, rendered once at startup:
+// the module version (when built from a module-aware build), the Go toolchain
+// and the process's GOMAXPROCS.
+var buildInfoLabels = func() string {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return `version="` + version + `",goversion="` + runtime.Version() +
+		`",gomaxprocs="` + strconv.Itoa(runtime.GOMAXPROCS(0)) + `"`
+}()
+
 // appendMetrics renders the whole exposition page.
 func (s *Server) appendMetrics(dst []byte) []byte {
 	// --- process ---
+	dst = obs.AppendPromHeader(dst, "qec_build_info", "Build metadata; the value is always 1.", "gauge")
+	dst = obs.AppendPromInt(dst, "qec_build_info", buildInfoLabels, 1)
+	dst = obs.AppendPromHeader(dst, "qec_start_time_seconds", "Unix time the server started.", "gauge")
+	dst = obs.AppendPromFloat(dst, "qec_start_time_seconds", "", float64(s.started.UnixNano())/1e9)
 	dst = obs.AppendPromHeader(dst, "qec_uptime_seconds", "Seconds since the server started.", "gauge")
 	dst = obs.AppendPromFloat(dst, "qec_uptime_seconds", "", time.Since(s.started).Seconds())
 	dst = obs.AppendPromHeader(dst, "qec_corpus_docs", "Documents in the served corpus.", "gauge")
 	dst = obs.AppendPromInt(dst, "qec_corpus_docs", "", int64(s.eng.Len()))
+
+	// --- windowed rates ---
+	rates := s.rateStats()
+	dst = obs.AppendPromHeader(dst, "qec_qps_1m", "Requests per second over the trailing minute.", "gauge")
+	dst = obs.AppendPromFloat(dst, "qec_qps_1m", "", rates.QPS1M)
+	dst = obs.AppendPromHeader(dst, "qec_qps_5m", "Requests per second over the trailing five minutes.", "gauge")
+	dst = obs.AppendPromFloat(dst, "qec_qps_5m", "", rates.QPS5M)
+	dst = obs.AppendPromHeader(dst, "qec_error_ratio_1m", "Non-2xx responses per request over the trailing minute.", "gauge")
+	dst = obs.AppendPromFloat(dst, "qec_error_ratio_1m", "", rates.ErrorRate1M)
+	dst = obs.AppendPromHeader(dst, "qec_kmeans_abandon_ratio_1m",
+		"K-means restarts abandoned per restart over the trailing minute.", "gauge")
+	dst = obs.AppendPromFloat(dst, "qec_kmeans_abandon_ratio_1m", "", rates.AbandonRate1M)
+	dst = obs.AppendPromHeader(dst, "qec_queue_depth_1m_max",
+		"Maximum sampled worker-queue depth over the trailing minute.", "gauge")
+	dst = obs.AppendPromInt(dst, "qec_queue_depth_1m_max", "", rates.QueueMax1M)
+
+	// --- flight recorder ---
+	recorded, dropped, shift := s.flight.Stats()
+	dst = obs.AppendPromHeader(dst, "qec_flight_recorded_total", "Request records admitted to the flight recorder.", "counter")
+	dst = obs.AppendPromUint(dst, "qec_flight_recorded_total", "", recorded)
+	dst = obs.AppendPromHeader(dst, "qec_flight_sampled_out_total",
+		"Plain request records shed by the flight recorder's adaptive sampling.", "counter")
+	dst = obs.AppendPromUint(dst, "qec_flight_sampled_out_total", "", dropped)
+	dst = obs.AppendPromHeader(dst, "qec_flight_sample_shift",
+		"Current flight-recorder decimation: 1 in 2^shift plain records admitted.", "gauge")
+	dst = obs.AppendPromInt(dst, "qec_flight_sample_shift", "", int64(shift))
 
 	// --- request counters ---
 	dst = obs.AppendPromHeader(dst, "qec_http_requests_total", "HTTP requests received, all endpoints.", "counter")

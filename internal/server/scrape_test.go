@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+// CI scrapes a live qec-serve after real traffic and hands the captured
+// bodies to these tests, mirroring the obs package's -scraped-metrics
+// contract: the shape checks live next to the wire types so the workflow
+// file stays a dumb pipe.
+var (
+	scrapedDebug   = flag.String("scraped-debug", "", "path to a GET /debug/requests body captured from a live server")
+	scrapedExplain = flag.String("scraped-explain", "", `path to an "explain": true POST /expand body captured from a live server`)
+)
+
+// TestScrapedDebugRequests validates a live /debug/requests capture: the
+// listing must decode into the wire shape, agree with its own count, carry
+// only well-formed records (16-hex trace, known outcome, endpoint, start
+// time) and include the explain request CI tagged with a fixed trace ID.
+func TestScrapedDebugRequests(t *testing.T) {
+	if *scrapedDebug == "" {
+		t.Skip("no -scraped-debug file; run via the CI live-scrape step")
+	}
+	raw, err := os.ReadFile(*scrapedDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp DebugRequestsResponse
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("decode /debug/requests body: %v\n%s", err, raw)
+	}
+	if resp.Count != len(resp.Records) {
+		t.Fatalf("count %d != len(records) %d", resp.Count, len(resp.Records))
+	}
+	if resp.Count == 0 {
+		t.Fatal("no flight records after live traffic")
+	}
+	if resp.Sampling.Recorded == 0 {
+		t.Fatalf("sampling.recorded = 0 with %d records listed", resp.Count)
+	}
+	var sawExplainTrace bool
+	for i, rec := range resp.Records {
+		if len(rec.Trace) != 16 {
+			t.Errorf("record %d: trace %q is not 16 hex chars", i, rec.Trace)
+		}
+		if rec.Endpoint == "" {
+			t.Errorf("record %d: empty endpoint", i)
+		}
+		if rec.Outcome == "" {
+			t.Errorf("record %d: empty outcome", i)
+		}
+		if rec.Start.IsZero() {
+			t.Errorf("record %d: zero start time", i)
+		}
+		if rec.TookMS < 0 {
+			t.Errorf("record %d: negative took_ms %v", i, rec.TookMS)
+		}
+		// The CI step sends its explain request with this header so the
+		// scrape can prove inbound trace IDs land in the recorder.
+		if rec.Trace == "feedc0defeedc0de" {
+			sawExplainTrace = true
+		}
+	}
+	if !sawExplainTrace {
+		t.Error(`the X-Trace-Id: feedc0defeedc0de explain request is missing from the listing`)
+	}
+}
+
+// TestScrapedExplainResponse validates a live "explain": true /expand
+// capture: a normal expansion payload plus a decision trail whose legs are
+// populated and aligned with the returned queries.
+func TestScrapedExplainResponse(t *testing.T) {
+	if *scrapedExplain == "" {
+		t.Skip("no -scraped-explain file; run via the CI live-scrape step")
+	}
+	raw, err := os.ReadFile(*scrapedExplain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp ExpandResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode /expand body: %v\n%s", err, raw)
+	}
+	if len(resp.Queries) == 0 {
+		t.Fatal("explain response carries no expanded queries")
+	}
+	ex := resp.Explain
+	if ex == nil {
+		t.Fatalf("no explain payload in response:\n%s", raw)
+	}
+	if len(ex.Query) == 0 {
+		t.Error("explain.query is empty")
+	}
+	if ex.Method == "" || ex.Quality == "" {
+		t.Errorf("explain method/quality unresolved: %q / %q", ex.Method, ex.Quality)
+	}
+	if ex.Results == 0 {
+		t.Error("explain.results = 0: pipeline saw no documents")
+	}
+	if ex.KMeans == nil {
+		t.Fatal("explain.kmeans missing for a clustered expansion")
+	}
+	if len(ex.KMeans.Restarts) == 0 {
+		t.Error("explain.kmeans.restarts is empty")
+	}
+	var won int
+	for _, r := range ex.KMeans.Restarts {
+		if r.Won {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("explain.kmeans: %d restarts won, want exactly 1", won)
+	}
+	if len(ex.Clusters) != len(resp.Queries) {
+		t.Fatalf("explain has %d clusters, response has %d queries",
+			len(ex.Clusters), len(resp.Queries))
+	}
+	for i, c := range ex.Clusters {
+		if c.Cluster != i {
+			t.Errorf("cluster %d: ordinal %d", i, c.Cluster)
+		}
+		if len(c.Pool) == 0 {
+			t.Errorf("cluster %d: empty candidate pool", i)
+		}
+	}
+}

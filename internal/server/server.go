@@ -46,6 +46,7 @@ import (
 type Engine interface {
 	Search(raw string, topK int) []qec.Result
 	ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error)
+	ExpandExplained(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, *qec.Explain, error)
 	Len() int
 	CacheStats() qec.CacheStats
 }
@@ -80,6 +81,11 @@ type Options struct {
 	// SlowLog, when non-nil, receives the slow-query lines. When nil and
 	// AccessLog is set, slow breakdowns ride inline on the access line.
 	SlowLog io.Writer
+	// FlightCapacity sizes the flight recorder's main ring of completed
+	// request records (GET /debug/requests). Default 256; the notable ring
+	// (slow/error/aborted requests, exempt from sampling and fast-traffic
+	// eviction) holds a quarter of it.
+	FlightCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +100,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.FlightCapacity <= 0 {
+		o.FlightCapacity = 256
 	}
 	return o
 }
@@ -117,6 +126,15 @@ type Server struct {
 	queued     obs.Gauge
 	searchHist obs.Histogram
 	expandHist [qec.NumQualities]obs.Histogram
+
+	// flight retains completed request records for /debug/requests; active
+	// tracks in-flight requests; rates derives windowed QPS/error-rate from
+	// periodic counter snapshots (ticked lazily by reads and by Serve's
+	// background ticker).
+	flight       *obs.FlightRecorder
+	active       *obs.ActiveSet
+	rates        *obs.RateWindow
+	lastRateTick atomic.Int64 // UnixNano of the newest rate sample
 
 	accessLog *jsonLogger
 	slowLog   *jsonLogger
@@ -142,12 +160,18 @@ func New(eng Engine, opts Options) *Server {
 	s.workers = make(chan struct{}, s.opts.MaxConcurrent)
 	s.accessLog = newJSONLogger(s.opts.AccessLog)
 	s.slowLog = newJSONLogger(s.opts.SlowLog)
+	s.flight = obs.NewFlightRecorder(s.opts.FlightCapacity, (s.opts.FlightCapacity+3)/4)
+	s.active = obs.NewActiveSet(2 * s.opts.MaxConcurrent)
+	s.rates = obs.NewRateWindow(rateWindowSamples, numRateCounters)
+	s.lastRateTick.Store(time.Now().UnixNano())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/expand", s.handleExpand)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/requests/", s.handleDebugRequest)
 	return s
 }
 
@@ -174,6 +198,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	// Background rate sampling, so windowed QPS stays fresh even when
+	// nothing scrapes /stats (reads also tick lazily — see maybeTickRates).
+	tickerDone := make(chan struct{})
+	defer close(tickerDone)
+	go func() {
+		t := time.NewTicker(rateTickInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.maybeTickRates()
+			case <-tickerDone:
+				return
+			}
+		}
+	}()
 	select {
 	case err := <-errc:
 		return err
@@ -239,6 +279,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Expand:  summarize(expandAll),
 			Quality: quality,
 		},
+		Rates: s.rateStats(),
 	}
 	if em, ok := s.eng.(engineMetrics); ok {
 		m := em.Metrics()
@@ -275,9 +316,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "query is required")
 		return
 	}
-	traceID := obs.NextTraceID()
+	traceID := s.requestTraceID(r)
 	w.Header().Set("X-Trace-Id", obs.IDString(traceID))
 	start := time.Now()
+	token := s.active.Begin(&obs.ActiveRequest{
+		TraceID: traceID, Endpoint: "search", Query: req.Query, Start: start,
+	})
+	defer s.active.End(token)
 	results := s.eng.Search(req.Query, req.TopK)
 	resp := SearchResponse{
 		Count:  len(results),
@@ -297,13 +342,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 	took := time.Since(start)
 	s.searchHist.Observe(took)
-	s.logRequest(&accessEntry{
+	entry := accessEntry{
 		trace:    traceID,
 		endpoint: "search",
 		query:    req.Query,
 		status:   http.StatusOK,
 		took:     took,
-	})
+	}
+	s.logRequest(&entry)
+	s.recordFlight(&entry, start, nil)
 }
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
@@ -326,7 +373,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	traceID := obs.NextTraceID()
+	traceID := s.requestTraceID(r)
 	w.Header().Set("X-Trace-Id", obs.IDString(traceID))
 	qi := qec.QualityIndex(opts.Quality)
 	entry := accessEntry{
@@ -337,6 +384,10 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		quality:  qec.QualityLabel(qi),
 	}
 	start := time.Now()
+	token := s.active.Begin(&obs.ActiveRequest{
+		TraceID: traceID, Endpoint: "expand", Query: req.Query, Start: start,
+	})
+	defer s.active.End(token)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
@@ -361,11 +412,13 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		}
 		entry.took = time.Since(start)
 		s.logRequest(&entry)
+		s.recordFlight(&entry, start, nil)
 		return
 	}
 
 	type outcome struct {
 		exp *qec.Expansion
+		ex  *qec.Explain
 		err error
 	}
 	tr := obs.GetTrace()
@@ -381,8 +434,13 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			s.inFlight.Dec()
 			<-s.workers
 		}()
-		exp, err := s.eng.ExpandTraced(req.Query, opts, tr)
-		done <- outcome{exp, err}
+		var out outcome
+		if req.Explain {
+			out.exp, out.ex, out.err = s.eng.ExpandExplained(req.Query, opts, tr)
+		} else {
+			out.exp, out.err = s.eng.ExpandTraced(req.Query, opts, tr)
+		}
+		done <- out
 	}()
 
 	select {
@@ -418,10 +476,12 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			if req.Debug {
 				resp.Debug = newExpandDebug(tr)
 			}
+			resp.Explain = out.ex
 			s.writeJSON(w, http.StatusOK, resp)
 			entry.status = http.StatusOK
 		}
 		s.logRequest(&entry)
+		s.recordFlight(&entry, start, tr)
 		entry.tr = nil
 		obs.PutTrace(tr)
 	case <-ctx.Done():
@@ -440,7 +500,183 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			entry.status = http.StatusGatewayTimeout
 		}
 		s.logRequest(&entry)
+		// tr is still owned by the worker goroutine on this path, so the
+		// flight record carries no stage spans.
+		s.recordFlight(&entry, start, nil)
 	}
+}
+
+// --- request introspection ---------------------------------------------------
+
+// requestTraceID honours a valid inbound X-Trace-Id header (16 hex digits —
+// upstream proxies propagate their own IDs through it) and otherwise
+// generates a fresh ID.
+func (s *Server) requestTraceID(r *http.Request) uint64 {
+	if h := r.Header.Get("X-Trace-Id"); h != "" {
+		if id, ok := obs.ParseID(h); ok && id != 0 {
+			return id
+		}
+	}
+	return obs.NextTraceID()
+}
+
+// outcomeFor maps the terminal HTTP status onto the flight recorder's coarse
+// outcome buckets.
+func outcomeFor(status int) obs.Outcome {
+	switch {
+	case status == http.StatusGatewayTimeout:
+		return obs.OutcomeTimeout
+	case status == statusClientClosedRequest:
+		return obs.OutcomeCanceled
+	case status == http.StatusServiceUnavailable:
+		return obs.OutcomeRejected
+	case status >= 400:
+		return obs.OutcomeError
+	default:
+		return obs.OutcomeOK
+	}
+}
+
+// recordFlight hands one completed request to the flight recorder. Slow and
+// non-OK requests are notable: exempt from sampling and retained in the
+// dedicated notable ring. tr may be nil (search requests, timed-out
+// expansions whose trace is still owned by the worker goroutine).
+func (s *Server) recordFlight(e *accessEntry, start time.Time, tr *obs.Trace) {
+	rec := &obs.RequestRecord{
+		TraceID:  e.trace,
+		Endpoint: e.endpoint,
+		Query:    e.query,
+		Method:   e.method,
+		Quality:  e.quality,
+		Status:   e.status,
+		Outcome:  outcomeFor(e.status),
+		Start:    start,
+		Took:     e.took,
+	}
+	rec.FromTrace(tr)
+	rec.TraceID = e.trace
+	notable := rec.Outcome != obs.OutcomeOK ||
+		(s.opts.SlowQuery > 0 && e.took >= s.opts.SlowQuery)
+	s.flight.Record(rec, notable)
+}
+
+// DumpActive writes a snapshot of in-flight requests to the access log (the
+// slow log when no access log is configured) — the SIGQUIT-style "what is
+// this server doing right now" dump; qec-serve wires it to SIGUSR1. Returns
+// the number of requests dumped.
+func (s *Server) DumpActive() int {
+	reqs := s.active.Snapshot()
+	dst := s.accessLog
+	if dst == nil {
+		dst = s.slowLog
+	}
+	now := time.Now()
+	dst.log(func(b []byte) []byte {
+		b = append(b, `{"ts":"`...)
+		b = now.AppendFormat(b, time.RFC3339Nano)
+		b = append(b, `","dump":"active","count":`...)
+		b = strconv.AppendInt(b, int64(len(reqs)), 10)
+		b = append(b, `,"requests":[`...)
+		for i, req := range reqs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"trace":"`...)
+			b = obs.AppendID(b, req.TraceID)
+			b = append(b, `","endpoint":`...)
+			b = appendJSONString(b, req.Endpoint)
+			b = append(b, `,"query":`...)
+			b = appendJSONString(b, req.Query)
+			b = append(b, `,"age_ms":`...)
+			b = appendJSONFloat(b, float64(now.Sub(req.Start).Microseconds())/1000)
+			b = append(b, '}')
+		}
+		return append(b, ']', '}')
+	})
+	return len(reqs)
+}
+
+// --- windowed rates -----------------------------------------------------------
+
+// Rate-window counter and gauge layout. The window stores periodic snapshots
+// of these; /stats and /metrics derive 1m/5m rates from them.
+const (
+	rcTotal = iota
+	rcErrors
+	rcTimeouts
+	rcRejected
+	rcCanceled
+	rcKMeansRestarts
+	rcKMeansAbandoned
+	numRateCounters
+)
+
+const (
+	rgInFlight = iota
+	rgQueued
+	numRateGauges
+)
+
+// rateTickInterval is the sampling period; rateWindowSamples at that period
+// spans comfortably more than the longest (5m) reported window.
+const (
+	rateTickInterval  = 10 * time.Second
+	rateWindowSamples = 40
+)
+
+// rateSample snapshots the counters the rate window tracks.
+func (s *Server) rateSample(now time.Time) obs.WindowSample {
+	c := make([]uint64, numRateCounters)
+	c[rcTotal] = uint64(s.total.Load())
+	c[rcErrors] = uint64(s.errcount.Load())
+	c[rcTimeouts] = uint64(s.timeouts.Load())
+	c[rcRejected] = uint64(s.rejects.Load())
+	c[rcCanceled] = uint64(s.canceled.Load())
+	if em, ok := s.eng.(engineMetrics); ok {
+		m := em.Metrics()
+		c[rcKMeansRestarts] = m.KMeansRestarts.Load()
+		c[rcKMeansAbandoned] = m.AbandonedRestarts.Load()
+	}
+	g := make([]int64, numRateGauges)
+	g[rgInFlight] = s.inFlight.Load()
+	g[rgQueued] = s.queued.Load()
+	return obs.WindowSample{At: now, Counters: c, Gauges: g}
+}
+
+// maybeTickRates appends a rate sample when the newest one is at least a tick
+// old. Reads (/stats, /metrics) call it so windows stay fresh under test
+// harnesses and curl without Serve's background ticker; the CAS keeps
+// concurrent callers from double-sampling.
+func (s *Server) maybeTickRates() {
+	now := time.Now()
+	last := s.lastRateTick.Load()
+	if now.UnixNano()-last < int64(rateTickInterval) {
+		return
+	}
+	if !s.lastRateTick.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	s.rates.Tick(s.rateSample(now))
+}
+
+// rateStats derives the windowed rates for /stats and /metrics.
+func (s *Server) rateStats() RateStats {
+	s.maybeTickRates()
+	now := time.Now()
+	cur := s.rateSample(now)
+	const m1, m5 = time.Minute, 5 * time.Minute
+	rs := RateStats{
+		QPS1M:         s.rates.Rate(now, m1, rcTotal, cur.Counters[rcTotal]),
+		QPS5M:         s.rates.Rate(now, m5, rcTotal, cur.Counters[rcTotal]),
+		ErrorRate1M:   s.rates.Ratio(now, m1, rcErrors, rcTotal, cur.Counters[rcErrors], cur.Counters[rcTotal]),
+		ErrorRate5M:   s.rates.Ratio(now, m5, rcErrors, rcTotal, cur.Counters[rcErrors], cur.Counters[rcTotal]),
+		AbandonRate1M: s.rates.Ratio(now, m1, rcKMeansAbandoned, rcKMeansRestarts, cur.Counters[rcKMeansAbandoned], cur.Counters[rcKMeansRestarts]),
+	}
+	if mean, max, ok := s.rates.GaugeTrend(now, m1, rgQueued); ok {
+		rs.QueueMean1M = mean
+		rs.QueueMax1M = max
+	}
+	return rs
 }
 
 // --- plumbing ---------------------------------------------------------------

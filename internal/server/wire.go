@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	qec "repro"
 	"repro/internal/obs"
@@ -57,6 +58,13 @@ type ExpandRequest struct {
 	// section): trace ID, cache disposition, stage spans and k-means restart
 	// counts. Costs nothing when false.
 	Debug bool `json:"debug,omitempty"`
+	// Explain asks for the full decision trail in the response ("explain"
+	// section): pruning counters, k-means restart fates, per-cluster
+	// candidate pools with benefit/cost/value, picked keywords and what every
+	// rejected alternative scored. Explain requests bypass the expansion
+	// cache (the pipeline is deterministic, so the expansion itself is
+	// bit-identical either way). Costs nothing when false.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Options converts the wire request into qec.ExpandOptions. def is the
@@ -106,6 +114,9 @@ type ExpandResponse struct {
 	// Debug carries the per-stage timing breakdown when the request set
 	// "debug": true; omitted otherwise.
 	Debug *ExpandDebug `json:"debug,omitempty"`
+	// Explain carries the full decision trail when the request set
+	// "explain": true; omitted otherwise.
+	Explain *qec.Explain `json:"explain,omitempty"`
 }
 
 // StageTiming is one pipeline stage's wall time within a traced expansion.
@@ -263,6 +274,27 @@ type WorkerStats struct {
 	Queued   int64 `json:"queued"`
 }
 
+// RateStats reports windowed rates derived from the server's periodic
+// counter snapshots — the derivative signals a point-in-time counter scrape
+// cannot give. Windows shorter than the server's uptime fall back to "since
+// start".
+type RateStats struct {
+	// QPS1M / QPS5M are requests per second over the trailing 1/5 minutes.
+	QPS1M float64 `json:"qps_1m"`
+	QPS5M float64 `json:"qps_5m"`
+	// ErrorRate1M / ErrorRate5M are non-2xx responses per request over the
+	// same windows.
+	ErrorRate1M float64 `json:"error_rate_1m"`
+	ErrorRate5M float64 `json:"error_rate_5m"`
+	// AbandonRate1M is k-means restarts abandoned per restart launched over
+	// the last minute (serving-quality early abandonment).
+	AbandonRate1M float64 `json:"abandon_rate_1m"`
+	// QueueMean1M / QueueMax1M summarize the worker-queue depth across the
+	// last minute's samples.
+	QueueMean1M float64 `json:"queue_mean_1m"`
+	QueueMax1M  int64   `json:"queue_max_1m"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -272,6 +304,55 @@ type StatsResponse struct {
 	Workers       WorkerStats  `json:"workers"`
 	Latency       LatencyStats `json:"latency"`
 	KMeans        KMeansStats  `json:"kmeans"`
+	Rates         RateStats    `json:"rates"`
+}
+
+// FlightRecordWire is one retained request record of GET /debug/requests.
+type FlightRecordWire struct {
+	Trace    string    `json:"trace"`
+	Endpoint string    `json:"endpoint"`
+	Query    string    `json:"query"`
+	Method   string    `json:"method,omitempty"`
+	Quality  string    `json:"quality,omitempty"`
+	Status   int       `json:"status"`
+	Outcome  string    `json:"outcome"`
+	Cache    string    `json:"cache,omitempty"`
+	Start    time.Time `json:"start"`
+	TookMS   float64   `json:"took_ms"`
+	// Notable marks slow/error/aborted records, which are exempt from
+	// sampling and fast-traffic eviction.
+	Notable bool `json:"notable,omitempty"`
+	// Stages is the per-stage pipeline breakdown (absent for /search and
+	// cache hits); KMeans the clustering bookkeeping when the pipeline ran.
+	Stages []StageTiming `json:"stages,omitempty"`
+	KMeans *KMeansDebug  `json:"kmeans,omitempty"`
+}
+
+// ActiveRequestWire is one in-flight request of GET /debug/requests.
+type ActiveRequestWire struct {
+	Trace    string  `json:"trace"`
+	Endpoint string  `json:"endpoint"`
+	Query    string  `json:"query"`
+	AgeMS    float64 `json:"age_ms"`
+}
+
+// SamplingStats reports the flight recorder's admission bookkeeping.
+type SamplingStats struct {
+	// Recorded counts records admitted to the main ring; Dropped counts
+	// plain records shed by adaptive sampling; Shift is the current
+	// decimation (1 in 2^shift plain records admitted).
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+	Shift    int    `json:"shift"`
+}
+
+// DebugRequestsResponse is the body of GET /debug/requests.
+type DebugRequestsResponse struct {
+	// Count is len(Records) after filtering; Records are newest first.
+	Count    int                 `json:"count"`
+	Records  []FlightRecordWire  `json:"records"`
+	Active   []ActiveRequestWire `json:"active,omitempty"`
+	Sampling SamplingStats       `json:"sampling"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

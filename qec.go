@@ -442,6 +442,16 @@ func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
 // on them, so instrumented output is bit-identical to uninstrumented
 // (pinned by TestInstrumentationBitIdentity and the expansion goldens).
 func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
+	return e.expandFull(raw, opts, tr, nil)
+}
+
+// expandFull is expand with an optional EXPLAIN collector. ex == nil is the
+// hot path — no collector state is touched, no extra allocations happen
+// (pinned by BenchmarkExplainOff's benchdiff gate). With ex attached, the
+// same code runs the same arithmetic and only records what it sees; the
+// decision-trail legs are filled by the search layer (PruneStats), the
+// clustering driver (cluster.Trail) and the solvers (core.Trail).
+func (e *Engine) expandFull(raw string, opts ExpandOptions, tr *obs.Trace, ex *Explain) (*Expansion, error) {
 	e.computations.Add(1)
 	e.Build()
 	backend, slot, err := e.backendFor(opts)
@@ -465,11 +475,27 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 		return nil, ErrEmptyQuery
 	}
 
+	// SearchPruned with a nil collector is exactly Search; with one, the
+	// results are bit-identical and the pruning counters are recorded.
+	var prune *search.PruneStats
+	if ex != nil {
+		prune = &search.PruneStats{}
+	}
 	tr.Begin(obs.StageSearch)
-	results := e.eng.Search(q, search.And, opts.TopK)
+	results := e.eng.SearchPruned(q, search.And, opts.TopK, prune)
 	tr.End(obs.StageSearch)
 	if len(results) == 0 {
 		return nil, fmt.Errorf("%w for %q", ErrNoResults, raw)
+	}
+	if ex != nil {
+		ex.Query = q.Terms
+		ex.Method = e.methodLeg(opts)
+		ex.Quality = QualityLabel(QualityIndex(opts.Quality))
+		ex.Results = len(results)
+		ex.Search = explainSearch(opts.TopK, prune)
+		if !prune.Pruned {
+			ex.Notes = append(ex.Notes, "retrieval ran the full-scan path (no top-k bound); pruning counters are zero")
+		}
 	}
 
 	out, err := backend.Expand(ExpandInput{
@@ -479,9 +505,14 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 		Opts:    opts,
 		Seed:    e.seed,
 		trace:   tr,
+		explain: ex,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if ex != nil && ex.KMeans == nil && len(ex.Clusters) == 0 {
+		ex.Notes = append(ex.Notes,
+			"backend \""+backend.Name()+"\" does not expose a clustering/solver decision trail")
 	}
 
 	e.metrics.observe(opts, slot, tr, time.Since(start))
@@ -518,12 +549,19 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		core.DefaultPoolOptions())
 	tr.End(obs.StageProblem)
 
-	tr.Begin(obs.StageCluster)
-	cl := cluster.KMeansVecs(e.idx.NumTerms(), u.Vectors(), u.Docs(), cluster.Options{
+	copts := cluster.Options{
 		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5, Quality: opts.Quality,
-	})
+	}
+	if in.explain != nil {
+		copts.Trail = &cluster.Trail{}
+	}
+	tr.Begin(obs.StageCluster)
+	cl := cluster.KMeansVecs(e.idx.NumTerms(), u.Vectors(), u.Docs(), copts)
 	tr.End(obs.StageCluster)
 	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
+	if in.explain != nil {
+		in.explain.KMeans = explainKMeans(k, cl, copts.Trail)
+	}
 
 	// The core algorithm follows c.method — the dispatch identity, which
 	// backendFor resolved from Method or MethodName — never opts.Method,
@@ -541,6 +579,7 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 	}
 
 	var res *core.QECResult
+	var problems []*core.Problem
 	if opts.Interleave > 0 {
 		// Interleave alternates solving and re-clustering internally; its
 		// rounds are accounted wholly to the solve stage.
@@ -548,12 +587,23 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave, Universe: u}
 		res = it.Run(e.idx, q, cl, weights).Result
 		tr.End(obs.StageSolve)
+		if in.explain != nil {
+			in.explain.Notes = append(in.explain.Notes,
+				"interleave rounds rebuild problems internally; per-cluster solver trails are not collected")
+		}
 	} else {
 		// Problem construction continues the "problem" span started for the
 		// universe above; End accumulates across the two intervals.
 		tr.Begin(obs.StageProblem)
-		problems := u.Problems(cl.Sets())
+		problems = u.Problems(cl.Sets())
 		tr.End(obs.StageProblem)
+		if in.explain != nil {
+			// Attach a decision trail per problem. Recording is read-along
+			// only (see core.Trail), so the solve below stays bit-identical.
+			for _, p := range problems {
+				p.Trail = &core.Trail{}
+			}
+		}
 		// Solve fans per-cluster work across the process-wide worker budget
 		// (serial under contention), so the Parallel flag needs no branch.
 		tr.Begin(obs.StageSolve)
@@ -577,5 +627,57 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		})
 	}
 	tr.End(obs.StageAssemble)
+	if in.explain != nil {
+		c.explainClusters(in.explain, out, cl, res, problems)
+	}
 	return out, nil
+}
+
+// explainClusters fills the per-cluster solver leg of an Explain from the
+// solve's decision trails. It runs after the Expansion has been assembled,
+// so the extra F-measure evaluations it performs (candidate-pool F-if-added
+// lines) cannot influence the returned result.
+func (c clusteredExpander) explainClusters(ex *Explain, out *Expansion,
+	cl *cluster.Clustering, res *core.QECResult, problems []*core.Problem) {
+
+	for i, ce := range res.Expansions {
+		cx := ClusterExplain{
+			Cluster: i,
+			Label:   ce.Expanded.Query.Terms,
+			F:       ce.Expanded.PRF.F,
+		}
+		if i < len(cl.Clusters) {
+			cx.Size = len(cl.Clusters[i])
+		}
+		if problems != nil && i < len(problems) && problems[i].Trail != nil {
+			p, trail := problems[i], problems[i].Trail
+			cx.Pool = keywordExplainTable(p, p.UserQuery, trail.Pool)
+			cx.Rejected = keywordExplainTable(p, ce.Expanded.Query, trail.Rejected)
+			// Picked: the final query's terms beyond the seed query, each
+			// with its initial candidate line from the pool table.
+			for _, term := range ce.Expanded.Query.Terms {
+				if p.UserQuery.Contains(term) {
+					continue
+				}
+				picked := KeywordExplain{Keyword: term, F: ce.Expanded.PRF.F}
+				for _, row := range cx.Pool {
+					if row.Keyword == term {
+						picked = row
+						break
+					}
+				}
+				cx.Picked = append(cx.Picked, picked)
+			}
+			for _, s := range trail.Steps {
+				v, inf := finiteValue(s.Value)
+				cx.Steps = append(cx.Steps, StepExplain{
+					Op: s.Op, Keyword: s.Keyword, Value: v, Infinite: inf, F: s.F,
+				})
+			}
+			for _, s := range trail.Samples {
+				cx.Samples = append(cx.Samples, SampleExplain{X: s.X, Terms: s.Terms, F: s.F})
+			}
+		}
+		ex.Clusters = append(ex.Clusters, cx)
+	}
 }
