@@ -7,6 +7,7 @@ package qec
 // timing and the quality side of every figure.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -497,7 +498,7 @@ func BenchmarkColdExpansionInstrumented(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Reset()
-		if _, err := e.ExpandTraced("java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
+		if _, err := e.ExpandTraced(context.Background(), "java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -522,7 +523,7 @@ func BenchmarkExplainOff(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Reset()
-		if _, err := e.ExpandTraced("java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
+		if _, err := e.ExpandTraced(context.Background(), "java", ExpandOptions{K: 3, TopK: 0}, tr); err != nil {
 			b.Fatal(err)
 		}
 	}

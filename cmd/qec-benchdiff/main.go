@@ -137,10 +137,10 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
 		threshold    = flag.Float64("threshold", 0.20, "default relative ns/op regression that fails the gate")
 		gate         = flag.String("gate",
-			"ColdExpansionInstrumented=0.05,ExplainOff=0.05,ColdExpansion,ExpandServingCold,ExpandServingCached=0.35,AblationPEBC=0.30,Figure7Scalability=0.30,Figure1IndividualScores=0.30,TermDictLookup=0.50,PostingsIter=0.30,PoolScoring=0.30,Figure6aShoppingTimeFMeasure=0.05,Figure6bWikipediaTimeFMeasure=0.05,KMeansFull=0.30,KMeansDenseAssign=0.30,KMeansServingMode=0.30,SearchTopKDeep=0.30,SearchOrMerge=0.30",
+			"AdmissionDecision=1.0,ColdExpansionInstrumented=0.05,ExplainOff=0.05,ColdExpansion,ExpandServingCold,ExpandServingCached=0.35,AblationPEBC=0.30,Figure7Scalability=0.30,Figure1IndividualScores=0.30,TermDictLookup=0.50,PostingsIter=0.30,PoolScoring=0.30,Figure6aShoppingTimeFMeasure=0.05,Figure6bWikipediaTimeFMeasure=0.05,KMeansFull=0.30,KMeansDenseAssign=0.30,KMeansServingMode=0.30,SearchTopKDeep=0.30,SearchOrMerge=0.30",
 			"comma-separated gate entries: regexp[=threshold]; every entry must match a benchmark in the bench output")
 		allocGate = flag.String("alloc-gate",
-			"ColdExpansionInstrumented=0.0,ExplainOff=0.0,ObsOverhead=0.0,ColdExpansion,ExpandServing,AblationPEBC,Figure6,EngineExpandEndToEnd,PoolScoring,KMeansDenseAssign,KMeansServingMode,WireSearch,WireExpandCached,SearchTopKDeep=0.0,SearchOrMerge=0.0",
+			"AdmissionDecision=0.0,ColdExpansionInstrumented=0.0,ExplainOff=0.0,ObsOverhead=0.0,ColdExpansion,ExpandServing,AblationPEBC,Figure6,EngineExpandEndToEnd,PoolScoring,KMeansDenseAssign,KMeansServingMode,WireSearch,WireExpandCached,SearchTopKDeep=0.0,SearchOrMerge=0.0",
 			"comma-separated gate entries for allocs/op regressions (requires -benchmem output)")
 		allocThreshold = flag.Float64("alloc-threshold", 0.30, "default relative allocs/op regression that fails the gate")
 		update         = flag.Bool("update", false, "rewrite the baseline from the bench file and exit")

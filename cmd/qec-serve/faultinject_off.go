@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+package main
+
+import "repro/internal/server"
+
+// wrapEngine is the no-op default: fault injection compiles out of normal
+// builds entirely. Build with -tags faultinject to get the QEC_FAULTS hook.
+func wrapEngine(eng server.Engine) server.Engine { return eng }

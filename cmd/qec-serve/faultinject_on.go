@@ -1,0 +1,71 @@
+//go:build faultinject
+
+package main
+
+import (
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+)
+
+// wrapEngine (faultinject builds only) reads a fault plan from QEC_FAULTS
+// and wraps the engine with deterministic injectors — a chaos-drill switch
+// for staging, never compiled into release binaries.
+//
+// QEC_FAULTS is comma-separated key=value pairs:
+//
+//	stall=N     stall every Nth expand until its deadline
+//	cancel=N    run every Nth expand with a cancelled context
+//	latency=N   add a latency spike to every Nth expand
+//	spike=DUR   the spike duration (default 50ms), e.g. spike=200ms
+//	poison=N    flip a byte in a copy of every Nth expand's response
+//
+// Example:
+//
+//	QEC_FAULTS=latency=5,spike=200ms,stall=97 qec-serve -dataset wikipedia
+func wrapEngine(eng server.Engine) server.Engine {
+	spec := os.Getenv("QEC_FAULTS")
+	if spec == "" {
+		log.Print("faultinject build: QEC_FAULTS unset, no faults active")
+		return eng
+	}
+	var plan faultinject.Plan
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			log.Fatalf("QEC_FAULTS: bad entry %q (want key=value)", kv)
+		}
+		switch key {
+		case "stall", "cancel", "latency", "poison":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				log.Fatalf("QEC_FAULTS: bad %s=%q", key, val)
+			}
+			switch key {
+			case "stall":
+				plan.StallEvery = n
+			case "cancel":
+				plan.CancelEvery = n
+			case "latency":
+				plan.LatencyEvery = n
+			case "poison":
+				plan.PoisonEvery = n
+			}
+		case "spike":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				log.Fatalf("QEC_FAULTS: bad spike=%q", val)
+			}
+			plan.Latency = d
+		default:
+			log.Fatalf("QEC_FAULTS: unknown key %q", key)
+		}
+	}
+	log.Printf("faultinject build: plan %+v", plan)
+	return faultinject.Wrap(eng, plan)
+}

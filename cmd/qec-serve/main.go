@@ -51,7 +51,16 @@
 // the pipeline's full decision trail inline (see docs/OBSERVABILITY.md).
 // SIGUSR1 dumps the in-flight request registry to the access log.
 //
-// The server drains gracefully on SIGINT/SIGTERM.
+// Under saturation the server degrades quality before availability: an
+// adaptive controller (on by default; -degrade=false disables) walks a
+// five-tier ladder — forced serving quality, capped restarts, cache-only,
+// and only then shedding with 503 + Retry-After. -degrade-max-tier clamps
+// the ladder (3 forbids shedding); SIGUSR2 logs the controller snapshot.
+// See docs/DEGRADATION.md. Building with -tags faultinject adds the
+// QEC_FAULTS chaos hook for drills.
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests run
+// to completion, later arrivals get a retryable 503.
 package main
 
 import (
@@ -92,6 +101,8 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "separate net/http/pprof debug listener address (empty disables)")
 		accessLog  = flag.String("access-log", "", `JSON-lines access log: "stderr", "stdout" or a file path (empty disables)`)
 		slowMS     = flag.Int("slow-query-ms", 0, "log requests at or above this latency with their per-stage breakdown (0 disables)")
+		degrade    = flag.Bool("degrade", true, "enable the adaptive degradation controller (see docs/DEGRADATION.md)")
+		degradeMax = flag.Int("degrade-max-tier", 4, "highest degradation tier the controller may reach (1-4; 3 forbids shedding)")
 	)
 	flag.Parse()
 
@@ -165,7 +176,7 @@ func main() {
 		// access log was configured.
 		slowW = os.Stderr
 	}
-	srv := server.New(eng, server.Options{
+	srv := server.New(wrapEngine(eng), server.Options{
 		RequestTimeout: *timeout,
 		MaxConcurrent:  *workers,
 		DefaultQuality: defQuality,
@@ -173,6 +184,8 @@ func main() {
 		SlowQuery:      time.Duration(*slowMS) * time.Millisecond,
 		SlowLog:        slowW,
 		FlightCapacity: *flightCap,
+		Degrade:        *degrade,
+		DegradeMaxTier: *degradeMax,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -186,6 +199,22 @@ func main() {
 		for range usr1 {
 			n := srv.DumpActive()
 			log.Printf("SIGUSR1: dumped %d active request(s)", n)
+		}
+	}()
+
+	// SIGUSR2 dumps the degradation controller's snapshot — current tier,
+	// pressure and transition count — for an operator deciding whether the
+	// server is degraded because of load or stuck because of a bug.
+	usr2 := make(chan os.Signal, 1)
+	signal.Notify(usr2, syscall.SIGUSR2)
+	go func() {
+		for range usr2 {
+			if snap, ok := srv.DegradeSnapshot(); ok {
+				log.Printf("SIGUSR2: degrade tier=%s pressure=%.3f steps=%d transitions=%d",
+					snap.Tier, snap.Pressure, snap.Steps, snap.Transitions)
+			} else {
+				log.Print("SIGUSR2: degradation controller disabled (-degrade=false)")
+			}
 		}
 	}()
 	log.Printf("serving on %s (cache %d entries, timeout %v, quality %s)",

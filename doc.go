@@ -158,6 +158,19 @@
 // "quality" ("exact"/"serving") onto it, with qec-serve -quality supplying
 // the fleet default.
 //
+// The degradation ladder (internal/degrade, docs/DEGRADATION.md) composes
+// these contracts rather than weakening them. ExpandOptions.RestartBudget
+// and AggressiveAbandon — the knobs tiers T2+ apply — join Quality in the
+// cache key, and every (quality, budget, abandon) triple is its own
+// deterministic pipeline: a fixed seed yields bit-identical output for a
+// given triple on every run and worker count. RestartBudget only ever
+// lowers the restart count, so a budgeted run picks its winner from a
+// prefix of the identical lockstep restarts; aggressive abandonment
+// tightens the serving-mode abandonment threshold, which stays a pure
+// function of round counts. The per-tier bit-identity leg is pinned at the
+// cluster layer by the tier goldens in internal/cluster and at the wire by
+// TestDegradationLadder's per-tier response goldens.
+//
 // The expansion core works in a problem-local dense ID space: universe
 // documents map to 0..n-1 in ascending DocID order, pool keywords intern to
 // int32 IDs in lexicographic order, and keyword→document incidence is

@@ -1,6 +1,7 @@
 package qec
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -53,6 +54,11 @@ type ExpandInput struct {
 	// Seed is the engine's deterministic seed.
 	Seed int64
 
+	// ctx is the request's cancellation signal (never nil — the engine
+	// defaults it to context.Background). Backends may poll it at natural
+	// round boundaries to stop early; a run cut short must return an error,
+	// never a partial Expansion, so cancelled work is not cached.
+	ctx context.Context
 	// trace carries the per-request stage spans; built-in adapters record
 	// into it and custom backends are spanned by the engine.
 	trace *obs.Trace
@@ -60,6 +66,14 @@ type ExpandInput struct {
 	// it goes. Collection must be read-along only: the expansion returned
 	// with an explain attached must be bit-identical to one without.
 	explain *Explain
+}
+
+// Context returns the request's cancellation context (never nil).
+func (in ExpandInput) Context() context.Context {
+	if in.ctx != nil {
+		return in.ctx
+	}
+	return context.Background()
 }
 
 // SuggestionCount resolves Opts.K against its default (3).

@@ -1,6 +1,8 @@
 package qec
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -145,10 +147,10 @@ type SampleExplain struct {
 // cache is bypassed, because a cached result carries no trail; the pipeline
 // is deterministic, so the returned Expansion is bit-identical to what
 // Expand/ExpandTraced would return (and to what sits in the cache). tr may
-// be nil, exactly as in ExpandTraced.
-func (e *Engine) ExpandExplained(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, *Explain, error) {
+// be nil and ctx is honored at round boundaries, exactly as in ExpandTraced.
+func (e *Engine) ExpandExplained(ctx context.Context, raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, *Explain, error) {
 	ex := &Explain{}
-	exp, err := e.expandFull(raw, opts, tr, ex)
+	exp, err := e.expandFull(ctx, raw, opts, tr, ex)
 	if err != nil {
 		return nil, nil, err
 	}

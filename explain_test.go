@@ -1,6 +1,7 @@
 package qec
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -28,7 +29,7 @@ func TestExpandExplainedBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
-		got, ex, err := explained.ExpandExplained("apple", opts, nil)
+		got, ex, err := explained.ExpandExplained(context.Background(), "apple", opts, nil)
 		if err != nil {
 			t.Fatalf("%+v explained: %v", opts, err)
 		}
@@ -53,7 +54,7 @@ func TestExpandExplainedBitIdentical(t *testing.T) {
 // detail the endpoint promises.
 func TestExpandExplainedContent(t *testing.T) {
 	e := seedEngine(t)
-	exp, ex, err := e.ExpandExplained("apple", ExpandOptions{K: 2}, nil)
+	exp, ex, err := e.ExpandExplained(context.Background(), "apple", ExpandOptions{K: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestExpandExplainedContent(t *testing.T) {
 // partial-elimination probes.
 func TestExpandExplainedPEBCSamples(t *testing.T) {
 	e := seedEngine(t)
-	_, ex, err := e.ExpandExplained("apple", ExpandOptions{K: 2, Method: PEBC}, nil)
+	_, ex, err := e.ExpandExplained(context.Background(), "apple", ExpandOptions{K: 2, Method: PEBC}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestExpandExplainedPEBCSamples(t *testing.T) {
 // gracefully: cluster summaries without solver trails, plus a note.
 func TestExpandExplainedInterleaveNote(t *testing.T) {
 	e := seedEngine(t)
-	exp, ex, err := e.ExpandExplained("apple", ExpandOptions{K: 2, Interleave: 2}, nil)
+	exp, ex, err := e.ExpandExplained(context.Background(), "apple", ExpandOptions{K: 2, Interleave: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -66,6 +67,12 @@ const (
 // servingRestarts caps restarts in QualityServing mode.
 const servingRestarts = 2
 
+// aggressiveAbandonFactor is the Options.AggressiveAbandon threshold: a live
+// restart is abandoned once its running distortion exceeds this fraction of
+// the best completed restart's (plain abandonment requires strictly
+// exceeding the best itself, factor 1.0).
+const aggressiveAbandonFactor = 0.9
+
 // String names the quality mode ("exact" / "serving").
 func (q Quality) String() string {
 	if q == QualityServing {
@@ -96,6 +103,28 @@ type Options struct {
 	Restarts int
 	// Quality selects the speed/accuracy trade (default QualityExact).
 	Quality Quality
+	// RestartBudget, when positive, caps restarts after the quality mode's
+	// own cap — the degradation ladder's tier-2 knob (budget 1 runs a single
+	// restart). For a fixed (Quality, RestartBudget) pair the output is a
+	// pure function of the seed, exactly like the quality modes themselves
+	// (pinned by the per-tier golden cases); it never raises the restart
+	// count above Restarts.
+	RestartBudget int
+	// AggressiveAbandon tightens serving-mode early abandonment: a live
+	// restart is abandoned once its running distortion exceeds
+	// aggressiveAbandonFactor times the best completed restart's, instead of
+	// strictly exceeding it — trading a further deterministic accuracy delta
+	// for latency. No effect in QualityExact (abandonment is off there) or
+	// when only one restart runs.
+	AggressiveAbandon bool
+	// Ctx, when non-nil, is checked at lockstep round boundaries: once it is
+	// cancelled the driver stops stepping and returns immediately, so a
+	// disconnected client frees its worker mid-run instead of finishing a
+	// clustering nobody reads. The returned clustering is then partial —
+	// callers must check Ctx.Err() and discard it. Cancellation never
+	// changes the output of a run that completes: the check only ever stops
+	// work, it reorders none.
+	Ctx context.Context
 	// Trail, when non-nil, receives the per-restart decision record (seed,
 	// iterations, final distortion, abandoned, winner) after the drive
 	// completes — the EXPLAIN surface. Recording is post-hoc bookkeeping
@@ -257,6 +286,11 @@ func KMeansVecs(dim int, vecs []*Vector, docs []document.DocID, opts Options) *C
 			restarts = servingRestarts
 		}
 	}
+	// The degradation ladder's budget cap applies after the quality cap: a
+	// budget can only lower the restart count, never raise it.
+	if opts.RestartBudget > 0 && restarts > opts.RestartBudget {
+		restarts = opts.RestartBudget
+	}
 	// Early abandonment is a serving-mode trade: distortion under the
 	// mean-update/cosine iteration is not strictly monotone, so a restart
 	// that currently trails the best completed one can still end up winning —
@@ -288,9 +322,25 @@ func kmeansDrive(dim int, vecs []*Vector, docs []document.DocID, opts Options,
 		states[r] = newRunState(dim, vecs, ro, pruned)
 	})
 
+	// Aggressive abandonment (the ladder's tier-2 knob) abandons a trailing
+	// restart even before it exceeds the best completed distortion — at 90%
+	// of it — cutting more rounds at a further deterministic accuracy cost.
+	abandonAt := func(bestDone float64) float64 {
+		if opts.AggressiveAbandon {
+			return bestDone * aggressiveAbandonFactor
+		}
+		return bestDone
+	}
+
 	bestDone := math.Inf(1)
 	hasDone := false
 	for {
+		// Round boundary: a cancelled request stops the drive right here —
+		// between rounds, never inside one, so a run that finishes is
+		// bit-identical whether or not a context was attached.
+		if ctx := opts.Ctx; ctx != nil && ctx.Err() != nil {
+			break
+		}
 		var live []*runState
 		for _, st := range states {
 			if !st.done && !st.abandoned {
@@ -310,8 +360,9 @@ func kmeansDrive(dim int, vecs []*Vector, docs []document.DocID, opts Options,
 			}
 		}
 		if abandon && hasDone {
+			cut := abandonAt(bestDone)
 			for _, st := range states {
-				if !st.done && st.distortion > bestDone {
+				if !st.done && st.distortion > cut {
 					st.abandoned = true
 				}
 			}

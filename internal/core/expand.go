@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -143,15 +144,32 @@ func BuildProblems(idx *index.Index, userQuery search.Query, cl *cluster.Cluster
 // are independent subproblems); results are collected by cluster index, so
 // the output is bit-identical to a serial run for deterministic expanders.
 func Solve(expander Expander, problems []*Problem) *QECResult {
+	res, _ := SolveCtx(context.Background(), expander, problems)
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the context is checked before each
+// per-cluster Expand, so a disconnected client stops burning CPU at cluster
+// granularity instead of solving every remaining subproblem. On
+// cancellation it returns (nil, ctx.Err()) — partial results are never
+// surfaced, so a solve that completes is bit-identical whether or not a
+// context was attached (the check only skips work, it reorders none).
+func SolveCtx(ctx context.Context, expander Expander, problems []*Problem) (*QECResult, error) {
 	res := &QECResult{
 		Method:     expander.Name(),
 		Expansions: make([]ClusterExpansion, len(problems)),
 	}
 	ParallelFor(len(problems), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		res.Expansions[i] = ClusterExpansion{Cluster: i, Expanded: expander.Expand(problems[i])}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Score = eval.Score(res.FMeasures())
-	return res
+	return res, nil
 }
 
 // SolveParallel is retained for API compatibility: Solve itself now expands

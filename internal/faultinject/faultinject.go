@@ -1,0 +1,196 @@
+// Package faultinject wraps the serving layer's engine with deterministic
+// fault injectors, so the degradation ladder and the server's failure paths
+// can be exercised on purpose instead of waiting for production to do it.
+//
+// Every injector is counter-based: "every Nth expand" — never clock- or
+// randomness-based — so a failing soak run replays exactly. The wrapper
+// implements the same method set as server.Engine and is intended for tests
+// and for the build-tag-gated hook in qec-serve (-tags faultinject); it has
+// no place in a normal serving binary.
+//
+// Faults, in the order they are checked (first match wins per request):
+//
+//   - Stall: block until the request context is cancelled, then return its
+//     error. Exercises deadline handling and proves a stalled expansion
+//     cannot wedge a worker slot past its deadline.
+//   - Cancel: run the real pipeline with an already-cancelled context.
+//     Exercises the k-means round-boundary cancellation path end to end —
+//     the pipeline must return an error, never a partial expansion.
+//   - Latency: sleep a fixed spike before running the real pipeline.
+//     Drives queue depth and tail latency up so the controller climbs.
+//   - Poison: run the real pipeline, then flip one byte in the first term
+//     of a deep copy of the result. The engine's cache keeps the pristine
+//     original — callers comparing against goldens must catch the flip,
+//     proving response corruption cannot leak backwards into the cache.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	qec "repro"
+	"repro/internal/obs"
+)
+
+// Engine is the method set faultinject wraps — structurally identical to
+// server.Engine (declared here to keep this package importable from anywhere
+// without a dependency on the serving layer).
+type Engine interface {
+	Search(raw string, topK int) []qec.Result
+	ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error)
+	ExpandExplained(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, *qec.Explain, error)
+	ExpandCached(raw string, opts qec.ExpandOptions) (*qec.Expansion, bool)
+	Len() int
+	CacheStats() qec.CacheStats
+}
+
+// Plan says which expand requests get which fault. A zero field disables
+// that injector; Every-style fields fire on the Nth, 2Nth, ... expand call
+// (1-indexed, counting ExpandTraced and ExpandExplained together).
+type Plan struct {
+	// StallEvery blocks every Nth expand until its context is cancelled.
+	StallEvery int
+	// CancelEvery runs every Nth expand with an already-cancelled context.
+	CancelEvery int
+	// LatencyEvery sleeps Latency before every Nth expand.
+	LatencyEvery int
+	// Latency is the spike added by LatencyEvery (default 50ms when unset).
+	Latency time.Duration
+	// PoisonEvery flips a byte in a deep copy of every Nth expand's result.
+	PoisonEvery int
+}
+
+// Counts reports how many times each fault fired.
+type Counts struct {
+	Stalls, Cancels, Spikes, Poisons int64
+}
+
+// Injector wraps an Engine with a Plan. Safe for concurrent use.
+type Injector struct {
+	inner Engine
+	plan  Plan
+
+	calls   atomic.Int64
+	stalls  atomic.Int64
+	cancels atomic.Int64
+	spikes  atomic.Int64
+	poisons atomic.Int64
+}
+
+// Wrap returns an Injector applying plan on top of inner.
+func Wrap(inner Engine, plan Plan) *Injector {
+	if plan.Latency <= 0 {
+		plan.Latency = 50 * time.Millisecond
+	}
+	return &Injector{inner: inner, plan: plan}
+}
+
+// Counts returns how many faults of each kind have fired so far.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Stalls:  in.stalls.Load(),
+		Cancels: in.cancels.Load(),
+		Spikes:  in.spikes.Load(),
+		Poisons: in.poisons.Load(),
+	}
+}
+
+// hits reports whether 1-indexed call n is a multiple of every.
+func hits(n int64, every int) bool {
+	return every > 0 && n%int64(every) == 0
+}
+
+// fault decides this call's fate. It may block (stall), rewrite ctx
+// (cancel), or sleep (latency); poison is signalled back to the caller
+// because it applies after the pipeline runs.
+func (in *Injector) fault(ctx context.Context) (_ context.Context, poison bool, err error) {
+	n := in.calls.Add(1)
+	switch {
+	case hits(n, in.plan.StallEvery):
+		in.stalls.Add(1)
+		<-ctx.Done()
+		return ctx, false, ctx.Err()
+	case hits(n, in.plan.CancelEvery):
+		in.cancels.Add(1)
+		cancelled, cancel := context.WithCancel(ctx)
+		cancel()
+		return cancelled, false, nil
+	case hits(n, in.plan.LatencyEvery):
+		in.spikes.Add(1)
+		select {
+		case <-time.After(in.plan.Latency):
+		case <-ctx.Done():
+			return ctx, false, ctx.Err()
+		}
+	}
+	return ctx, hits(n, in.plan.PoisonEvery), nil
+}
+
+// poisonCopy deep-copies exp and flips the low bit of the first byte of the
+// first expanded term, leaving the original (and anything the engine cached)
+// untouched.
+func poisonCopy(exp *qec.Expansion) *qec.Expansion {
+	if exp == nil {
+		return nil
+	}
+	cp := *exp
+	cp.Original = append([]string(nil), exp.Original...)
+	cp.Queries = make([]qec.ExpandedQuery, len(exp.Queries))
+	for i, q := range exp.Queries {
+		cp.Queries[i] = q
+		cp.Queries[i].Terms = append([]string(nil), q.Terms...)
+	}
+	cp.Clusters = make([][]qec.DocID, len(exp.Clusters))
+	for i, c := range exp.Clusters {
+		cp.Clusters[i] = append([]qec.DocID(nil), c...)
+	}
+	for i := range cp.Queries {
+		if len(cp.Queries[i].Terms) == 0 || len(cp.Queries[i].Terms[0]) == 0 {
+			continue
+		}
+		b := []byte(cp.Queries[i].Terms[0])
+		b[0] ^= 0x01
+		cp.Queries[i].Terms[0] = string(b)
+		break
+	}
+	return &cp
+}
+
+func (in *Injector) Search(raw string, topK int) []qec.Result {
+	return in.inner.Search(raw, topK)
+}
+
+func (in *Injector) ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
+	ctx, poison, err := in.fault(ctx)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := in.inner.ExpandTraced(ctx, raw, opts, tr)
+	if err == nil && poison {
+		in.poisons.Add(1)
+		exp = poisonCopy(exp)
+	}
+	return exp, err
+}
+
+func (in *Injector) ExpandExplained(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, *qec.Explain, error) {
+	ctx, poison, err := in.fault(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	exp, ex, err := in.inner.ExpandExplained(ctx, raw, opts, tr)
+	if err == nil && poison {
+		in.poisons.Add(1)
+		exp = poisonCopy(exp)
+	}
+	return exp, ex, err
+}
+
+func (in *Injector) ExpandCached(raw string, opts qec.ExpandOptions) (*qec.Expansion, bool) {
+	return in.inner.ExpandCached(raw, opts)
+}
+
+func (in *Injector) Len() int { return in.inner.Len() }
+
+func (in *Injector) CacheStats() qec.CacheStats { return in.inner.CacheStats() }

@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	qec "repro"
+)
+
+func testEngine(t testing.TB) *qec.Engine {
+	t.Helper()
+	e := qec.NewEngine(qec.WithSeed(7), qec.WithExpansionCache(32))
+	fruit := []string{"orchard harvest", "pie cider", "tree juice", "crop farm"}
+	tech := []string{"iphone launch", "store retail", "laptop software", "stock shares"}
+	for i := 0; i < 4; i++ {
+		e.AddText(fmt.Sprintf("fruit-%d", i), "apple fruit "+fruit[i])
+		e.AddText(fmt.Sprintf("tech-%d", i), "apple company "+tech[i])
+	}
+	e.Build()
+	return e
+}
+
+// TestStallBlocksUntilCancel: a stalled expand returns the context's error
+// once the deadline fires, and never calls the inner pipeline.
+func TestStallBlocksUntilCancel(t *testing.T) {
+	eng := testEngine(t)
+	before := eng.CacheStats().Computations
+	in := Wrap(eng, Plan{StallEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	exp, err := in.ExpandTraced(ctx, "apple", qec.ExpandOptions{K: 2}, nil)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if exp != nil {
+		t.Fatal("stalled expand returned a result")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("stall returned before the deadline")
+	}
+	if got := eng.CacheStats().Computations; got != before {
+		t.Fatalf("inner pipeline ran %d time(s) during a stall", got-before)
+	}
+	if c := in.Counts(); c.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", c.Stalls)
+	}
+}
+
+// TestCancelInjectsCancelledContext: the real pipeline runs with a cancelled
+// context and must surface an error, never a partial expansion — this is the
+// round-boundary cancellation path exercised end to end.
+func TestCancelInjectsCancelledContext(t *testing.T) {
+	eng := testEngine(t)
+	in := Wrap(eng, Plan{CancelEvery: 2})
+	// Call 1: clean.
+	exp, err := in.ExpandTraced(context.Background(), "apple", qec.ExpandOptions{K: 2}, nil)
+	if err != nil || exp == nil {
+		t.Fatalf("clean call: exp=%v err=%v", exp, err)
+	}
+	// Call 2: cancelled. Distinct query so the cache cannot answer it.
+	exp, err = in.ExpandTraced(context.Background(), "apple store", qec.ExpandOptions{K: 2}, nil)
+	if err == nil {
+		t.Fatal("cancelled call returned no error")
+	}
+	if exp != nil {
+		t.Fatal("cancelled call returned a partial expansion")
+	}
+	if c := in.Counts(); c.Cancels != 1 {
+		t.Fatalf("cancels = %d, want 1", c.Cancels)
+	}
+}
+
+// TestLatencySpikeEveryN: spikes land on exactly the scheduled calls.
+func TestLatencySpikeEveryN(t *testing.T) {
+	eng := testEngine(t)
+	in := Wrap(eng, Plan{LatencyEvery: 3, Latency: 30 * time.Millisecond})
+	for i := 1; i <= 6; i++ {
+		start := time.Now()
+		if _, err := in.ExpandTraced(context.Background(), "apple", qec.ExpandOptions{K: 2}, nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		took := time.Since(start)
+		if i%3 == 0 && took < 30*time.Millisecond {
+			t.Fatalf("call %d took %v, want >=30ms spike", i, took)
+		}
+	}
+	if c := in.Counts(); c.Spikes != 2 {
+		t.Fatalf("spikes = %d, want 2", c.Spikes)
+	}
+}
+
+// TestPoisonFlipsCopyNotCache: the poisoned response differs from the clean
+// one, but the engine's cache still holds the pristine expansion — response
+// corruption must not leak backwards into shared state.
+func TestPoisonFlipsCopyNotCache(t *testing.T) {
+	eng := testEngine(t)
+	in := Wrap(eng, Plan{PoisonEvery: 2})
+	opts := qec.ExpandOptions{K: 2}
+	clean, err := in.ExpandTraced(context.Background(), "apple", opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := in.ExpandTraced(context.Background(), "apple", opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Queries) == 0 || len(poisoned.Queries) == 0 {
+		t.Fatal("expansions have no queries")
+	}
+	if clean.Queries[0].Terms[0] == poisoned.Queries[0].Terms[0] {
+		t.Fatal("poisoned response identical to clean one")
+	}
+	cached, ok := in.ExpandCached("apple", opts)
+	if !ok {
+		t.Fatal("expected cache hit")
+	}
+	if cached.Queries[0].Terms[0] != clean.Queries[0].Terms[0] {
+		t.Fatalf("cache poisoned: %q != %q", cached.Queries[0].Terms[0], clean.Queries[0].Terms[0])
+	}
+	if c := in.Counts(); c.Poisons != 1 {
+		t.Fatalf("poisons = %d, want 1", c.Poisons)
+	}
+}
+
+// TestDeterministicSchedule: two injectors with the same plan fire the same
+// faults on the same calls — the harness replays exactly.
+func TestDeterministicSchedule(t *testing.T) {
+	eng := testEngine(t)
+	run := func() Counts {
+		in := Wrap(eng, Plan{LatencyEvery: 2, Latency: time.Millisecond, PoisonEvery: 3})
+		for i := 0; i < 12; i++ {
+			if _, err := in.ExpandTraced(context.Background(), "apple", qec.ExpandOptions{K: 2}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("schedules diverged: %+v vs %+v", a, b)
+	}
+	if a.Spikes != 6 || a.Poisons != 4 {
+		t.Fatalf("counts = %+v, want 6 spikes / 4 poisons", a)
+	}
+}

@@ -84,6 +84,10 @@ type RequestRecord struct {
 	// Notable marks records the recorder exempts from sampling
 	// (slow/error/aborted requests); set by Record.
 	Notable bool
+	// Tier is the degradation-ladder rung the request was served (or shed)
+	// at — 0 both for tier T0 and when degradation is disabled (see
+	// internal/degrade).
+	Tier int
 }
 
 // FromTrace copies the trace-derived fields (id, cache state, stage spans,

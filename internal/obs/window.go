@@ -82,8 +82,11 @@ func (w *RateWindow) base(now time.Time, window time.Duration) *WindowSample {
 // Rate returns the per-second rate of counter idx over the trailing window:
 // (current − value at the window's base sample) / elapsed. current is the
 // counter's live value now (the window only stores history). Returns 0 when
-// the base sample is too fresh for a meaningful rate (<1s elapsed) or does
-// not carry idx.
+// the base sample is too fresh for a meaningful rate (<1s elapsed), too old
+// to describe the asked-for window (older than 2×window — after a long idle
+// stretch with no ticks the stored history is stale, and a rate computed
+// against it would smear old traffic across the idle gap), or does not
+// carry idx.
 func (w *RateWindow) Rate(now time.Time, window time.Duration, idx int, current uint64) float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -92,7 +95,7 @@ func (w *RateWindow) Rate(now time.Time, window time.Duration, idx int, current 
 	}
 	s := w.base(now, window)
 	elapsed := now.Sub(s.At).Seconds()
-	if elapsed < 1 || idx >= len(s.Counters) || current < s.Counters[idx] {
+	if elapsed < 1 || elapsed > 2*window.Seconds() || idx >= len(s.Counters) || current < s.Counters[idx] {
 		return 0
 	}
 	return float64(current-s.Counters[idx]) / elapsed
@@ -100,7 +103,10 @@ func (w *RateWindow) Rate(now time.Time, window time.Duration, idx int, current 
 
 // Ratio returns the fraction numIdx/denIdx of counter deltas over the
 // trailing window (for example errors per request, abandoned restarts per
-// restart). Returns 0 when the denominator delta is zero.
+// restart). Returns 0 when the denominator delta is zero, or when the base
+// sample is staler than 2×window (same long-idle guard as Rate — the
+// degradation controller keys on these ratios, and a stale error ratio must
+// not hold a recovered server degraded).
 func (w *RateWindow) Ratio(now time.Time, window time.Duration, numIdx, denIdx int, numCur, denCur uint64) float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -108,6 +114,9 @@ func (w *RateWindow) Ratio(now time.Time, window time.Duration, numIdx, denIdx i
 		return 0
 	}
 	s := w.base(now, window)
+	if now.Sub(s.At) > 2*window {
+		return 0
+	}
 	if numIdx >= len(s.Counters) || denIdx >= len(s.Counters) {
 		return 0
 	}

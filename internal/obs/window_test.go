@@ -82,3 +82,65 @@ func TestRateWindowEviction(t *testing.T) {
 		t.Errorf("out-of-range rate = %v, want 0", got)
 	}
 }
+
+// TestRateStaleAfterLongIdle pins the long-idle guard: when the newest
+// stored sample is older than twice the asked-for window (no ticks landed
+// during an idle stretch), Rate and Ratio report 0 instead of smearing old
+// traffic across the gap — the degradation controller must not be held at a
+// degraded tier by rates describing load that ended minutes ago.
+func TestRateStaleAfterLongIdle(t *testing.T) {
+	w := NewRateWindow(8, 2)
+	base := time.Now()
+	for i := 1; i <= 5; i++ {
+		w.Tick(WindowSample{
+			At:       base.Add(time.Duration(i) * 10 * time.Second),
+			Counters: []uint64{uint64(i) * 100, uint64(i) * 10},
+		})
+	}
+	// Fresh read: well-defined rate and ratio.
+	now := base.Add(60 * time.Second)
+	if got := w.Rate(now, 30*time.Second, 0, 600); got == 0 {
+		t.Fatal("fresh rate = 0, want non-zero")
+	}
+	if got := w.Ratio(now, 30*time.Second, 1, 0, 60, 600); got == 0 {
+		t.Fatal("fresh ratio = 0, want non-zero")
+	}
+	// Ten minutes of silence: every stored sample is far beyond 2x any
+	// minute-scale window — both reads must go to zero, not report the
+	// pre-idle burst as current traffic.
+	idle := base.Add(11 * time.Minute)
+	if got := w.Rate(idle, time.Minute, 0, 600); got != 0 {
+		t.Errorf("stale rate = %v, want 0", got)
+	}
+	if got := w.Ratio(idle, time.Minute, 1, 0, 60, 600); got != 0 {
+		t.Errorf("stale ratio = %v, want 0", got)
+	}
+	// A fresh tick after the idle stretch revives the signal once it is old
+	// enough to anchor the window (a single post-idle sample cannot describe
+	// a full minute until a minute has passed — that, too, is the guard).
+	w.Tick(WindowSample{At: idle, Counters: []uint64{600, 60}})
+	if got := w.Rate(idle.Add(30*time.Second), time.Minute, 0, 900); got != 0 {
+		t.Errorf("rate 30s after revival tick = %v, want 0 (base still stale)", got)
+	}
+	revived := idle.Add(70 * time.Second)
+	if got := w.Rate(revived, time.Minute, 0, 1300); got < 9.9 || got > 10.1 {
+		t.Errorf("revived rate = %v, want ~10", got)
+	}
+}
+
+// TestGaugeTrendEmptyAfterIdle: a fully-evicted window (every sample before
+// the horizon) reports ok=false, never stale gauge values.
+func TestGaugeTrendEmptyAfterIdle(t *testing.T) {
+	w := NewRateWindow(4, 1)
+	base := time.Now()
+	for i := 1; i <= 4; i++ {
+		w.Tick(WindowSample{
+			At:       base.Add(time.Duration(i) * time.Second),
+			Counters: []uint64{0},
+			Gauges:   []int64{int64(i)},
+		})
+	}
+	if _, _, ok := w.GaugeTrend(base.Add(10*time.Minute), time.Minute, 0); ok {
+		t.Error("GaugeTrend ok=true long after the last sample, want false")
+	}
+}

@@ -50,6 +50,7 @@ type accessEntry struct {
 	status   int
 	took     time.Duration
 	cache    obs.CacheState
+	tier     int
 	tr       *obs.Trace
 	stages   bool
 	slow     bool
@@ -80,6 +81,10 @@ func appendAccessEntry(dst []byte, e *accessEntry, now time.Time) []byte {
 	if e.cache != obs.CacheNone {
 		dst = append(dst, `,"cache":`...)
 		dst = appendJSONString(dst, e.cache.String())
+	}
+	if e.tier > 0 {
+		dst = append(dst, `,"tier":`...)
+		dst = strconv.AppendInt(dst, int64(e.tier), 10)
 	}
 	if e.slow {
 		dst = append(dst, `,"slow":true`...)

@@ -550,6 +550,12 @@ func (r *ExpandResponse) appendJSON(dst []byte) []byte {
 	dst = appendJSONFloat(dst, r.Score)
 	dst = append(dst, `,"took_ms":`...)
 	dst = appendJSONFloat(dst, r.TookMS)
+	if r.Degraded > 0 {
+		// omitempty semantics: absent at T0 and with degradation disabled,
+		// so undegraded responses stay byte-identical to older servers'.
+		dst = append(dst, `,"degraded":`...)
+		dst = strconv.AppendInt(dst, int64(r.Degraded), 10)
+	}
 	if d := r.Debug; d != nil {
 		dst = append(dst, `,"debug":{"trace_id":`...)
 		dst = appendJSONString(dst, d.TraceID)

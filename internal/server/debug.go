@@ -127,6 +127,7 @@ func newFlightRecordWire(rec *obs.RequestRecord) FlightRecordWire {
 		Start:    rec.Start.UTC(),
 		TookMS:   float64(rec.Took.Microseconds()) / 1000,
 		Notable:  rec.Notable,
+		Tier:     rec.Tier,
 	}
 	if rec.Cache != obs.CacheNone {
 		wire.Cache = rec.Cache.String()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -103,9 +104,9 @@ type slowExpandEngine struct {
 	delay time.Duration
 }
 
-func (g *slowExpandEngine) ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
+func (g *slowExpandEngine) ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
 	time.Sleep(g.delay)
-	return g.Engine.ExpandTraced(raw, opts, tr)
+	return g.Engine.ExpandTraced(ctx, raw, opts, tr)
 }
 
 // TestDebugSlowRequestSurvivesFastTraffic is the acceptance check for the

@@ -9,6 +9,7 @@ import (
 
 	qec "repro"
 	"repro/internal/core"
+	"repro/internal/degrade"
 	"repro/internal/obs"
 )
 
@@ -37,6 +38,9 @@ var (
 	stageLabels = [obs.NumStages]string{
 		`stage="parse"`, `stage="search"`, `stage="problem"`,
 		`stage="cluster"`, `stage="solve"`, `stage="assemble"`,
+	}
+	tierLabels = [degrade.NumTiers]string{
+		`tier="T0"`, `tier="T1"`, `tier="T2"`, `tier="T3"`, `tier="T4"`,
 	}
 )
 
@@ -126,6 +130,25 @@ func (s *Server) appendMetrics(dst []byte) []byte {
 	dst = obs.AppendPromInt(dst, "qec_workers_in_flight", "", s.inFlight.Load())
 	dst = obs.AppendPromHeader(dst, "qec_workers_queued", "Requests waiting for a worker slot.", "gauge")
 	dst = obs.AppendPromInt(dst, "qec_workers_queued", "", s.queued.Load())
+
+	// --- degradation controller (when enabled) ---
+	if s.ctrl != nil {
+		dst = obs.AppendPromHeader(dst, "qec_degrade_tier",
+			"Current degradation ladder tier (0 = full quality, 4 = shedding).", "gauge")
+		dst = obs.AppendPromInt(dst, "qec_degrade_tier", "", int64(s.ctrl.Tier()))
+		dst = obs.AppendPromHeader(dst, "qec_degrade_transitions_total",
+			"Degradation tier changes, both directions.", "counter")
+		dst = obs.AppendPromInt(dst, "qec_degrade_transitions_total", "", s.ctrl.Transitions())
+		dst = obs.AppendPromHeader(dst, "qec_shed_total",
+			"Requests shed by the degradation controller (tier T4).", "counter")
+		dst = obs.AppendPromInt(dst, "qec_shed_total", "", s.sheds.Load())
+		dst = obs.AppendPromHeader(dst, "qec_degrade_request_duration_seconds",
+			"Expand request latency by the degradation tier served at.", "histogram")
+		for ti := range s.tierHist {
+			dst = obs.AppendPromHistogram(dst, "qec_degrade_request_duration_seconds",
+				tierLabels[ti], s.tierHist[ti].Snapshot())
+		}
+	}
 
 	// --- expansion cache / coalescer ---
 	cs := s.eng.CacheStats()

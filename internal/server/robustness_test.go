@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	qec "repro"
+	"repro/internal/obs"
+)
+
+// ctxBlockEngine blocks every expansion until its context is cancelled —
+// the shape of a wedged computation that only cooperative cancellation can
+// reclaim.
+type ctxBlockEngine struct {
+	*qec.Engine
+	entered chan struct{}
+}
+
+func (g *ctxBlockEngine) ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
+	g.entered <- struct{}{}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancelMidExpandFreesWorkerSlot: when a client walks away mid-expand,
+// the cancellation threads into the pipeline, the computation stops, and the
+// worker slot frees immediately — not at the request deadline. With a pool
+// of one, the next request can only start if the first slot was reclaimed.
+func TestCancelMidExpandFreesWorkerSlot(t *testing.T) {
+	gate := &ctxBlockEngine{Engine: ambiguousEngine(t), entered: make(chan struct{}, 2)}
+	// The 10s deadline is the point: the slot must free on cancel, long
+	// before the deadline would have reclaimed it.
+	srv := New(gate, Options{MaxConcurrent: 1, RequestTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	send := func(ctx context.Context) chan error {
+		errc := make(chan error, 1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/expand",
+			strings.NewReader(`{"query": "apple"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			_, err := ts.Client().Do(req)
+			errc <- err
+		}()
+		return errc
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := send(ctxA)
+	<-gate.entered // A holds the only worker slot
+	cancelA()      // the client walks away
+	if err := <-errA; err == nil {
+		t.Fatal("request A should fail once its context is cancelled")
+	}
+
+	// B can only enter the engine if A's cancellation freed the slot.
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	errB := send(ctxB)
+	select {
+	case <-gate.entered:
+		// Slot reclaimed well before A's 10s deadline.
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker slot not freed by cancellation: request B never started")
+	}
+	cancelB()
+	<-errB
+
+	if n := srv.timeouts.Load(); n != 0 {
+		t.Fatalf("timeouts = %d; cancellations must not count as timeouts", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.canceled.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled = %d, want 2", srv.canceled.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainServesInFlightAndRejectsNew: shutdown lets executing requests run
+// to completion, answers anything arriving afterwards with 503 + Retry-After,
+// and has flushed the in-flight request's access-log line by the time Serve
+// returns.
+func TestDrainServesInFlightAndRejectsNew(t *testing.T) {
+	gate := &gateEngine{
+		Engine:  ambiguousEngine(t),
+		entered: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	logBuf := newSyncBuffer()
+	srv := New(gate, Options{
+		MaxConcurrent:   2,
+		ShutdownTimeout: 5 * time.Second,
+		AccessLog:       logBuf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	// Request A enters the engine and blocks on the gate.
+	aDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, http.DefaultClient,
+			"http://"+ln.Addr().String()+"/expand", ExpandRequest{Query: "apple"})
+		aDone <- resp.StatusCode
+	}()
+	<-gate.entered
+
+	// Shutdown begins while A is still executing.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A request arriving during the drain (e.g. on a keep-alive connection
+	// Shutdown has not torn down yet) is refused with a retryable 503, not
+	// queued behind a closing server.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/expand",
+		strings.NewReader(`{"query": "apple"}`)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("draining Retry-After = %q, want an integer in [1,30]", rec.Header().Get("Retry-After"))
+	}
+
+	// The in-flight request drains to a normal 200.
+	close(gate.release)
+	if code := <-aDone; code != http.StatusOK {
+		t.Fatalf("in-flight request status = %d; want 200 (drained, not killed)", code)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v; want nil after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// The drained request's access-log line is on disk before Serve returns.
+	logged := logBuf.String()
+	if !strings.Contains(logged, `"endpoint":"expand"`) || !strings.Contains(logged, `"query":"apple"`) {
+		t.Fatalf("access log missing the drained request: %q", logged)
+	}
+	if !strings.Contains(logged, `"status":200`) {
+		t.Fatalf("access log entry is not a 200: %q", logged)
+	}
+}
+
+// TestRetryAfterFromDrainRate pins the Retry-After arithmetic: queue ahead
+// of you divided by the 1m completion rate, clamped to [1,30], with the
+// conservative fallbacks when no completions have been observed.
+func TestRetryAfterFromDrainRate(t *testing.T) {
+	srv := New(ambiguousEngine(t), Options{MaxConcurrent: 2})
+
+	// No history, empty queue: come back soon.
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle Retry-After = %d, want 1", got)
+	}
+
+	// No history but a standing queue: maximum back-off.
+	srv.queued.Inc()
+	srv.queued.Inc()
+	if got := srv.retryAfterSeconds(); got != 30 {
+		t.Fatalf("no-drain-rate Retry-After = %d, want 30", got)
+	}
+	srv.queued.Dec()
+	srv.queued.Dec()
+
+	// A measured drain rate: 2 queued ÷ (60 done / 60s) → ceil(3/1) = 3s.
+	// The sample a minute ago saw zero completions; the live counter says 60.
+	srv.rates.Tick(srv.rateSample(time.Now().Add(-time.Minute)))
+	srv.expandsDone.Store(60)
+	srv.queued.Inc()
+	srv.queued.Inc()
+	defer srv.queued.Dec()
+	defer srv.queued.Dec()
+	got := srv.retryAfterSeconds()
+	if got < 2 || got > 4 {
+		t.Fatalf("measured Retry-After = %d, want ~3", got)
+	}
+}

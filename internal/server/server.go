@@ -13,8 +13,17 @@
 // The server applies a per-request deadline, bounds concurrent expansions
 // with a worker pool (requests that cannot get a worker before their deadline
 // are rejected with 503), and shuts down gracefully when its context is
-// cancelled. Expansion results are cached/coalesced by the engine when it was
+// cancelled (in-flight requests drain, new ones get 503 + Retry-After).
+// Expansion results are cached/coalesced by the engine when it was
 // constructed with qec.WithExpansionCache.
+//
+// With Options.Degrade the server consults an adaptive degradation
+// controller (internal/degrade) at admission: under load it forces serving
+// quality, caps the k-means restart budget, falls back to cache-only
+// answers, and only as the last rung sheds with 503 + Retry-After. The tier
+// a request was served at is stamped into the response ("degraded" field and
+// X-Qec-Tier header), the access log, the flight recorder, /stats and
+// /metrics — docs/DEGRADATION.md has the operator guide.
 //
 // Every search/expand request gets a trace ID, returned in the X-Trace-Id
 // response header and stamped on the optional JSON-lines access log
@@ -28,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	qec "repro"
+	"repro/internal/degrade"
 	"repro/internal/obs"
 )
 
@@ -45,8 +56,12 @@ import (
 // tests can inject slow or failing engines; *qec.Engine satisfies it.
 type Engine interface {
 	Search(raw string, topK int) []qec.Result
-	ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error)
-	ExpandExplained(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, *qec.Explain, error)
+	ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error)
+	ExpandExplained(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, *qec.Explain, error)
+	// ExpandCached answers from the expansion cache without running the
+	// pipeline (false on miss or when the engine has no cache) — the
+	// degradation ladder's cache-only read path.
+	ExpandCached(raw string, opts qec.ExpandOptions) (*qec.Expansion, bool)
 	Len() int
 	CacheStats() qec.CacheStats
 }
@@ -86,6 +101,15 @@ type Options struct {
 	// (slow/error/aborted requests, exempt from sampling and fast-traffic
 	// eviction) holds a quarter of it.
 	FlightCapacity int
+	// Degrade enables the adaptive degradation controller: expand requests
+	// are admitted through the internal/degrade tier ladder, shedding
+	// quality (serving mode, capped restarts, cache-only) before shedding
+	// requests. Off by default.
+	Degrade bool
+	// DegradeMaxTier clamps the ladder (1..4; see degrade.Tier). Values
+	// outside that range mean 4 — shedding allowed. 3 forbids shedding
+	// entirely: the server serves through any saturation, degraded.
+	DegradeMaxTier int
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +160,20 @@ type Server struct {
 	rates        *obs.RateWindow
 	lastRateTick atomic.Int64 // UnixNano of the newest rate sample
 
+	// ctrl is the degradation controller (nil unless Options.Degrade). It is
+	// stepped on the rate-tick cadence with the same sampled signals the rate
+	// window stores; tierHist records expand latency per serving tier; sheds
+	// counts T4 rejections; expandsDone counts completed expansions (the
+	// queue drain rate Retry-After is derived from).
+	ctrl        *degrade.Controller
+	tierHist    [degrade.NumTiers]obs.Histogram
+	sheds       atomic.Int64
+	expandsDone atomic.Int64
+
+	// draining flips when graceful shutdown begins: in-flight requests
+	// finish, new ones get 503 + Retry-After.
+	draining atomic.Bool
+
 	accessLog *jsonLogger
 	slowLog   *jsonLogger
 }
@@ -164,6 +202,14 @@ func New(eng Engine, opts Options) *Server {
 	s.active = obs.NewActiveSet(2 * s.opts.MaxConcurrent)
 	s.rates = obs.NewRateWindow(rateWindowSamples, numRateCounters)
 	s.lastRateTick.Store(time.Now().UnixNano())
+	if s.opts.Degrade {
+		s.ctrl = degrade.New(degrade.Config{
+			MaxTier: degrade.Tier(s.opts.DegradeMaxTier),
+			// A request whose remaining deadline cannot fit a typical full
+			// pipeline run is individually escalated to a cheaper tier.
+			TightDeadline: s.opts.RequestTimeout / 4,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/expand", s.handleExpand)
@@ -218,10 +264,29 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Draining: requests already executing run to completion (bounded by
+		// ShutdownTimeout); new requests — including ones arriving on live
+		// keep-alive connections Shutdown has not closed yet — are refused
+		// with 503 + Retry-After instead of queueing behind a closing server.
+		s.draining.Store(true)
 		drain, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
 		defer cancel()
 		return srv.Shutdown(drain)
 	}
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// rejectDraining answers one request arriving after shutdown began. Returns
+// true when the request was rejected.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.rejects.Add(1)
+	s.writeRetryError(w, http.StatusServiceUnavailable, "server draining")
+	return true
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -281,6 +346,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Rates: s.rateStats(),
 	}
+	if s.ctrl != nil {
+		snap := s.ctrl.Snapshot()
+		tiers := make(map[string]HistogramSummary, degrade.NumTiers)
+		for ti := range s.tierHist {
+			if hs := s.tierHist[ti].Snapshot(); hs.Count > 0 {
+				tiers[degrade.Tier(ti).String()] = summarize(hs)
+			}
+		}
+		resp.Degrade = &DegradeStats{
+			Tier:        snap.Tier.String(),
+			MaxTier:     snap.MaxTier.String(),
+			Pressure:    snap.Pressure,
+			Steps:       snap.Steps,
+			Transitions: snap.Transitions,
+			Shed:        s.sheds.Load(),
+			Latency:     tiers,
+		}
+	}
 	if em, ok := s.eng.(engineMetrics); ok {
 		m := em.Metrics()
 		resp.KMeans = KMeansStats{
@@ -306,6 +389,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.total.Add(1)
 	s.searches.Add(1)
 	if !s.allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.rejectDraining(w) {
 		return
 	}
 	var req SearchRequest
@@ -359,6 +445,9 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	if !s.allowMethod(w, r, http.MethodPost) {
 		return
 	}
+	if s.rejectDraining(w) {
+		return
+	}
 	var req ExpandRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -375,13 +464,11 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 
 	traceID := s.requestTraceID(r)
 	w.Header().Set("X-Trace-Id", obs.IDString(traceID))
-	qi := qec.QualityIndex(opts.Quality)
 	entry := accessEntry{
 		trace:    traceID,
 		endpoint: "expand",
 		query:    req.Query,
 		method:   qec.MethodLabel(int(opts.Method)),
-		quality:  qec.QualityLabel(qi),
 	}
 	start := time.Now()
 	token := s.active.Begin(&obs.ActiveRequest{
@@ -391,6 +478,68 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+
+	// Admission: consult the degradation controller (when enabled) before
+	// the request touches the worker queue. The decision is stamped on the
+	// response header up front so even shed requests carry their tier.
+	var dec degrade.Decision
+	if s.ctrl != nil {
+		remaining := s.opts.RequestTimeout
+		if dl, ok := ctx.Deadline(); ok {
+			remaining = time.Until(dl)
+		}
+		dec = s.ctrl.Admit(remaining)
+		w.Header().Set("X-Qec-Tier", dec.Tier.String())
+		entry.tier = int(dec.Tier)
+	}
+	if dec.Shed {
+		// T4: the ladder's last rung. The 503 carries a Retry-After derived
+		// from the queue drain rate; the shed is notable in the flight
+		// recorder (outcome "rejected"), so operators can see exactly which
+		// queries were turned away.
+		s.sheds.Add(1)
+		s.rejects.Add(1)
+		s.writeRetryError(w, http.StatusServiceUnavailable,
+			"degraded to shedding (tier T4), try again later")
+		entry.status = http.StatusServiceUnavailable
+		entry.took = time.Since(start)
+		s.tierHist[dec.Tier].Observe(entry.took)
+		s.logRequest(&entry)
+		s.recordFlight(&entry, start, nil)
+		return
+	}
+	if dec.CacheOnly {
+		// T3: answer from the expansion cache under the request's own
+		// options — cached entries hold full-fidelity answers computed in
+		// calmer times, strictly better than anything T3 could compute now.
+		if exp, ok := s.eng.ExpandCached(req.Query, opts); ok {
+			took := time.Since(start)
+			s.expandHist[qec.QualityIndex(opts.Quality)].Observe(took)
+			s.tierHist[dec.Tier].Observe(took)
+			resp := newExpandResponse(exp, float64(took.Microseconds())/1000)
+			resp.Degraded = int(dec.Tier)
+			s.writeJSON(w, http.StatusOK, resp)
+			entry.status = http.StatusOK
+			entry.took = took
+			entry.cache = obs.CacheHit
+			entry.quality = qec.QualityLabel(qec.QualityIndex(opts.Quality))
+			s.logRequest(&entry)
+			s.recordFlight(&entry, start, nil)
+			return
+		}
+		// Miss: a fast single-cluster fallback (K=1 skips the k-means
+		// restart ladder almost entirely) through the worker pool, under the
+		// T2 clustering knobs applied below.
+		opts.K = 1
+		opts.Interleave = 0
+	}
+	if dec.ForceServing {
+		opts.Quality = qec.QualityServing
+		opts.RestartBudget = dec.RestartBudget
+		opts.AggressiveAbandon = dec.AggressiveAbandon
+	}
+	qi := qec.QualityIndex(opts.Quality)
+	entry.quality = qec.QualityLabel(qi)
 
 	// Acquire a worker slot, giving up at the request deadline.
 	s.queued.Inc()
@@ -406,7 +555,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			entry.status = statusClientClosedRequest
 		} else {
 			s.rejects.Add(1)
-			s.writeError(w, http.StatusServiceUnavailable,
+			s.writeRetryError(w, http.StatusServiceUnavailable,
 				"expansion workers saturated, try again")
 			entry.status = http.StatusServiceUnavailable
 		}
@@ -425,20 +574,23 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	tr.ID = traceID
 	done := make(chan outcome, 1)
 	go func() {
-		// The engine has no context plumbing (yet), so a timed-out
-		// computation runs to completion in the background — it still
-		// populates the cache for the retry — and only then frees its
-		// worker slot, keeping the concurrency bound honest.
+		// The request context threads all the way into the pipeline: a
+		// timed-out or abandoned computation stops at the next round
+		// boundary (k-means round, per-cluster solve) and frees its worker
+		// slot promptly instead of running to completion — under saturation
+		// that reclaimed slot is the difference between draining the queue
+		// and compounding it. Cancelled runs error out and cache nothing.
 		s.inFlight.Inc()
 		defer func() {
 			s.inFlight.Dec()
+			s.expandsDone.Add(1)
 			<-s.workers
 		}()
 		var out outcome
 		if req.Explain {
-			out.exp, out.ex, out.err = s.eng.ExpandExplained(req.Query, opts, tr)
+			out.exp, out.ex, out.err = s.eng.ExpandExplained(ctx, req.Query, opts, tr)
 		} else {
-			out.exp, out.err = s.eng.ExpandTraced(req.Query, opts, tr)
+			out.exp, out.err = s.eng.ExpandTraced(ctx, req.Query, opts, tr)
 		}
 		done <- out
 	}()
@@ -450,6 +602,9 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		entry.cache = tr.Cache
 		entry.tr = tr
 		s.expandHist[qi].Observe(took)
+		if s.ctrl != nil {
+			s.tierHist[dec.Tier].Observe(took)
+		}
 		switch {
 		case r.Context().Err() != nil:
 			// The client disconnected while the expansion ran and the
@@ -460,6 +615,13 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			s.canceled.Add(1)
 			s.writeError(w, statusClientClosedRequest, "client closed request")
 			entry.status = statusClientClosedRequest
+		case errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded):
+			// The engine surfaced our own cancellation (the pipeline stopped
+			// at a round boundary). The deadline case races with ctx.Done
+			// below — both classify it as a timeout either way.
+			s.timeouts.Add(1)
+			s.writeRetryError(w, http.StatusGatewayTimeout, "expansion timed out")
+			entry.status = http.StatusGatewayTimeout
 		case out.err != nil:
 			status := http.StatusUnprocessableEntity
 			switch {
@@ -473,6 +635,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		default:
 			tookMS := float64(took.Microseconds()) / 1000
 			resp := newExpandResponse(out.exp, tookMS)
+			resp.Degraded = int(dec.Tier)
 			if req.Debug {
 				resp.Debug = newExpandDebug(tr)
 			}
@@ -496,7 +659,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			entry.status = statusClientClosedRequest
 		} else {
 			s.timeouts.Add(1)
-			s.writeError(w, http.StatusGatewayTimeout, "expansion timed out")
+			s.writeRetryError(w, http.StatusGatewayTimeout, "expansion timed out")
 			entry.status = http.StatusGatewayTimeout
 		}
 		s.logRequest(&entry)
@@ -555,6 +718,12 @@ func (s *Server) recordFlight(e *accessEntry, start time.Time, tr *obs.Trace) {
 	}
 	rec.FromTrace(tr)
 	rec.TraceID = e.trace
+	rec.Tier = e.tier
+	if rec.Cache == obs.CacheNone {
+		// Paths that never ran a trace (the T3 cache-only read) still carry
+		// a disposition on the entry.
+		rec.Cache = e.cache
+	}
 	notable := rec.Outcome != obs.OutcomeOK ||
 		(s.opts.SlowQuery > 0 && e.took >= s.opts.SlowQuery)
 	s.flight.Record(rec, notable)
@@ -608,6 +777,7 @@ const (
 	rcCanceled
 	rcKMeansRestarts
 	rcKMeansAbandoned
+	rcExpandDone
 	numRateCounters
 )
 
@@ -632,6 +802,7 @@ func (s *Server) rateSample(now time.Time) obs.WindowSample {
 	c[rcTimeouts] = uint64(s.timeouts.Load())
 	c[rcRejected] = uint64(s.rejects.Load())
 	c[rcCanceled] = uint64(s.canceled.Load())
+	c[rcExpandDone] = uint64(s.expandsDone.Load())
 	if em, ok := s.eng.(engineMetrics); ok {
 		m := em.Metrics()
 		c[rcKMeansRestarts] = m.KMeansRestarts.Load()
@@ -656,7 +827,72 @@ func (s *Server) maybeTickRates() {
 	if !s.lastRateTick.CompareAndSwap(last, now.UnixNano()) {
 		return
 	}
-	s.rates.Tick(s.rateSample(now))
+	sample := s.rateSample(now)
+	s.rates.Tick(sample)
+	s.stepDegrade(now, sample)
+}
+
+// stepDegrade feeds one sampled signal set into the degradation controller.
+// It runs on the rate-tick cadence (10s — by Serve's background ticker and
+// lazily by /stats//metrics reads), so tier transitions happen at sample
+// boundaries; the controller itself never reads a clock, which is what lets
+// the soak test drive it with synthetic signal sequences and get the exact
+// same ladder behaviour.
+func (s *Server) stepDegrade(now time.Time, sample obs.WindowSample) {
+	if s.ctrl == nil {
+		return
+	}
+	const m1 = time.Minute
+	s.ctrl.Step(degrade.Signals{
+		Queued:   sample.Gauges[rgQueued],
+		InFlight: sample.Gauges[rgInFlight],
+		Capacity: int64(s.opts.MaxConcurrent),
+		ErrorRatio: s.rates.Ratio(now, m1, rcErrors, rcTotal,
+			sample.Counters[rcErrors], sample.Counters[rcTotal]),
+		AbandonRatio: s.rates.Ratio(now, m1, rcKMeansAbandoned, rcKMeansRestarts,
+			sample.Counters[rcKMeansAbandoned], sample.Counters[rcKMeansRestarts]),
+	})
+}
+
+// DegradeSnapshot returns the degradation controller's current state; ok is
+// false when degradation is disabled. qec-serve wires it to SIGUSR2.
+func (s *Server) DegradeSnapshot() (degrade.Snapshot, bool) {
+	if s.ctrl == nil {
+		return degrade.Snapshot{}, false
+	}
+	return s.ctrl.Snapshot(), true
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// queue-ahead-of-you divided by the 1m expansion completion rate (the drain
+// rate), clamped to [1, 30] seconds. With no measurable drain and a standing
+// queue the answer is the cap.
+func (s *Server) retryAfterSeconds() int {
+	queued := s.queued.Load() + s.inFlight.Load()
+	now := time.Now()
+	rate := s.rates.Rate(now, time.Minute, rcExpandDone, uint64(s.expandsDone.Load()))
+	if rate <= 0 {
+		if queued == 0 {
+			return 1
+		}
+		return 30
+	}
+	secs := int(math.Ceil(float64(queued+1) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
+// writeRetryError is writeError with a Retry-After header derived from the
+// queue drain rate — every shed, saturation and timeout path goes through
+// here so clients always learn when to come back.
+func (s *Server) writeRetryError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeError(w, status, msg)
 }
 
 // rateStats derives the windowed rates for /stats and /metrics.

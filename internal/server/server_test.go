@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -255,10 +256,10 @@ type gateEngine struct {
 	release chan struct{}
 }
 
-func (g *gateEngine) ExpandTraced(raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
+func (g *gateEngine) ExpandTraced(ctx context.Context, raw string, opts qec.ExpandOptions, tr *obs.Trace) (*qec.Expansion, error) {
 	g.entered <- struct{}{}
 	<-g.release
-	return g.Engine.ExpandTraced(raw, opts, tr)
+	return g.Engine.ExpandTraced(ctx, raw, opts, tr)
 }
 
 func TestWorkerPoolSaturationAndTimeout(t *testing.T) {
@@ -280,10 +281,15 @@ func TestWorkerPoolSaturationAndTimeout(t *testing.T) {
 	}()
 	<-gate.entered
 
-	// Request B cannot get a worker before its deadline → 503.
+	// Request B cannot get a worker before its deadline → 503, carrying a
+	// Retry-After derived from the queue drain rate so well-behaved clients
+	// back off instead of hammering a saturated pool.
 	resp, data := postJSON(t, client, ts.URL+"/expand", ExpandRequest{Query: "apple"})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated status = %d, body %s; want 503", resp.StatusCode, data)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("saturated Retry-After = %q, want an integer in [1,30]", resp.Header.Get("Retry-After"))
 	}
 
 	// A's own deadline has passed while gated → 504.

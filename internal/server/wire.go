@@ -111,6 +111,11 @@ type ExpandResponse struct {
 	// Score is the harmonic mean of the queries' F-measures (Eq. 1).
 	Score  float64 `json:"score"`
 	TookMS float64 `json:"took_ms"`
+	// Degraded is the degradation-ladder tier the request was served at
+	// (1 = forced serving quality, 2 = + restart budget, 3 = cache only);
+	// omitted at full quality or when degradation is disabled. The same
+	// value rides in the X-Qec-Tier response header.
+	Degraded int `json:"degraded,omitempty"`
 	// Debug carries the per-stage timing breakdown when the request set
 	// "debug": true; omitted otherwise.
 	Debug *ExpandDebug `json:"debug,omitempty"`
@@ -295,6 +300,25 @@ type RateStats struct {
 	QueueMax1M  int64   `json:"queue_max_1m"`
 }
 
+// DegradeStats reports the degradation controller's state: the current
+// ladder tier, how often it moved, how many requests were shed, and request
+// latency split by the tier requests were served at.
+type DegradeStats struct {
+	// Tier is the current rung ("T0".."T4"); MaxTier the configured clamp.
+	Tier    string `json:"tier"`
+	MaxTier string `json:"max_tier"`
+	// Pressure is the last computed load scalar the tier derives from.
+	Pressure float64 `json:"pressure"`
+	// Steps counts controller sampling steps; Transitions tier changes.
+	Steps       int64 `json:"steps"`
+	Transitions int64 `json:"transitions"`
+	// Shed counts requests rejected at tier T4.
+	Shed int64 `json:"shed"`
+	// Latency summarizes expand latency per serving tier (tiers with no
+	// requests yet are omitted).
+	Latency map[string]HistogramSummary `json:"latency"`
+}
+
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -305,6 +329,8 @@ type StatsResponse struct {
 	Latency       LatencyStats `json:"latency"`
 	KMeans        KMeansStats  `json:"kmeans"`
 	Rates         RateStats    `json:"rates"`
+	// Degrade reports the degradation controller; omitted when disabled.
+	Degrade *DegradeStats `json:"degrade,omitempty"`
 }
 
 // FlightRecordWire is one retained request record of GET /debug/requests.
@@ -322,6 +348,9 @@ type FlightRecordWire struct {
 	// Notable marks slow/error/aborted records, which are exempt from
 	// sampling and fast-traffic eviction.
 	Notable bool `json:"notable,omitempty"`
+	// Tier is the degradation-ladder rung the request was served or shed at
+	// (omitted at T0 and when degradation is disabled).
+	Tier int `json:"tier,omitempty"`
 	// Stages is the per-stage pipeline breakdown (absent for /search and
 	// cache hits); KMeans the clustering bookkeeping when the pipeline ran.
 	Stages []StageTiming `json:"stages,omitempty"`

@@ -1,6 +1,7 @@
 package qec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -343,6 +344,16 @@ type ExpandOptions struct {
 	// documented, deterministic accuracy delta — see the package
 	// documentation's "clustering quality modes" section.
 	Quality Quality
+	// RestartBudget, when > 0, caps the number of k-means restarts after the
+	// quality mode's own cap (it can only lower the count, never raise it).
+	// The degradation ladder's T2+ tiers set 1. For a fixed
+	// (Quality, RestartBudget) pair output stays bit-identical run to run.
+	RestartBudget int
+	// AggressiveAbandon tightens serving-mode early abandonment: a restart is
+	// abandoned once its distortion exceeds 90% of the best finished restart's
+	// (instead of 100%). No effect under QualityExact (abandonment is off
+	// there). Deterministic for a fixed seed; set by the ladder's T2+ tiers.
+	AggressiveAbandon bool
 }
 
 // ExpandedQuery is one expanded query with its quality against its cluster.
@@ -420,8 +431,9 @@ func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 		sb.WriteString(term)
 		sb.WriteByte(' ')
 	}
-	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%s|uw=%t|il=%d|q=%d",
-		opts.K, opts.TopK, e.methodLeg(opts), opts.Unweighted, opts.Interleave, opts.Quality)
+	fmt.Fprintf(&sb, "|k=%d|top=%d|m=%s|uw=%t|il=%d|q=%d|rb=%d|ab=%t",
+		opts.K, opts.TopK, e.methodLeg(opts), opts.Unweighted, opts.Interleave,
+		opts.Quality, opts.RestartBudget, opts.AggressiveAbandon)
 	return sb.String()
 }
 
@@ -430,9 +442,22 @@ func (e *Engine) expandKey(raw string, opts ExpandOptions) string {
 // WithExpansionCache enabled, repeated calls are served from the LRU cache
 // and concurrent identical calls are coalesced into one computation; the
 // returned *Expansion is then shared and must be treated as immutable.
-// ExpandTraced (telemetry.go) is the same call with a per-request trace.
+// ExpandTraced (telemetry.go) is the same call with a per-request trace and
+// a cancellation context.
 func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
-	return e.ExpandTraced(raw, opts, nil)
+	return e.ExpandTraced(context.Background(), raw, opts, nil)
+}
+
+// ExpandCached answers raw/opts from the expansion cache without ever running
+// the pipeline: a hit returns the shared (immutable) cached Expansion, a miss
+// — or an engine built without WithExpansionCache — returns (nil, false).
+// This is the degradation ladder's cache-only (T3) read path.
+func (e *Engine) ExpandCached(raw string, opts ExpandOptions) (*Expansion, bool) {
+	if e.expCache == nil {
+		return nil, false
+	}
+	e.Build()
+	return e.expCache.Get(e.expandKey(raw, opts))
 }
 
 // expand is the uncached pipeline: the shared parse + search preamble, then
@@ -441,8 +466,8 @@ func (e *Engine) Expand(raw string, opts ExpandOptions) (*Expansion, error) {
 // time went; the spans only read the clock — no pipeline arithmetic depends
 // on them, so instrumented output is bit-identical to uninstrumented
 // (pinned by TestInstrumentationBitIdentity and the expansion goldens).
-func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
-	return e.expandFull(raw, opts, tr, nil)
+func (e *Engine) expand(ctx context.Context, raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
+	return e.expandFull(ctx, raw, opts, tr, nil)
 }
 
 // expandFull is expand with an optional EXPLAIN collector. ex == nil is the
@@ -451,7 +476,10 @@ func (e *Engine) expand(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansi
 // same code runs the same arithmetic and only records what it sees; the
 // decision-trail legs are filled by the search layer (PruneStats), the
 // clustering driver (cluster.Trail) and the solvers (core.Trail).
-func (e *Engine) expandFull(raw string, opts ExpandOptions, tr *obs.Trace, ex *Explain) (*Expansion, error) {
+func (e *Engine) expandFull(ctx context.Context, raw string, opts ExpandOptions, tr *obs.Trace, ex *Explain) (*Expansion, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.computations.Add(1)
 	e.Build()
 	backend, slot, err := e.backendFor(opts)
@@ -504,6 +532,7 @@ func (e *Engine) expandFull(raw string, opts ExpandOptions, tr *obs.Trace, ex *E
 		Results: results,
 		Opts:    opts,
 		Seed:    e.seed,
+		ctx:     ctx,
 		trace:   tr,
 		explain: ex,
 	})
@@ -551,6 +580,9 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 
 	copts := cluster.Options{
 		K: k, Seed: e.seed, PlusPlus: true, Restarts: 5, Quality: opts.Quality,
+		RestartBudget:     opts.RestartBudget,
+		AggressiveAbandon: opts.AggressiveAbandon,
+		Ctx:               in.ctx,
 	}
 	if in.explain != nil {
 		copts.Trail = &cluster.Trail{}
@@ -559,6 +591,11 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 	cl := cluster.KMeansVecs(e.idx.NumTerms(), u.Vectors(), u.Docs(), copts)
 	tr.End(obs.StageCluster)
 	tr.SetKMeans(cl.Restarts, cl.TotalIterations, cl.AbandonedRestarts)
+	// A cancelled drive returned a partial clustering; discard it — partial
+	// output must never be surfaced (or cached) as the query's expansion.
+	if ctx := in.Context(); ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	if in.explain != nil {
 		in.explain.KMeans = explainKMeans(k, cl, copts.Trail)
 	}
@@ -587,6 +624,11 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		it := &core.Interleave{Expander: expander, MaxRounds: opts.Interleave, Universe: u}
 		res = it.Run(e.idx, q, cl, weights).Result
 		tr.End(obs.StageSolve)
+		// Interleave's rounds are not ctx-aware; honor a cancellation that
+		// arrived during the run before surfacing (and caching) the result.
+		if ctx := in.Context(); ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if in.explain != nil {
 			in.explain.Notes = append(in.explain.Notes,
 				"interleave rounds rebuild problems internally; per-cluster solver trails are not collected")
@@ -606,9 +648,15 @@ func (c clusteredExpander) Expand(in ExpandInput) (*Expansion, error) {
 		}
 		// Solve fans per-cluster work across the process-wide worker budget
 		// (serial under contention), so the Parallel flag needs no branch.
+		// SolveCtx checks the context at cluster boundaries; a cancelled
+		// solve errors out here instead of assembling a partial expansion.
 		tr.Begin(obs.StageSolve)
-		res = core.Solve(expander, problems)
+		var serr error
+		res, serr = core.SolveCtx(in.Context(), expander, problems)
 		tr.End(obs.StageSolve)
+		if serr != nil {
+			return nil, serr
+		}
 	}
 
 	tr.Begin(obs.StageAssemble)

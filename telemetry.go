@@ -1,6 +1,7 @@
 package qec
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/obs"
@@ -98,14 +99,20 @@ func (m *ExpansionMetrics) observe(opts ExpandOptions, slot int, tr *obs.Trace, 
 // histograms to read consistent values. Safe for concurrent use.
 func (e *Engine) Metrics() *ExpansionMetrics { return &e.metrics }
 
-// ExpandTraced is Expand with a request trace attached: per-stage spans,
-// k-means restart bookkeeping and the cache disposition are recorded into
-// tr. A nil tr records engine metrics only (Expand delegates here with
-// nil). On a cache hit or a coalesced wait the trace carries the cache
-// state and no stage spans — the pipeline did not run for this caller.
-func (e *Engine) ExpandTraced(raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
+// ExpandTraced is Expand with a request trace and cancellation attached:
+// per-stage spans, k-means restart bookkeeping and the cache disposition are
+// recorded into tr. A nil tr records engine metrics only (Expand delegates
+// here with context.Background and nil). On a cache hit or a coalesced wait
+// the trace carries the cache state and no stage spans — the pipeline did
+// not run for this caller.
+//
+// Cancellation: ctx is polled at pipeline round boundaries (k-means rounds,
+// per-cluster solves); a cancelled run returns ctx.Err() and caches nothing.
+// Coalesced callers share the computing leader's fate — if the leader's ctx
+// is cancelled, followers get its error too (they are free to retry).
+func (e *Engine) ExpandTraced(ctx context.Context, raw string, opts ExpandOptions, tr *obs.Trace) (*Expansion, error) {
 	if e.expCache == nil {
-		return e.expand(raw, opts, tr)
+		return e.expand(ctx, raw, opts, tr)
 	}
 	key := e.expandKey(raw, opts)
 	if exp, ok := e.expCache.Get(key); ok {
@@ -121,7 +128,7 @@ func (e *Engine) ExpandTraced(raw string, opts ExpandOptions, tr *obs.Trace) (*E
 			tr.MarkCache(obs.CacheHit)
 			return exp, nil
 		}
-		exp, err := e.expand(raw, opts, tr)
+		exp, err := e.expand(ctx, raw, opts, tr)
 		if err == nil {
 			e.expCache.Add(key, exp)
 		}

@@ -1,6 +1,7 @@
 package qec
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestExpandTracedBitIdentical(t *testing.T) {
 			t.Fatalf("%+v: %v", opts, err)
 		}
 		tr := obs.GetTrace()
-		got, err := traced.ExpandTraced("apple", opts, tr)
+		got, err := traced.ExpandTraced(context.Background(), "apple", opts, tr)
 		if err != nil {
 			t.Fatalf("%+v traced: %v", opts, err)
 		}
@@ -47,7 +48,7 @@ func TestExpandTracedRecordsStages(t *testing.T) {
 	e := seedEngine(t)
 	tr := obs.GetTrace()
 	defer obs.PutTrace(tr)
-	if _, err := e.ExpandTraced("apple", ExpandOptions{K: 2}, tr); err != nil {
+	if _, err := e.ExpandTraced(context.Background(), "apple", ExpandOptions{K: 2}, tr); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Cache != obs.CacheComputed {
@@ -78,14 +79,14 @@ func TestExpandTracedCacheStates(t *testing.T) {
 
 	tr := obs.GetTrace()
 	defer obs.PutTrace(tr)
-	if _, err := eng.ExpandTraced("apple", ExpandOptions{K: 2}, tr); err != nil {
+	if _, err := eng.ExpandTraced(context.Background(), "apple", ExpandOptions{K: 2}, tr); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Cache != obs.CacheComputed {
 		t.Fatalf("first call cache = %v; want computed", tr.Cache)
 	}
 	tr.Reset()
-	if _, err := eng.ExpandTraced("apple", ExpandOptions{K: 2}, tr); err != nil {
+	if _, err := eng.ExpandTraced(context.Background(), "apple", ExpandOptions{K: 2}, tr); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Cache != obs.CacheHit {
